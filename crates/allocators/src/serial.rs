@@ -1,0 +1,114 @@
+//! The serial baseline: one heap protected by one global lock.
+//!
+//! This is the behaviour of the Solaris 2.6 default `malloc` the paper uses
+//! as its speedup baseline — "very simple support for parallel entrance,
+//! e.g. using a mutex for the function code" (§2). Every allocation and
+//! deallocation from every thread serializes on the same mutex.
+
+use crate::heap::{HeapStats, RawHeap};
+use crate::traits::{BlockRef, ParallelAllocator};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Single-lock allocator.
+#[derive(Debug, Default)]
+pub struct SerialAllocator {
+    heap: Mutex<RawHeap>,
+    contention: AtomicU64,
+}
+
+impl SerialAllocator {
+    /// A new empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock_counting(&self) -> parking_lot::MutexGuard<'_, RawHeap> {
+        match self.heap.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.heap.lock()
+            }
+        }
+    }
+}
+
+impl ParallelAllocator for SerialAllocator {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn alloc(&self, size: u32) -> BlockRef {
+        let offset = self.lock_counting().alloc(size);
+        BlockRef { arena: 0, offset }
+    }
+
+    fn free(&self, block: BlockRef) {
+        debug_assert_eq!(block.arena, 0);
+        self.lock_counting().free(block.offset);
+    }
+
+    fn contention_events(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    fn heap_stats(&self) -> Vec<HeapStats> {
+        vec![self.heap.lock().stats()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_alloc_free() {
+        let a = SerialAllocator::new();
+        let b1 = a.alloc(100);
+        let b2 = a.alloc(100);
+        assert_ne!(b1.offset, b2.offset);
+        a.free(b1);
+        a.free(b2);
+        assert_eq!(a.total_allocs(), 2);
+        assert_eq!(a.total_frees(), 2);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn cross_thread_free() {
+        let a = Arc::new(SerialAllocator::new());
+        let blocks: Vec<BlockRef> = (0..64).map(|_| a.alloc(48)).collect();
+        let a2 = Arc::clone(&a);
+        std::thread::spawn(move || {
+            for b in blocks {
+                a2.free(b);
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_stress_serializes_correctly() {
+        let a = Arc::new(SerialAllocator::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let b = a.alloc(16 + i % 128);
+                    a.free(b);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.total_allocs(), 2000);
+        assert_eq!(a.total_frees(), 2000);
+        assert_eq!(a.live_bytes(), 0);
+    }
+}

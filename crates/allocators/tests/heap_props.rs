@@ -1,0 +1,134 @@
+//! Property-based tests: the heap core against a reference model, and the
+//! parallel allocators under random cross-thread usage.
+
+use allocators::{
+    HoardAllocator, ParallelAllocator, PtmallocAllocator, RawHeap, SerialAllocator,
+};
+use proptest::prelude::*;
+
+/// A random alloc/free script: `Alloc(size)` or `Free(index into live)`.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1u32..2000).prop_map(Op::Alloc),
+        2 => any::<usize>().prop_map(Op::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Live blocks never overlap, frees balance, and structural invariants
+    /// hold after every operation sequence.
+    #[test]
+    fn heap_model_equivalence(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = RawHeap::new();
+        let mut live: Vec<(u32, u32)> = Vec::new(); // (payload_off, usable)
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    let off = heap.alloc(size);
+                    let usable = heap.usable_size(off);
+                    prop_assert!(usable >= size);
+                    // No overlap with any live block.
+                    for &(o, u) in &live {
+                        prop_assert!(off + usable <= o || o + u <= off,
+                            "overlap: new {off}+{usable} vs live {o}+{u}");
+                    }
+                    live.push((off, usable));
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (off, _) = live.swap_remove(i % live.len());
+                        heap.free(off);
+                    }
+                }
+            }
+        }
+        heap.check_invariants();
+        let stats = heap.stats();
+        prop_assert_eq!(stats.allocs - stats.frees, live.len() as u64);
+        for (off, _) in live {
+            heap.free(off);
+        }
+        prop_assert_eq!(heap.stats().live_bytes, 0);
+        heap.check_invariants();
+    }
+
+    /// Payload writes survive unrelated alloc/free traffic (no block
+    /// aliasing).
+    #[test]
+    fn payloads_do_not_alias(sizes in proptest::collection::vec(1u32..300, 2..30)) {
+        let mut heap = RawHeap::new();
+        let blocks: Vec<u32> = sizes.iter().map(|&s| heap.alloc(s)).collect();
+        for (i, &off) in blocks.iter().enumerate() {
+            let tag = (i as u8).wrapping_mul(37).wrapping_add(1);
+            for b in heap.payload_mut(off).iter_mut() {
+                *b = tag;
+            }
+        }
+        // Free every other block, allocate some more, then verify survivors.
+        for &off in blocks.iter().step_by(2) {
+            heap.free(off);
+        }
+        let _extra: Vec<u32> = (0..5).map(|i| heap.alloc(50 + i * 10)).collect();
+        for (i, &off) in blocks.iter().enumerate() {
+            if i % 2 == 1 {
+                let tag = (i as u8).wrapping_mul(37).wrapping_add(1);
+                prop_assert!(heap.payload(off).iter().all(|&b| b == tag),
+                    "payload of block {i} corrupted");
+            }
+        }
+    }
+}
+
+/// Deterministic cross-thread fuzz for each parallel allocator.
+fn stress(alloc: &dyn ParallelAllocator) {
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                let mut state = 0x9E3779B97F4A7C15u64 ^ t;
+                let mut rng = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                };
+                let mut live = Vec::new();
+                for _ in 0..300 {
+                    if live.is_empty() || rng() % 3 != 0 {
+                        live.push(alloc.alloc((rng() % 256 + 1) as u32));
+                    } else {
+                        let i = (rng() as usize) % live.len();
+                        alloc.free(live.swap_remove(i));
+                    }
+                }
+                for b in live {
+                    alloc.free(b);
+                }
+            });
+        }
+    });
+    assert_eq!(alloc.total_allocs(), alloc.total_frees());
+    assert_eq!(alloc.live_bytes(), 0);
+}
+
+#[test]
+fn serial_survives_cross_thread_fuzz() {
+    stress(&SerialAllocator::new());
+}
+
+#[test]
+fn ptmalloc_survives_cross_thread_fuzz() {
+    stress(&PtmallocAllocator::new(4));
+}
+
+#[test]
+fn hoard_survives_cross_thread_fuzz() {
+    stress(&HoardAllocator::new(4));
+}

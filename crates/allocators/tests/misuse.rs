@@ -1,0 +1,68 @@
+//! Failure-injection tests: allocator misuse must be caught loudly in
+//! debug builds, not corrupt the heap silently.
+
+use allocators::{ParallelAllocator, RawHeap, SerialAllocator};
+
+#[test]
+#[should_panic(expected = "double free")]
+#[cfg(debug_assertions)]
+fn double_free_is_detected() {
+    let mut h = RawHeap::new();
+    let a = h.alloc(32);
+    h.free(a);
+    h.free(a);
+}
+
+#[test]
+#[cfg(debug_assertions)]
+fn freeing_then_reusing_is_fine() {
+    let mut h = RawHeap::new();
+    let a = h.alloc(32);
+    h.free(a);
+    let b = h.alloc(32);
+    assert_eq!(a, b);
+    h.free(b); // not a double free: the block was re-allocated
+}
+
+#[test]
+fn zero_size_allocations_are_valid_and_distinct() {
+    let mut h = RawHeap::new();
+    let a = h.alloc(0);
+    let b = h.alloc(0);
+    assert_ne!(a, b, "zero-size blocks must still be distinct");
+    h.free(a);
+    h.free(b);
+    h.check_invariants();
+}
+
+#[test]
+fn huge_then_tiny_interleaving_keeps_invariants() {
+    let mut h = RawHeap::new();
+    let mut live = Vec::new();
+    for i in 0..40u32 {
+        let size = if i % 2 == 0 { 100_000 } else { 8 };
+        live.push(h.alloc(size));
+        if i % 3 == 2 {
+            h.free(live.remove(0));
+        }
+    }
+    h.check_invariants();
+    for b in live {
+        h.free(b);
+    }
+    assert_eq!(h.stats().live_bytes, 0);
+    h.check_invariants();
+}
+
+#[test]
+fn allocator_reports_are_consistent_after_churn() {
+    let a = SerialAllocator::new();
+    let blocks: Vec<_> = (0..100).map(|i| a.alloc(16 + i)).collect();
+    assert_eq!(a.total_allocs(), 100);
+    assert!(a.live_bytes() >= (0..100u64).map(|i| 16 + i).sum::<u64>());
+    for b in blocks {
+        a.free(b);
+    }
+    assert_eq!(a.total_frees(), 100);
+    assert_eq!(a.live_bytes(), 0);
+}

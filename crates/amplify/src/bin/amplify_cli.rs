@@ -1,0 +1,99 @@
+//! The `amplify-cli` binary: pre-process C++ sources from the command line.
+//!
+//! ```text
+//! amplify-cli [OPTIONS] <file.cpp>... -o <out-dir>
+//!
+//! OPTIONS:
+//!   -o <dir>              output directory (required)
+//!   --single-threaded     elide all pool locking
+//!   --no-arrays           disable the §5.2 data-type array extension
+//!   --max-shadow <bytes>  cap on shadowed array size
+//!   --max-pool <n>        cap on parked objects per class pool
+//!   --no-half-rule        disable the half-size reuse rule
+//!   --inject-stats        call ::amplify::print_stats() at the end of main
+//!   --exclude <Class>     do not amplify this class (repeatable)
+//!   --only <Class>        amplify only these classes (repeatable)
+//!   --report-json         print the transformation report as JSON
+//! ```
+
+use amplify::{AmplifyOptions, Amplifier};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("amplify-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut options = AmplifyOptions::default();
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut report_json = false;
+
+    let take_value = |i: &mut usize, name: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{name} requires a value"))
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => out_dir = Some(PathBuf::from(take_value(&mut i, "-o")?)),
+            "--single-threaded" => options.threaded = false,
+            "--no-arrays" => options.amplify_arrays = false,
+            "--no-half-rule" => options.half_size_rule = false,
+            "--max-shadow" => {
+                options.max_shadow_bytes = Some(
+                    take_value(&mut i, "--max-shadow")?
+                        .parse()
+                        .map_err(|e| format!("--max-shadow: {e}"))?,
+                )
+            }
+            "--max-pool" => {
+                options.max_pool_objects = Some(
+                    take_value(&mut i, "--max-pool")?
+                        .parse()
+                        .map_err(|e| format!("--max-pool: {e}"))?,
+                )
+            }
+            "--inject-stats" => options.inject_stats = true,
+            "--exclude" => options.exclude_classes.push(take_value(&mut i, "--exclude")?),
+            "--only" => options.include_only.push(take_value(&mut i, "--only")?),
+            "--report-json" => report_json = true,
+            "-h" | "--help" => {
+                println!("usage: amplify-cli [OPTIONS] <file.cpp>... -o <out-dir>");
+                return Ok(());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            file => inputs.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+
+    if inputs.is_empty() {
+        return Err("no input files (try --help)".into());
+    }
+    let out_dir = out_dir.ok_or("missing -o <out-dir>")?;
+
+    let amplifier = Amplifier::new(options);
+    let report = amplifier
+        .amplify_files(&inputs, &out_dir)
+        .map_err(|e| format!("i/o error: {e}"))?;
+
+    if report_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| format!("report: {e}"))?
+        );
+    } else {
+        println!("{}", report.summary());
+    }
+    Ok(())
+}

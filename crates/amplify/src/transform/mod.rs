@@ -1,0 +1,16 @@
+//! The source-to-source transformations, each expressed as span edits
+//! against the original text (via [`cxx_frontend::Rewriter`]):
+//!
+//! * [`shadow_fields`] — add the hidden shadow members;
+//! * [`operators`] — inject per-class pool `operator new`/`delete`;
+//! * [`rewrites`] — rewrite `delete member;` and `member = new T(...)`
+//!   for object pointers;
+//! * [`arrays`] — the §5.2 data-type array extension;
+//! * [`include`] — splice in the runtime header include.
+
+pub mod arrays;
+pub mod include;
+pub mod operators;
+pub mod rewrites;
+pub mod shadow_fields;
+pub mod stats_hook;

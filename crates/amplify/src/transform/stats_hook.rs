@@ -1,0 +1,68 @@
+//! Optional instrumentation: insert `::amplify::print_stats();` at the end
+//! of `main`, so users can verify pool and shadow reuse without editing
+//! their program.
+
+use cxx_frontend::ast::{Item, TranslationUnit};
+use cxx_frontend::Rewriter;
+
+/// Insert the stats call before `main`'s closing brace (and before a
+/// trailing `return`, if that is the last statement). Returns true if a
+/// `main` definition was found.
+pub fn apply(unit: &TranslationUnit, rw: &mut Rewriter) -> bool {
+    for item in &unit.items {
+        let Item::Function(f) = item else { continue };
+        if f.name != "main" || f.qualifier.is_some() {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        // Anchor: before the final `return` statement if it is last,
+        // otherwise before the closing brace.
+        let anchor = match body.stmts.last() {
+            Some(cxx_frontend::ast::Stmt::Return(_, span)) => span.start,
+            _ => body.span.end - 1,
+        };
+        rw.insert_before(anchor, "::amplify::print_stats(); ");
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxx_frontend::{parse_source, Rewriter, SourceFile};
+
+    fn run(src: &str) -> (String, bool) {
+        let unit = parse_source("t.cpp", src);
+        let mut rw = Rewriter::new(SourceFile::new("t.cpp", src));
+        let found = apply(&unit, &mut rw);
+        (rw.apply().unwrap(), found)
+    }
+
+    #[test]
+    fn inserted_before_trailing_return() {
+        let (out, found) = run("int main() { work(); return 0; }");
+        assert!(found);
+        assert!(out.contains("work(); ::amplify::print_stats(); return 0; }"), "got: {out}");
+    }
+
+    #[test]
+    fn inserted_before_brace_without_return() {
+        let (out, found) = run("int main() { work(); }");
+        assert!(found);
+        assert!(out.contains("work(); ::amplify::print_stats(); }"), "got: {out}");
+    }
+
+    #[test]
+    fn no_main_no_insertion() {
+        let (out, found) = run("int helper() { return 1; }");
+        assert!(!found);
+        assert!(!out.contains("print_stats"));
+    }
+
+    #[test]
+    fn member_main_is_not_the_entry_point() {
+        let (_, found) = run("class App { }; int App::main() { return 0; }");
+        assert!(!found, "App::main is not ::main");
+    }
+}

@@ -1,0 +1,61 @@
+// A miniature of the BGw component (§5.2): CDR processing dominated by
+// data-type array allocations of slightly varying length.
+#include <cstdio>
+#include <cstring>
+
+class CdrBuffer {
+public:
+    CdrBuffer() {
+        raw = 0;
+        encoded = 0;
+        rawLen = 0;
+        encodedLen = 0;
+    }
+    ~CdrBuffer() {
+        delete[] raw;
+        delete[] encoded;
+    }
+    void process(int cdrId) {
+        delete[] raw;
+        delete[] encoded;
+        // Lengths wobble around a stable base: the temporal locality the
+        // half-size rule exploits.
+        rawLen = 700 + (cdrId * 13) % 90;
+        encodedLen = 350 + (cdrId * 7) % 60;
+        raw = new char[rawLen];
+        encoded = new char[encodedLen];
+        for (int i = 0; i < rawLen; i++) {
+            raw[i] = (char)((cdrId + i) % 251);
+        }
+        for (int i = 0; i < encodedLen; i++) {
+            encoded[i] = (char)(raw[i % rawLen] ^ 0x5A);
+        }
+    }
+    long digest() const {
+        long d = 0;
+        for (int i = 0; i < encodedLen; i++) {
+            d = d * 17 + encoded[i];
+        }
+        return d;
+    }
+private:
+    char* raw;
+    char* encoded;
+    int rawLen;
+    int encodedLen;
+};
+
+int main() {
+    long checksum = 0;
+    CdrBuffer* buffer = new CdrBuffer();
+    for (int cdr = 0; cdr < 500; cdr++) {
+        buffer->process(cdr);
+        checksum += buffer->digest();
+    }
+    delete buffer;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

@@ -1,0 +1,84 @@
+// The Figure 1 car: a root object composed of separately allocated parts,
+// rebuilt over and over (temporal locality).
+#include <cstdio>
+
+class Engine {
+public:
+    Engine(int p) {
+        power = p;
+    }
+    int horsepower() const { return power; }
+private:
+    int power;
+};
+
+class Wheel {
+public:
+    Wheel(int r) {
+        radius = r;
+    }
+    int size() const { return radius; }
+private:
+    int radius;
+};
+
+class Car {
+public:
+    Car() {
+        engine = 0;
+        front = 0;
+        rear = 0;
+        plate = 0;
+        plateLen = 0;
+    }
+    ~Car() {
+        delete engine;
+        delete front;
+        delete rear;
+        delete[] plate;
+    }
+    void build(int power, int wheelSize, int plateChars) {
+        delete engine;
+        delete front;
+        delete rear;
+        delete[] plate;
+        engine = new Engine(power);
+        front = new Wheel(wheelSize);
+        rear = new Wheel(wheelSize + 1);
+        plate = new char[plateChars];
+        plateLen = plateChars;
+        for (int i = 0; i < plateChars; i++) {
+            plate[i] = (char)('A' + (i + power) % 26);
+        }
+    }
+    long fingerprint() const {
+        long f = engine->horsepower() * 31 + front->size() * 7 + rear->size();
+        for (int i = 0; i < plateLen; i++) {
+            f = f * 131 + plate[i];
+        }
+        return f;
+    }
+private:
+    Engine* engine;
+    Wheel* front;
+    Wheel* rear;
+    char* plate;
+    int plateLen;
+};
+
+int main() {
+    long checksum = 0;
+    Car* car = new Car();
+    for (int i = 0; i < 300; i++) {
+        // Plate length wobbles within the half-size window so the shadowed
+        // realloc can keep reusing the block.
+        car->build(90 + i % 40, 15 + i % 3, 24 + (i * 7) % 12);
+        checksum += car->fingerprint();
+    }
+    delete car;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Out-of-line method definitions for carlib.h. The pre-processor must
+// rewrite the news/deletes here against the class declarations in the
+// header (project mode).
+#include "carlib.h"
+
+Engine::Engine(int p) {
+    power = p;
+}
+
+int Engine::horsepower() const {
+    return power;
+}
+
+Car::Car() {
+    engine = 0;
+    plate = 0;
+    plateLen = 0;
+}
+
+Car::~Car() {
+    delete engine;
+    delete[] plate;
+}
+
+void Car::build(int power, int plateChars) {
+    delete engine;
+    delete[] plate;
+    engine = new Engine(power);
+    plate = new char[plateChars];
+    plateLen = plateChars;
+    for (int i = 0; i < plateChars; i++) {
+        plate[i] = (char)('A' + (i + power) % 26);
+    }
+}
+
+long Car::fingerprint() const {
+    long f = engine->horsepower() * 31;
+    for (int i = 0; i < plateLen; i++) {
+        f = f * 131 + plate[i];
+    }
+    return f;
+}

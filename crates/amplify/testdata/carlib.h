@@ -1,0 +1,26 @@
+// Header of the split-project fixture: class declarations only, method
+// bodies live in carlib.cpp — the layout of real C++ code bases.
+#ifndef CARLIB_H
+#define CARLIB_H
+
+class Engine {
+public:
+    Engine(int p);
+    int horsepower() const;
+private:
+    int power;
+};
+
+class Car {
+public:
+    Car();
+    ~Car();
+    void build(int power, int plateChars);
+    long fingerprint() const;
+private:
+    Engine* engine;
+    char* plate;
+    int plateLen;
+};
+
+#endif

@@ -1,0 +1,69 @@
+// A miniature of the BGw component (§5.2): CDR processing dominated by
+// data-type array allocations of slightly varying length.
+#include <cstdio>
+#include <cstring>
+#include "amplify_runtime.hpp"
+
+
+class CdrBuffer {
+public:
+    CdrBuffer() {
+        raw = 0;
+        encoded = 0;
+        rawLen = 0;
+        encodedLen = 0;
+    }
+    ~CdrBuffer() {
+        rawShadow = ::amplify::shadow_array(raw);
+        encodedShadow = ::amplify::shadow_array(encoded);
+    }
+    void process(int cdrId) {
+        rawShadow = ::amplify::shadow_array(raw);
+        encodedShadow = ::amplify::shadow_array(encoded);
+        // Lengths wobble around a stable base: the temporal locality the
+        // half-size rule exploits.
+        rawLen = 700 + (cdrId * 13) % 90;
+        encodedLen = 350 + (cdrId * 7) % 60;
+        raw = (char*) ::amplify::array_realloc(rawShadow, (rawLen), sizeof(char));
+        encoded = (char*) ::amplify::array_realloc(encodedShadow, (encodedLen), sizeof(char));
+        for (int i = 0; i < rawLen; i++) {
+            raw[i] = (char)((cdrId + i) % 251);
+        }
+        for (int i = 0; i < encodedLen; i++) {
+            encoded[i] = (char)(raw[i % rawLen] ^ 0x5A);
+        }
+    }
+    long digest() const {
+        long d = 0;
+        for (int i = 0; i < encodedLen; i++) {
+            d = d * 17 + encoded[i];
+        }
+        return d;
+    }
+private:
+    char* raw; void* rawShadow;
+    char* encoded; void* encodedShadow;
+    int rawLen;
+    int encodedLen;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< CdrBuffer >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< CdrBuffer >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< CdrBuffer >::release(amplify_p); }
+};
+
+int main() {
+    long checksum = 0;
+    CdrBuffer* buffer = new CdrBuffer();
+    for (int cdr = 0; cdr < 500; cdr++) {
+        buffer->process(cdr);
+        checksum += buffer->digest();
+    }
+    delete buffer;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

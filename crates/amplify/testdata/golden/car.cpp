@@ -1,0 +1,104 @@
+// The Figure 1 car: a root object composed of separately allocated parts,
+// rebuilt over and over (temporal locality).
+#include <cstdio>
+#include "amplify_runtime.hpp"
+
+
+class Engine {
+public:
+    Engine(int p) {
+        power = p;
+    }
+    int horsepower() const { return power; }
+private:
+    int power;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Engine >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Engine >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Engine >::release(amplify_p); }
+};
+
+class Wheel {
+public:
+    Wheel(int r) {
+        radius = r;
+    }
+    int size() const { return radius; }
+private:
+    int radius;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Wheel >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Wheel >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Wheel >::release(amplify_p); }
+};
+
+class Car {
+public:
+    Car() {
+        engine = 0;
+        front = 0;
+        rear = 0;
+        plate = 0;
+        plateLen = 0;
+    }
+    ~Car() {
+        if (engine) { engine->~Engine(); engineShadow = engine; }
+        if (front) { front->~Wheel(); frontShadow = front; }
+        if (rear) { rear->~Wheel(); rearShadow = rear; }
+        plateShadow = ::amplify::shadow_array(plate);
+    }
+    void build(int power, int wheelSize, int plateChars) {
+        if (engine) { engine->~Engine(); engineShadow = engine; }
+        if (front) { front->~Wheel(); frontShadow = front; }
+        if (rear) { rear->~Wheel(); rearShadow = rear; }
+        plateShadow = ::amplify::shadow_array(plate);
+        engine = new(engineShadow) Engine(power);
+        front = new(frontShadow) Wheel(wheelSize);
+        rear = new(rearShadow) Wheel(wheelSize + 1);
+        plate = (char*) ::amplify::array_realloc(plateShadow, (plateChars), sizeof(char));
+        plateLen = plateChars;
+        for (int i = 0; i < plateChars; i++) {
+            plate[i] = (char)('A' + (i + power) % 26);
+        }
+    }
+    long fingerprint() const {
+        long f = engine->horsepower() * 31 + front->size() * 7 + rear->size();
+        for (int i = 0; i < plateLen; i++) {
+            f = f * 131 + plate[i];
+        }
+        return f;
+    }
+private:
+    Engine* engine; Engine* engineShadow;
+    Wheel* front; Wheel* frontShadow;
+    Wheel* rear; Wheel* rearShadow;
+    char* plate; void* plateShadow;
+    int plateLen;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Car >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Car >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Car >::release(amplify_p); }
+};
+
+int main() {
+    long checksum = 0;
+    Car* car = new Car();
+    for (int i = 0; i < 300; i++) {
+        // Plate length wobbles within the half-size window so the shadowed
+        // realloc can keep reusing the block.
+        car->build(90 + i % 40, 15 + i % 3, 24 + (i * 7) % 12);
+        checksum += car->fingerprint();
+    }
+    delete car;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

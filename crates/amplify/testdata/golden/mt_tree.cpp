@@ -1,0 +1,84 @@
+// The multithreaded synthetic program (§4): several threads each allocate,
+// initialize, destroy and deallocate binary trees concurrently. The
+// amplified version exercises the thread-safe pool runtime.
+#include <cstdio>
+#include <pthread.h>
+#include "amplify_runtime.hpp"
+
+
+class Node {
+public:
+    Node(int depth, int seed) {
+        value = seed;
+        left = 0;
+        right = 0;
+        if (depth > 0) {
+            left = new(leftShadow) Node(depth - 1, seed * 2 + 1);
+            right = new(rightShadow) Node(depth - 1, seed * 2 + 2);
+        }
+    }
+    ~Node() {
+        if (left) { left->~Node(); leftShadow = left; }
+        if (right) { right->~Node(); rightShadow = right; }
+    }
+    long sum() const {
+        long s = value;
+        if (left) s += left->sum();
+        if (right) s += right->sum();
+        return s;
+    }
+private:
+    Node* left; Node* leftShadow;
+    Node* right; Node* rightShadow;
+    int value;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Node >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Node >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Node >::release(amplify_p); }
+};
+
+struct WorkerArg {
+    int id;
+    long checksum;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< WorkerArg >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< WorkerArg >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< WorkerArg >::release(amplify_p); }
+};
+
+static void* worker(void* p) {
+    WorkerArg* arg = static_cast<WorkerArg*>(p);
+    long sum = 0;
+    for (int i = 0; i < 100; i++) {
+        Node* root = new Node(3, arg->id * 1000 + i);
+        sum += root->sum();
+        delete root;
+    }
+    arg->checksum = sum;
+    return 0;
+}
+
+int main() {
+    const int kThreads = 4;
+    pthread_t threads[kThreads];
+    WorkerArg args[kThreads];
+    for (int t = 0; t < kThreads; t++) {
+        args[t].id = t;
+        args[t].checksum = 0;
+        pthread_create(&threads[t], 0, worker, &args[t]);
+    }
+    long total = 0;
+    for (int t = 0; t < kThreads; t++) {
+        pthread_join(threads[t], 0);
+        total += args[t].checksum;
+    }
+    std::printf("checksum=%ld\n", total);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

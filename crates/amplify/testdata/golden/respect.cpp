@@ -1,0 +1,55 @@
+// A class with its own operator new: the pre-processor must respect it
+// (§3.2) and keep routing allocations through the custom allocator.
+#include <cstdio>
+#include <cstdlib>
+#include "amplify_runtime.hpp"
+
+
+static long customAllocs = 0;
+static long customFrees = 0;
+
+class Special {
+public:
+    void* operator new(size_t n) {
+        customAllocs++;
+        return std::malloc(n);
+    }
+    void operator delete(void* p) {
+        customFrees++;
+        std::free(p);
+    }
+    Special(int v) {
+        value = v;
+    }
+    int value;
+};
+
+class Plain {
+public:
+    Plain(int v) {
+        value = v;
+    }
+    int value;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Plain >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Plain >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Plain >::release(amplify_p); }
+};
+
+int main() {
+    long checksum = 0;
+    for (int i = 0; i < 100; i++) {
+        Special* s = new Special(i);
+        Plain* p = new Plain(i * 2);
+        checksum += s->value + p->value;
+        delete s;
+        delete p;
+    }
+    std::printf("checksum=%ld custom=%ld/%ld\n", checksum, customAllocs, customFrees);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

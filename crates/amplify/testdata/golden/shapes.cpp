@@ -1,0 +1,109 @@
+// Polymorphism fixture: virtual destructors, base-class pointer members,
+// and derived classes of different sizes. The pre-processor must pool each
+// concrete class, route `delete base` through the dynamic type's operator
+// delete, and must NOT shadow-revive a base-typed member (the dynamic type
+// varies, so the paper's size check would be wrong statically).
+#include <cstdio>
+#include "amplify_runtime.hpp"
+
+
+class Shape {
+public:
+    Shape(int i) {
+        id = i;
+    }
+    virtual ~Shape() {
+    }
+    virtual long area() const {
+        return 0;
+    }
+    int id;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Shape >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Shape >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Shape >::release(amplify_p); }
+};
+
+class Circle : public Shape {
+public:
+    Circle(int i, int r) : Shape(i) {
+        radius = r;
+    }
+    virtual long area() const {
+        return 3L * radius * radius;
+    }
+    int radius;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Circle >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Circle >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Circle >::release(amplify_p); }
+};
+
+class Rect : public Shape {
+public:
+    Rect(int i, int w, int h) : Shape(i) {
+        width = w;
+        height = h;
+        label[0] = 'r';
+    }
+    virtual long area() const {
+        return (long)width * height;
+    }
+    int width;
+    int height;
+    char label[24]; // larger than Circle on purpose
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Rect >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Rect >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Rect >::release(amplify_p); }
+};
+
+class Canvas {
+public:
+    Canvas() {
+        shape = 0;
+    }
+    ~Canvas() {
+        delete shape;
+    }
+    void draw(int i) {
+        delete shape;
+        if (i % 2 == 0) {
+            shape = new Circle(i, i % 17);
+        } else {
+            shape = new Rect(i, i % 13, i % 7);
+        }
+    }
+    long area() const {
+        return shape ? shape->area() : 0;
+    }
+private:
+    Shape* shape; Shape* shapeShadow;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Canvas >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Canvas >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Canvas >::release(amplify_p); }
+};
+
+int main() {
+    long checksum = 0;
+    Canvas* canvas = new Canvas();
+    for (int i = 0; i < 400; i++) {
+        canvas->draw(i);
+        checksum += canvas->area() + canvas->area() % 7;
+    }
+    delete canvas;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

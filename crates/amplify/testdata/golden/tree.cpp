@@ -1,0 +1,52 @@
+// The paper's synthetic test program (§4): repeatedly allocate, initialize,
+// destroy and deallocate binary trees — 100% temporal locality.
+#include <cstdio>
+#include "amplify_runtime.hpp"
+
+
+class Node {
+public:
+    Node(int depth, int seed) {
+        value = seed;
+        left = 0;
+        right = 0;
+        if (depth > 0) {
+            left = new(leftShadow) Node(depth - 1, seed * 2 + 1);
+            right = new(rightShadow) Node(depth - 1, seed * 2 + 2);
+        }
+    }
+    ~Node() {
+        if (left) { left->~Node(); leftShadow = left; }
+        if (right) { right->~Node(); rightShadow = right; }
+    }
+    long sum() const {
+        long s = value;
+        if (left) s += left->sum();
+        if (right) s += right->sum();
+        return s;
+    }
+private:
+    Node* left; Node* leftShadow;
+    Node* right; Node* rightShadow;
+    int value;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Node >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Node >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Node >::release(amplify_p); }
+};
+
+int main() {
+    long checksum = 0;
+    for (int i = 0; i < 200; i++) {
+        Node* root = new Node(3, i); // depth 3 = 15 nodes (test case 2)
+        checksum += root->sum();
+        delete root;
+    }
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

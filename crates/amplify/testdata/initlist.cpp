@@ -1,0 +1,41 @@
+// Constructor-initializer-list style: the composition is allocated in the
+// init list rather than the constructor body — a common C++ idiom the
+// pre-processor must rewrite to placement revival.
+#include <cstdio>
+
+class Payload {
+public:
+    Payload(int v) : value(v * 3), tweak(v % 7) {
+    }
+    int value;
+    int tweak;
+};
+
+class Holder {
+public:
+    Holder(int v) : payload(new Payload(v)), serial(v) {
+    }
+    ~Holder() {
+        delete payload;
+    }
+    long digest() const {
+        return payload->value * 31L + payload->tweak + serial;
+    }
+private:
+    Payload* payload;
+    int serial;
+};
+
+int main() {
+    long checksum = 0;
+    for (int i = 0; i < 300; i++) {
+        Holder* h = new Holder(i);
+        checksum += h->digest();
+        delete h;
+    }
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

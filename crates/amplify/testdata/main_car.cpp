@@ -1,0 +1,18 @@
+// Driver for the split-project fixture.
+#include <cstdio>
+#include "carlib.h"
+
+int main() {
+    long checksum = 0;
+    Car* car = new Car();
+    for (int i = 0; i < 250; i++) {
+        car->build(90 + i % 40, 20 + (i * 3) % 10);
+        checksum += car->fingerprint();
+    }
+    delete car;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

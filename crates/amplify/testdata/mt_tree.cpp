@@ -1,0 +1,70 @@
+// The multithreaded synthetic program (§4): several threads each allocate,
+// initialize, destroy and deallocate binary trees concurrently. The
+// amplified version exercises the thread-safe pool runtime.
+#include <cstdio>
+#include <pthread.h>
+
+class Node {
+public:
+    Node(int depth, int seed) {
+        value = seed;
+        left = 0;
+        right = 0;
+        if (depth > 0) {
+            left = new Node(depth - 1, seed * 2 + 1);
+            right = new Node(depth - 1, seed * 2 + 2);
+        }
+    }
+    ~Node() {
+        delete left;
+        delete right;
+    }
+    long sum() const {
+        long s = value;
+        if (left) s += left->sum();
+        if (right) s += right->sum();
+        return s;
+    }
+private:
+    Node* left;
+    Node* right;
+    int value;
+};
+
+struct WorkerArg {
+    int id;
+    long checksum;
+};
+
+static void* worker(void* p) {
+    WorkerArg* arg = static_cast<WorkerArg*>(p);
+    long sum = 0;
+    for (int i = 0; i < 100; i++) {
+        Node* root = new Node(3, arg->id * 1000 + i);
+        sum += root->sum();
+        delete root;
+    }
+    arg->checksum = sum;
+    return 0;
+}
+
+int main() {
+    const int kThreads = 4;
+    pthread_t threads[kThreads];
+    WorkerArg args[kThreads];
+    for (int t = 0; t < kThreads; t++) {
+        args[t].id = t;
+        args[t].checksum = 0;
+        pthread_create(&threads[t], 0, worker, &args[t]);
+    }
+    long total = 0;
+    for (int t = 0; t < kThreads; t++) {
+        pthread_join(threads[t], 0);
+        total += args[t].checksum;
+    }
+    std::printf("checksum=%ld\n", total);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

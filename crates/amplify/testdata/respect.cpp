@@ -1,0 +1,47 @@
+// A class with its own operator new: the pre-processor must respect it
+// (§3.2) and keep routing allocations through the custom allocator.
+#include <cstdio>
+#include <cstdlib>
+
+static long customAllocs = 0;
+static long customFrees = 0;
+
+class Special {
+public:
+    void* operator new(size_t n) {
+        customAllocs++;
+        return std::malloc(n);
+    }
+    void operator delete(void* p) {
+        customFrees++;
+        std::free(p);
+    }
+    Special(int v) {
+        value = v;
+    }
+    int value;
+};
+
+class Plain {
+public:
+    Plain(int v) {
+        value = v;
+    }
+    int value;
+};
+
+int main() {
+    long checksum = 0;
+    for (int i = 0; i < 100; i++) {
+        Special* s = new Special(i);
+        Plain* p = new Plain(i * 2);
+        checksum += s->value + p->value;
+        delete s;
+        delete p;
+    }
+    std::printf("checksum=%ld custom=%ld/%ld\n", checksum, customAllocs, customFrees);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Polymorphism fixture: virtual destructors, base-class pointer members,
+// and derived classes of different sizes. The pre-processor must pool each
+// concrete class, route `delete base` through the dynamic type's operator
+// delete, and must NOT shadow-revive a base-typed member (the dynamic type
+// varies, so the paper's size check would be wrong statically).
+#include <cstdio>
+
+class Shape {
+public:
+    Shape(int i) {
+        id = i;
+    }
+    virtual ~Shape() {
+    }
+    virtual long area() const {
+        return 0;
+    }
+    int id;
+};
+
+class Circle : public Shape {
+public:
+    Circle(int i, int r) : Shape(i) {
+        radius = r;
+    }
+    virtual long area() const {
+        return 3L * radius * radius;
+    }
+    int radius;
+};
+
+class Rect : public Shape {
+public:
+    Rect(int i, int w, int h) : Shape(i) {
+        width = w;
+        height = h;
+        label[0] = 'r';
+    }
+    virtual long area() const {
+        return (long)width * height;
+    }
+    int width;
+    int height;
+    char label[24]; // larger than Circle on purpose
+};
+
+class Canvas {
+public:
+    Canvas() {
+        shape = 0;
+    }
+    ~Canvas() {
+        delete shape;
+    }
+    void draw(int i) {
+        delete shape;
+        if (i % 2 == 0) {
+            shape = new Circle(i, i % 17);
+        } else {
+            shape = new Rect(i, i % 13, i % 7);
+        }
+    }
+    long area() const {
+        return shape ? shape->area() : 0;
+    }
+private:
+    Shape* shape;
+};
+
+int main() {
+    long checksum = 0;
+    Canvas* canvas = new Canvas();
+    for (int i = 0; i < 400; i++) {
+        canvas->draw(i);
+        checksum += canvas->area() + canvas->area() % 7;
+    }
+    delete canvas;
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

@@ -1,0 +1,44 @@
+// The paper's synthetic test program (§4): repeatedly allocate, initialize,
+// destroy and deallocate binary trees — 100% temporal locality.
+#include <cstdio>
+
+class Node {
+public:
+    Node(int depth, int seed) {
+        value = seed;
+        left = 0;
+        right = 0;
+        if (depth > 0) {
+            left = new Node(depth - 1, seed * 2 + 1);
+            right = new Node(depth - 1, seed * 2 + 2);
+        }
+    }
+    ~Node() {
+        delete left;
+        delete right;
+    }
+    long sum() const {
+        long s = value;
+        if (left) s += left->sum();
+        if (right) s += right->sum();
+        return s;
+    }
+private:
+    Node* left;
+    Node* right;
+    int value;
+};
+
+int main() {
+    long checksum = 0;
+    for (int i = 0; i < 200; i++) {
+        Node* root = new Node(3, i); // depth 3 = 15 nodes (test case 2)
+        checksum += root->sum();
+        delete root;
+    }
+    std::printf("checksum=%ld\n", checksum);
+#ifdef AMPLIFY_RUNTIME_HPP
+    amplify::print_stats();
+#endif
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Parameterized single-thread tree benchmark (compile with
+// -DTREE_DEPTH=N -DTREE_ITERS=N): the paper's synthetic workload, used by
+// the native-execution benchmark to time original vs amplified code.
+#include <cstdio>
+
+#ifndef TREE_DEPTH
+#define TREE_DEPTH 3
+#endif
+#ifndef TREE_ITERS
+#define TREE_ITERS 200000
+#endif
+
+class Node {
+public:
+    Node(int depth, int seed) {
+        value = seed;
+        left = 0;
+        right = 0;
+        if (depth > 0) {
+            left = new Node(depth - 1, seed * 2 + 1);
+            right = new Node(depth - 1, seed * 2 + 2);
+        }
+    }
+    ~Node() {
+        delete left;
+        delete right;
+    }
+    long sum() const {
+        long s = value;
+        if (left) s += left->sum();
+        if (right) s += right->sum();
+        return s;
+    }
+private:
+    Node* left;
+    Node* right;
+    int value;
+};
+
+int main() {
+    long checksum = 0;
+    for (int i = 0; i < TREE_ITERS; i++) {
+        Node* root = new Node(TREE_DEPTH, i);
+        checksum += root->sum();
+        delete root;
+    }
+    std::printf("checksum=%ld\n", checksum);
+    return 0;
+}

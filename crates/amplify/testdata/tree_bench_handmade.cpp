@@ -1,0 +1,101 @@
+// The handmade structure pool (§3.1, Figure 2) version of the tree
+// benchmark: the programmer wrote init()/destroy() replacements for the
+// constructor/destructor and a NodePool with alloc()/free_() managing a
+// free list of whole trees — the "theoretical maximum" baseline of
+// Figure 10. Compile with -DTREE_DEPTH=N -DTREE_ITERS=N.
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef TREE_DEPTH
+#define TREE_DEPTH 3
+#endif
+#ifndef TREE_ITERS
+#define TREE_ITERS 200000
+#endif
+
+class Node {
+public:
+    // init() replaces the constructor: reuse children if present (the
+    // structure is intact after free), else build them (§3.1).
+    void init(int depth, int seed) {
+        value = seed;
+        if (depth > 0) {
+            if (!left) {
+                left = static_cast<Node*>(std::malloc(sizeof(Node)));
+                left->left = 0;
+                left->right = 0;
+            }
+            if (!right) {
+                right = static_cast<Node*>(std::malloc(sizeof(Node)));
+                right->left = 0;
+                right->right = 0;
+            }
+            left->init(depth - 1, seed * 2 + 1);
+            right->init(depth - 1, seed * 2 + 2);
+        }
+    }
+    // destroy() replaces the destructor: release external resources only;
+    // the memory and the child links are kept for reuse.
+    void destroy() {
+        if (left) left->destroy();
+        if (right) right->destroy();
+    }
+    long sum() const {
+        long s = value;
+        if (left) s += left->sum();
+        if (right) s += right->sum();
+        return s;
+    }
+
+    Node* left;
+    Node* right;
+    int value;
+    Node* poolNext; // free-list link owned by NodePool
+};
+
+// Figure 2's pool shape: init()/alloc()/free_() with a free list of root
+// nodes whose whole structures stay intact.
+class NodePool {
+public:
+    static void init(int count) {
+        for (int i = 0; i < count; i++) {
+            free_(freshRoot());
+        }
+    }
+    static Node* alloc() {
+        if (head) {
+            Node* n = head;
+            head = n->poolNext;
+            return n;
+        }
+        return freshRoot();
+    }
+    static void free_(Node* n) {
+        n->poolNext = head;
+        head = n;
+    }
+private:
+    static Node* freshRoot() {
+        Node* n = static_cast<Node*>(std::malloc(sizeof(Node)));
+        n->left = 0;
+        n->right = 0;
+        return n;
+    }
+    static Node* head;
+};
+
+Node* NodePool::head = 0;
+
+int main() {
+    NodePool::init(1); // the programmer pre-allocates the template
+    long checksum = 0;
+    for (int i = 0; i < TREE_ITERS; i++) {
+        Node* root = NodePool::alloc();
+        root->init(TREE_DEPTH, i);
+        checksum += root->sum();
+        root->destroy();
+        NodePool::free_(root);
+    }
+    std::printf("checksum=%ld\n", checksum);
+    return 0;
+}

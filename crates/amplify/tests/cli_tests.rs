@@ -1,0 +1,203 @@
+//! Integration tests for the `amplify-cli` binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_amplify-cli"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amplify_cli_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SRC: &str = r#"
+class Child { public: Child(int v) { val = v; } int val; };
+class Root {
+public:
+    Root() { left = 0; }
+    ~Root() { delete left; }
+    void set(int v) { delete left; left = new Child(v); }
+private:
+    Child* left;
+};
+"#;
+
+#[test]
+fn amplifies_a_file_and_writes_header() {
+    let dir = temp_dir("basic");
+    let input = dir.join("root.cpp");
+    fs::write(&input, SRC).unwrap();
+    let out_dir = dir.join("out");
+
+    let output = cli().arg(&input).arg("-o").arg(&out_dir).output().unwrap();
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("2 amplified"), "summary: {stdout}");
+
+    let rewritten = fs::read_to_string(out_dir.join("root.cpp")).unwrap();
+    assert!(rewritten.contains("leftShadow"));
+    assert!(rewritten.contains("#include \"amplify_runtime.hpp\""));
+    let header = fs::read_to_string(out_dir.join("amplify_runtime.hpp")).unwrap();
+    assert!(header.contains("namespace amplify"));
+    assert!(header.contains("std::mutex"), "threaded by default");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_threaded_flag_elides_locks() {
+    let dir = temp_dir("st");
+    let input = dir.join("root.cpp");
+    fs::write(&input, SRC).unwrap();
+    let out_dir = dir.join("out");
+
+    let status = cli()
+        .arg(&input)
+        .args(["--single-threaded", "-o"])
+        .arg(&out_dir)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let header = fs::read_to_string(out_dir.join("amplify_runtime.hpp")).unwrap();
+    assert!(!header.contains("mutex"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exclude_flag_skips_class() {
+    let dir = temp_dir("excl");
+    let input = dir.join("root.cpp");
+    fs::write(&input, SRC).unwrap();
+    let out_dir = dir.join("out");
+
+    let output = cli()
+        .arg(&input)
+        .args(["--exclude", "Root", "--exclude", "Child", "-o"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("0 amplified"), "summary: {stdout}");
+    let rewritten = fs::read_to_string(out_dir.join("root.cpp")).unwrap();
+    assert!(!rewritten.contains("leftShadow"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_json_is_machine_readable() {
+    let dir = temp_dir("json");
+    let input = dir.join("root.cpp");
+    fs::write(&input, SRC).unwrap();
+    let out_dir = dir.join("out");
+
+    let output = cli()
+        .arg(&input)
+        .args(["--report-json", "-o"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let json: serde_json::Value =
+        serde_json::from_slice(&output.stdout).expect("valid JSON report");
+    assert_eq!(json["classes_amplified"], 2);
+    assert_eq!(json["shadow_fields"], 1);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn caps_are_embedded_in_header() {
+    let dir = temp_dir("caps");
+    let input = dir.join("root.cpp");
+    fs::write(&input, SRC).unwrap();
+    let out_dir = dir.join("out");
+
+    let status = cli()
+        .arg(&input)
+        .args(["--max-shadow", "4096", "--max-pool", "32", "-o"])
+        .arg(&out_dir)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let header = fs::read_to_string(out_dir.join("amplify_runtime.hpp")).unwrap();
+    assert!(header.contains("kMaxShadowBytes = 4096"));
+    assert!(header.contains("kMaxPoolObjects = 32"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inject_stats_flag_instruments_main() {
+    let dir = temp_dir("stats");
+    let input = dir.join("prog.cpp");
+    fs::write(&input, format!("{SRC}\nint main() {{ Root r; return 0; }}\n")).unwrap();
+    let out_dir = dir.join("out");
+
+    let status = cli()
+        .arg(&input)
+        .args(["--inject-stats", "-o"])
+        .arg(&out_dir)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let rewritten = fs::read_to_string(out_dir.join("prog.cpp")).unwrap();
+    assert!(rewritten.contains("::amplify::print_stats(); return 0;"), "{rewritten}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_output_dir_is_an_error() {
+    let output = cli().arg("whatever.cpp").output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("-o"));
+}
+
+#[test]
+fn no_inputs_is_an_error() {
+    let output = cli().args(["-o", "/tmp/nowhere"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("no input files"));
+}
+
+#[test]
+fn unknown_flag_is_an_error() {
+    let output = cli().args(["--bogus"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown option"));
+}
+
+#[test]
+fn help_succeeds() {
+    let output = cli().arg("--help").output().unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("usage"));
+}
+
+#[test]
+fn multiple_files_share_one_header() {
+    let dir = temp_dir("multi");
+    let a = dir.join("a.cpp");
+    let b = dir.join("b.cpp");
+    fs::write(&a, "class A { X* x; };").unwrap();
+    fs::write(&b, "class B { Y* y; };").unwrap();
+    let out_dir = dir.join("out");
+
+    let output = cli().arg(&a).arg(&b).arg("-o").arg(&out_dir).output().unwrap();
+    assert!(output.status.success());
+    assert!(out_dir.join("a.cpp").exists());
+    assert!(out_dir.join("b.cpp").exists());
+    assert!(out_dir.join("amplify_runtime.hpp").exists());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("2 seen"), "merged report: {stdout}");
+
+    let _ = fs::remove_dir_all(&dir);
+}

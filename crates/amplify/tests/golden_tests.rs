@@ -1,0 +1,71 @@
+//! Golden snapshot tests: the amplified output of every bundled fixture is
+//! pinned byte-for-byte. Any change to the lexer, parser or transforms
+//! that alters generated code shows up as a diff here.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! for f in tree car bgw_buffer respect shapes mt_tree; do
+//!   cargo run -q -p amplify --bin amplify-cli -- \
+//!     crates/amplify/testdata/$f.cpp -o /tmp/g && \
+//!     cp /tmp/g/$f.cpp crates/amplify/testdata/golden/$f.cpp
+//! done
+//! cp /tmp/g/amplify_runtime.hpp crates/amplify/testdata/golden/
+//! ```
+
+use amplify::{AmplifyOptions, Amplifier};
+use std::fs;
+use std::path::Path;
+
+fn testdata(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"))
+}
+
+fn assert_golden(fixture: &str) {
+    let src = testdata(fixture);
+    let out = Amplifier::new(AmplifyOptions::default()).amplify_source(fixture, &src);
+    let golden = testdata(&format!("golden/{fixture}"));
+    assert_eq!(
+        out.text, golden,
+        "amplified {fixture} diverged from its golden snapshot \
+         (see module docs to regenerate)"
+    );
+}
+
+#[test]
+fn tree_matches_golden() {
+    assert_golden("tree.cpp");
+}
+
+#[test]
+fn car_matches_golden() {
+    assert_golden("car.cpp");
+}
+
+#[test]
+fn bgw_buffer_matches_golden() {
+    assert_golden("bgw_buffer.cpp");
+}
+
+#[test]
+fn respect_matches_golden() {
+    assert_golden("respect.cpp");
+}
+
+#[test]
+fn shapes_matches_golden() {
+    assert_golden("shapes.cpp");
+}
+
+#[test]
+fn mt_tree_matches_golden() {
+    assert_golden("mt_tree.cpp");
+}
+
+#[test]
+fn runtime_header_matches_golden() {
+    let amp = Amplifier::new(AmplifyOptions::default());
+    let golden = testdata("golden/amplify_runtime.hpp");
+    assert_eq!(amp.runtime_header(), golden, "runtime header diverged");
+}

@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices the paper discusses:
+//!
+//! * temporal-locality sweep — where does structure reuse stop paying?
+//! * the half-size realloc rule vs always/never reusing (§5.2);
+//! * pool shard count (the ptmalloc-style spreading of §3.2);
+//! * pool population caps (the §5.2 overhead control).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pools::{LocalPool, PoolConfig, ShadowBuf, ShardedPool, StructurePool};
+use std::hint::black_box;
+use workloads::locality::LocalityProfile;
+use workloads::tree::{PoolTree, TreeParams};
+
+/// How much a structure pool saves as temporal locality degrades: at 0 ‰
+/// every iteration reuses the parked shape; higher alternation forces
+/// reorganisation.
+fn locality_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locality_sweep_depth3");
+    g.sample_size(30);
+    for permille in [0u32, 100, 300, 500, 1000] {
+        let profile = LocalityProfile::mixed(3, 1, permille);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(permille),
+            &profile,
+            |b, profile| {
+                let pool: StructurePool<PoolTree> = StructurePool::new();
+                let mut i = 0u32;
+                b.iter(|| {
+                    let depth = profile.depth_at(i);
+                    i = i.wrapping_add(1);
+                    let t = pool.alloc(&TreeParams { depth, seed: i });
+                    black_box(t.root().data);
+                    pool.free(t);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The §5.2 realloc rule, on wobbling buffer sizes.
+fn half_size_rule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_reuse_rule");
+    let configs = [
+        ("half_size_rule", PoolConfig { half_size_rule: true, ..Default::default() }),
+        ("always_reuse", PoolConfig { half_size_rule: false, ..Default::default() }),
+        (
+            "never_shadow",
+            PoolConfig { max_shadow_bytes: Some(0), ..Default::default() },
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut s = ShadowBuf::with_config(*cfg);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let len = 700 + (i * 13) % 90;
+                let v = s.acquire(len);
+                black_box(v.len());
+                s.release(v);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Shard-count sweep on the sharded pool (single-threaded cost of the
+/// spreading machinery; the contention side lives in the simulator).
+fn shard_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_pool");
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &n| {
+            let pool: ShardedPool<[u8; 64]> = ShardedPool::new(n);
+            b.iter(|| {
+                let x = pool.acquire(|| [0u8; 64]);
+                black_box(&x);
+                pool.release(x);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Pool population caps: does enforcing the §5.2 cap cost anything on the
+/// hot path?
+fn pool_caps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_caps");
+    let configs = [
+        ("unbounded", PoolConfig::default()),
+        ("capped_256", PoolConfig { max_objects: Some(256), ..Default::default() }),
+        ("capped_1", PoolConfig { max_objects: Some(1), ..Default::default() }),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let pool: LocalPool<[u8; 64]> = LocalPool::with_config(*cfg);
+            b.iter(|| {
+                let x = pool.acquire(|| [0u8; 64]);
+                black_box(&x);
+                pool.release(x);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, locality_sweep, half_size_rule, shard_counts, pool_caps);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the baseline allocators (single-thread
+//! per-op costs; the multiprocessor scalability comparison lives in the
+//! simulator since this host has one CPU).
+
+use allocators::{HoardAllocator, ParallelAllocator, PtmallocAllocator, SerialAllocator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use workloads::trace::{Trace, TraceOp};
+
+fn alloc_free_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc_free_pair");
+    let allocs: Vec<(&str, Arc<dyn ParallelAllocator>)> = vec![
+        ("serial", Arc::new(SerialAllocator::new())),
+        ("ptmalloc", Arc::new(PtmallocAllocator::new(4))),
+        ("hoard", Arc::new(HoardAllocator::new(4))),
+    ];
+    for (name, alloc) in &allocs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), alloc, |b, alloc| {
+            b.iter(|| {
+                let r = alloc.alloc(black_box(64));
+                alloc.free(r);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn tree_trace_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_trace_depth3");
+    g.sample_size(20);
+    let trace = Trace::tree(3, 20, 20);
+    let allocs: Vec<(&str, Arc<dyn ParallelAllocator>)> = vec![
+        ("serial", Arc::new(SerialAllocator::new())),
+        ("ptmalloc", Arc::new(PtmallocAllocator::new(4))),
+        ("hoard", Arc::new(HoardAllocator::new(4))),
+    ];
+    for (name, alloc) in &allocs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), alloc, |b, alloc| {
+            b.iter(|| {
+                let mut live = Vec::with_capacity(16);
+                for op in &trace.ops {
+                    match op {
+                        TraceOp::Alloc { size, .. } => live.push(alloc.alloc(*size)),
+                        TraceOp::Free { .. } => {
+                            if let Some(blk) = live.pop() {
+                                alloc.free(blk);
+                            }
+                        }
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, alloc_free_pairs, tree_trace_replay);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the pre-processor itself: parse and transform
+//! throughput (a pre-processor runs on every compile, so this matters for
+//! adoption).
+
+use amplify::{AmplifyOptions, Amplifier};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cxx_frontend::parse_source;
+use std::hint::black_box;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../amplify/testdata")
+        .join(name);
+    std::fs::read_to_string(path).expect("fixture")
+}
+
+fn parse_throughput(c: &mut Criterion) {
+    let src = fixture("car.cpp").repeat(16);
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("parse", |b| b.iter(|| black_box(parse_source("car.cpp", &src))));
+    g.finish();
+}
+
+fn amplify_throughput(c: &mut Criterion) {
+    let src = fixture("car.cpp").repeat(16);
+    let amp = Amplifier::new(AmplifyOptions::default());
+    let mut g = c.benchmark_group("preprocess");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("amplify_source", |b| {
+        b.iter(|| black_box(amp.amplify_source("car.cpp", &src)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parse_throughput, amplify_throughput);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for the pool runtime: the per-operation cost
+//! story behind the paper's claim that a pool op is an order of magnitude
+//! cheaper than a malloc ("the time to lock, insert/remove an object into a
+//! free list, and then unlock is very short" — §5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pools::structure_pool::Reusable;
+use pools::{LocalPool, ObjectPool, ShadowBuf, StructurePool};
+use std::hint::black_box;
+use workloads::tree::{PoolTree, TreeParams};
+
+fn object_pool_vs_box(c: &mut Criterion) {
+    let mut g = c.benchmark_group("object_pool_vs_box");
+
+    g.bench_function("box_alloc_free", |b| {
+        b.iter(|| {
+            let x: Box<[u8; 64]> = Box::new([0u8; 64]);
+            black_box(&x);
+        })
+    });
+
+    let pool: ObjectPool<[u8; 64]> = ObjectPool::new();
+    g.bench_function("pool_acquire_release", |b| {
+        b.iter(|| {
+            let x = pool.acquire(|| [0u8; 64]);
+            black_box(&x);
+            pool.release(x);
+        })
+    });
+
+    let local: LocalPool<[u8; 64]> = LocalPool::new();
+    g.bench_function("local_pool_acquire_release", |b| {
+        b.iter(|| {
+            let x = local.acquire(|| [0u8; 64]);
+            black_box(&x);
+            local.release(x);
+        })
+    });
+    g.finish();
+}
+
+fn structure_pool_by_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structure_reuse_vs_rebuild");
+    for depth in [1u32, 3, 5] {
+        let nodes = (1u32 << (depth + 1)) - 1;
+        g.bench_with_input(BenchmarkId::new("rebuild_fresh", nodes), &depth, |b, &d| {
+            b.iter(|| {
+                let t = PoolTree::fresh(&TreeParams { depth: d, seed: 1 });
+                black_box(t.checksum());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pool_reuse", nodes), &depth, |b, &d| {
+            let pool: StructurePool<PoolTree> = StructurePool::new();
+            b.iter(|| {
+                let t = pool.alloc(&TreeParams { depth: d, seed: 1 });
+                black_box(t.checksum());
+                pool.free(t);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn shadow_buf_vs_fresh_vec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadowed_arrays");
+    g.bench_function("fresh_vec_800", |b| {
+        b.iter(|| {
+            let v = vec![0u8; 800];
+            black_box(&v);
+        })
+    });
+    g.bench_function("shadow_buf_800", |b| {
+        let mut s = ShadowBuf::new();
+        b.iter(|| {
+            let v = s.acquire(800);
+            black_box(&v);
+            s.release(v);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, object_pool_vs_box, structure_pool_by_depth, shadow_buf_vs_fresh_vec);
+criterion_main!(benches);

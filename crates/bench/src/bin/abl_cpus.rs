@@ -1,0 +1,40 @@
+//! Extension experiment: the paper fixes 8 processors; this sweep varies
+//! the CPU count (threads pinned equal to CPUs) to show how each strategy's
+//! advantage scales with the machine — the question an adopter with a
+//! 4-way or 16-way box would ask.
+
+use smp_sim::params::CostParams;
+use smp_sim::run::{run_tree, ModelKind, TreeExperiment};
+
+fn main() {
+    let depth = 3;
+    let total_trees = 8_000;
+    println!("CPU sweep (threads = CPUs), depth-3 trees, wall ms:");
+    println!(
+        "{:<18}{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "strategy", "1", "2", "4", "8", "16"
+    );
+    for kind in [
+        ModelKind::Serial,
+        ModelKind::Ptmalloc,
+        ModelKind::Hoard,
+        ModelKind::Amplify,
+        ModelKind::Handmade,
+    ] {
+        print!("{:<18}", kind.name());
+        for cpus in [1u32, 2, 4, 8, 16] {
+            let exp = TreeExperiment { depth, total_trees, cpus, params: CostParams::default() };
+            let m = run_tree(kind, cpus as usize, &exp);
+            print!("{:>9.2}", m.wall_ns as f64 / 1e6);
+        }
+        println!();
+    }
+    println!("\nSpeedup of amplify over the best allocator at each size:");
+    for cpus in [1u32, 2, 4, 8, 16] {
+        let exp = TreeExperiment { depth, total_trees, cpus, params: CostParams::default() };
+        let a = run_tree(ModelKind::Amplify, cpus as usize, &exp).wall_ns as f64;
+        let p = run_tree(ModelKind::Ptmalloc, cpus as usize, &exp).wall_ns as f64;
+        let h = run_tree(ModelKind::Hoard, cpus as usize, &exp).wall_ns as f64;
+        println!("  {cpus:>2} CPUs: {:.2}x", p.min(h) / a);
+    }
+}

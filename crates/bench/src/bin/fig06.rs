@@ -1,0 +1,10 @@
+//! Regenerate Figure 06: speedup graph for the tree depth-5 test case.
+
+use bench::figures::{self, speedup_figure, standard_kinds, TOTAL_TREES};
+use std::path::Path;
+
+fn main() {
+    let fig = speedup_figure("fig06", 5, &standard_kinds(), TOTAL_TREES);
+    print!("{}", fig.ascii());
+    let _ = figures::FigureData::write_csv(&fig, Path::new("results"));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 08: scaleup graph for the tree depth-3 test case.
+
+use bench::figures::{scaleup_figure, speedup_figure, standard_kinds, TOTAL_TREES};
+use std::path::Path;
+
+fn main() {
+    let speedup = speedup_figure("fig05", 3, &standard_kinds(), TOTAL_TREES);
+    let fig = scaleup_figure("fig08", &speedup, 3);
+    print!("{}", fig.ascii());
+    let _ = fig.write_csv(Path::new("results"));
+}

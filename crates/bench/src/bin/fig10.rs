@@ -1,0 +1,11 @@
+//! Regenerate Figure 10: speedup for test case 2 including the handmade
+//! structure pool (the "theoretical maximum").
+
+use bench::figures::{fig10_kinds, speedup_figure, TOTAL_TREES};
+use std::path::Path;
+
+fn main() {
+    let fig = speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES);
+    print!("{}", fig.ascii());
+    let _ = fig.write_csv(Path::new("results"));
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 11: the BGw speedup graph (SmartHeap vs Amplify vs
+//! Amplify+SmartHeap).
+
+use bench::figures::{bgw_figure, BGW_CDRS};
+use std::path::Path;
+
+fn main() {
+    let fig = bgw_figure(BGW_CDRS);
+    print!("{}", fig.ascii());
+    let _ = fig.write_csv(Path::new("results"));
+}

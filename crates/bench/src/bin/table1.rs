@@ -1,0 +1,5 @@
+//! Regenerate Table 1: size of data structures in the test cases.
+
+fn main() {
+    print!("{}", bench::figures::table1());
+}

@@ -1,0 +1,10 @@
+//! The experiment harness: shared machinery for regenerating every table
+//! and figure of the paper's evaluation section.
+//!
+//! Each figure has a binary (`fig04` … `fig11`, `table1`) that prints the
+//! series as an ASCII table and writes CSV into `results/`; the `repro`
+//! binary runs the whole evaluation and checks the paper's headline claims.
+
+pub mod figures;
+
+pub use figures::{FigureData, Series};

@@ -1,0 +1,103 @@
+//! Helpers for emitting synthesized C++ code (the parts the pre-processor
+//! *generates*, as opposed to rewrites — e.g. pool classes and operator
+//! bodies).
+
+/// A tiny indentation-aware code builder for generated C++.
+#[derive(Debug, Default)]
+pub struct CodeBuilder {
+    out: String,
+    indent: usize,
+}
+
+impl CodeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one line at the current indentation.
+    pub fn line(&mut self, text: &str) -> &mut Self {
+        if !text.is_empty() {
+            for _ in 0..self.indent {
+                self.out.push_str("    ");
+            }
+            self.out.push_str(text);
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// Append a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Open a brace block: emits `text {` and indents.
+    pub fn open(&mut self, text: &str) -> &mut Self {
+        self.line(&format!("{text} {{"));
+        self.indent += 1;
+        self
+    }
+
+    /// Close a brace block: dedents and emits `}` plus an optional suffix
+    /// (e.g. `";"` for class definitions).
+    pub fn close(&mut self, suffix: &str) -> &mut Self {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(&format!("}}{suffix}"));
+        self
+    }
+
+    /// Finish and return the accumulated text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Current text length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Render a C++ identifier-safe version of a (possibly qualified) class
+/// name: `Ns::Car` → `Ns_Car`.
+pub fn sanitize_ident(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_indented_blocks() {
+        let mut b = CodeBuilder::new();
+        b.open("class CarPool");
+        b.line("static Car* alloc();");
+        b.close(";");
+        assert_eq!(b.finish(), "class CarPool {\n    static Car* alloc();\n};\n");
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let mut b = CodeBuilder::new();
+        b.open("namespace amplify");
+        b.open("struct Pool");
+        b.line("void* head;");
+        b.close(";");
+        b.close("");
+        let s = b.finish();
+        assert!(s.contains("namespace amplify {\n    struct Pool {\n        void* head;\n    };\n}\n"));
+    }
+
+    #[test]
+    fn sanitizes_qualified_names() {
+        assert_eq!(sanitize_ident("Ns::Car"), "Ns__Car");
+        assert_eq!(sanitize_ident("Plain_1"), "Plain_1");
+    }
+}

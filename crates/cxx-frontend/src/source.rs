@@ -1,0 +1,145 @@
+//! Source file representation with line/column mapping.
+
+use crate::span::Span;
+use std::sync::Arc;
+
+/// An immutable source file plus a precomputed line-start table.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    inner: Arc<SourceInner>,
+}
+
+#[derive(Debug)]
+struct SourceInner {
+    name: String,
+    text: String,
+    /// Byte offsets at which each line begins; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+/// 1-based line/column position, as editors display it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl SourceFile {
+    /// Build a source file, computing the line table.
+    pub fn new(name: &str, text: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            inner: Arc::new(SourceInner {
+                name: name.to_string(),
+                text: text.to_string(),
+                line_starts,
+            }),
+        }
+    }
+
+    /// File name as given to [`SourceFile::new`].
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Full source text.
+    pub fn text(&self) -> &str {
+        &self.inner.text
+    }
+
+    /// Length of the text in bytes.
+    pub fn len(&self) -> u32 {
+        self.inner.text.len() as u32
+    }
+
+    /// True if the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.text.is_empty()
+    }
+
+    /// Slice the text by span.
+    pub fn slice(&self, span: Span) -> &str {
+        span.slice(&self.inner.text)
+    }
+
+    /// Map a byte offset to a 1-based line/column.
+    ///
+    /// Columns are byte-based (sufficient for diagnostics over ASCII-heavy
+    /// C++ sources).
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let starts = &self.inner.line_starts;
+        let line_idx = match starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - starts[line_idx] + 1,
+        }
+    }
+
+    /// Byte span of the (1-based) line containing `offset`, excluding the
+    /// trailing newline.
+    pub fn line_span(&self, offset: u32) -> Span {
+        let starts = &self.inner.line_starts;
+        let line_idx = match starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let start = starts[line_idx];
+        let end = starts
+            .get(line_idx + 1)
+            .map(|&next| next.saturating_sub(1))
+            .unwrap_or(self.len());
+        Span::new(start, end)
+    }
+
+    /// Human-readable `file:line:col` for an offset.
+    pub fn describe(&self, offset: u32) -> String {
+        let lc = self.line_col(offset);
+        format!("{}:{}:{}", self.name(), lc.line, lc.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_mapping() {
+        let f = SourceFile::new("t.cpp", "ab\ncd\n\nxyz");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(f.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn line_span_excludes_newline() {
+        let f = SourceFile::new("t.cpp", "ab\ncd\n\nxyz");
+        assert_eq!(f.slice(f.line_span(0)), "ab");
+        assert_eq!(f.slice(f.line_span(4)), "cd");
+        assert_eq!(f.slice(f.line_span(6)), "");
+        assert_eq!(f.slice(f.line_span(8)), "xyz");
+    }
+
+    #[test]
+    fn describe_format() {
+        let f = SourceFile::new("a.h", "x\ny");
+        assert_eq!(f.describe(2), "a.h:2:1");
+    }
+
+    #[test]
+    fn empty_file() {
+        let f = SourceFile::new("e.cpp", "");
+        assert!(f.is_empty());
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+    }
+}

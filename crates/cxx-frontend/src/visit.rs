@@ -1,0 +1,112 @@
+//! Recursive statement/expression walkers used by the Amplify analysis.
+
+use crate::ast::*;
+
+/// Visit every statement in a block, depth-first, including statements
+/// nested inside `if` / `while` / `for` / `do` / blocks.
+pub fn walk_stmts<'a, F: FnMut(&'a Stmt)>(block: &'a Block, f: &mut F) {
+    for stmt in &block.stmts {
+        walk_stmt(stmt, f);
+    }
+}
+
+fn walk_stmt<'a, F: FnMut(&'a Stmt)>(stmt: &'a Stmt, f: &mut F) {
+    f(stmt);
+    match stmt {
+        Stmt::If(i) => {
+            walk_stmt(&i.then_branch, f);
+            if let Some(e) = &i.else_branch {
+                walk_stmt(e, f);
+            }
+        }
+        Stmt::While(l) | Stmt::For(l) | Stmt::DoWhile(l) | Stmt::Switch(l) => {
+            walk_stmt(&l.body, f)
+        }
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                walk_stmt(s, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Visit every structured expression reachable from a block's statements.
+pub fn walk_exprs<'a, F: FnMut(&'a Expr)>(block: &'a Block, f: &mut F) {
+    walk_stmts(block, &mut |stmt| match stmt {
+        Stmt::Expr(e, _) => walk_expr(e, f),
+        Stmt::Delete(d) => walk_expr(&d.target, f),
+        Stmt::Decl(d) => {
+            if let Some(init) = &d.init {
+                walk_expr(init, f);
+            }
+        }
+        Stmt::Return(Some(e), _) => walk_expr(e, f),
+        _ => {}
+    });
+}
+
+fn walk_expr<'a, F: FnMut(&'a Expr)>(expr: &'a Expr, f: &mut F) {
+    f(expr);
+    if let Expr::Assign(a) = expr {
+        walk_expr(&a.lhs, f);
+        walk_expr(&a.rhs, f);
+    }
+}
+
+/// Count statements matching a predicate (convenience for tests and
+/// reports).
+pub fn count_stmts(block: &Block, mut pred: impl FnMut(&Stmt) -> bool) -> usize {
+    let mut n = 0;
+    walk_stmts(block, &mut |s| {
+        if pred(s) {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_source;
+    use super::*;
+
+    fn first_body(src: &str) -> Block {
+        let unit = parse_source("t.cpp", src);
+        let body = unit.functions().next().unwrap().body.clone().unwrap();
+        body
+    }
+
+    #[test]
+    fn walks_nested_statements() {
+        let body = first_body(
+            "void f() { if (x) { delete a; } else { while (y) delete b; } delete c; }",
+        );
+        let n = count_stmts(&body, |s| matches!(s, Stmt::Delete(_)));
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn walks_exprs_in_assignments() {
+        let body = first_body("void f() { a = new T(); if (q) b = new U(); }");
+        let mut news = 0;
+        walk_exprs(&body, &mut |e| {
+            if matches!(e, Expr::New(_)) {
+                news += 1;
+            }
+        });
+        assert_eq!(news, 2);
+    }
+
+    #[test]
+    fn walks_decl_inits() {
+        let body = first_body("void f() { T* t = new T(1); }");
+        let mut news = 0;
+        walk_exprs(&body, &mut |e| {
+            if matches!(e, Expr::New(_)) {
+                news += 1;
+            }
+        });
+        assert_eq!(news, 1);
+    }
+}

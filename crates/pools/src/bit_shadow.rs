@@ -1,0 +1,225 @@
+//! The paper's §5.1 space optimization, implemented: "each shadow pointer
+//! could be replaced with one bit, which indicates if the original pointer
+//! is logically deleted or not. If the original pointer is logically
+//! deleted it has the role of the shadow pointer, and if it is not deleted
+//! the shadow pointer has no role."
+//!
+//! The authors did not implement this in their prototype ("would make the
+//! pre-processor somewhat more complex"); this module provides the runtime
+//! semantics as an alternative to [`crate::shadow::Shadow`], saving one
+//! pointer word per field at the cost of a flag check on every access.
+
+/// A field slot where the pointer itself doubles as the shadow, tagged by
+/// a logical-deletion bit.
+#[derive(Debug)]
+pub struct BitShadow<T> {
+    slot: Option<Box<T>>,
+    /// True when `slot` holds a logically deleted (parked) object.
+    dead: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> Default for BitShadow<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BitShadow<T> {
+    /// An empty slot.
+    pub fn new() -> Self {
+        BitShadow { slot: None, dead: false, hits: 0, misses: 0 }
+    }
+
+    /// True if a live object is present.
+    pub fn is_live(&self) -> bool {
+        self.slot.is_some() && !self.dead
+    }
+
+    /// True if a logically deleted object is parked.
+    pub fn is_parked(&self) -> bool {
+        self.slot.is_some() && self.dead
+    }
+
+    /// Borrow the live object (`None` when empty **or** logically deleted —
+    /// a dead pointer must not be dereferenced).
+    pub fn get(&self) -> Option<&T> {
+        if self.dead {
+            None
+        } else {
+            self.slot.as_deref()
+        }
+    }
+
+    /// Mutably borrow the live object.
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        if self.dead {
+            None
+        } else {
+            self.slot.as_deref_mut()
+        }
+    }
+
+    /// Plain assignment of a fresh object; displaces anything parked.
+    pub fn set(&mut self, value: Box<T>) {
+        self.slot = Some(value);
+        self.dead = false;
+    }
+
+    /// The rewritten `delete field;`: run the cleanup ("destructor") and
+    /// flip the deletion bit — the pointer now *is* the shadow.
+    pub fn kill_with(&mut self, cleanup: impl FnOnce(&mut T)) {
+        if self.dead {
+            return;
+        }
+        if let Some(obj) = self.slot.as_deref_mut() {
+            cleanup(obj);
+            self.dead = true;
+        }
+    }
+
+    /// [`BitShadow::kill_with`] without a cleanup action.
+    pub fn kill(&mut self) {
+        self.kill_with(|_| {});
+    }
+
+    /// The rewritten `field = new T(...)`: revive the parked object
+    /// in place (hit) or allocate fresh (miss). Returns `true` on a hit.
+    pub fn revive(&mut self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> bool {
+        match (self.slot.as_deref_mut(), self.dead) {
+            (Some(obj), true) => {
+                reinit(obj);
+                self.dead = false;
+                self.hits += 1;
+                true
+            }
+            _ => {
+                self.slot = Some(Box::new(fresh()));
+                self.dead = false;
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Remove and return the live object.
+    pub fn take(&mut self) -> Option<Box<T>> {
+        if self.dead {
+            None
+        } else {
+            self.slot.take()
+        }
+    }
+
+    /// Really free the parked object (trimming).
+    pub fn discard_parked(&mut self) {
+        if self.dead {
+            self.slot = None;
+            self.dead = false;
+        }
+    }
+
+    /// Revivals served by the parked object.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Revivals that allocated fresh.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_payload_is_pointer_plus_bit() {
+        use std::mem::size_of;
+        // The state a field needs: one pointer + one bit, vs the two
+        // pointers of the shadow scheme. Per isolated field, alignment
+        // padding hides the saving (both round to two words); the paper's
+        // win materializes when many fields' bits pack into one flag word
+        // per object. Assert the representation is never *larger*, and
+        // that the raw payload is pointer + bool.
+        assert!(size_of::<BitShadow<u64>>() <= size_of::<crate::Shadow<u64>>());
+        assert_eq!(
+            size_of::<(Option<Box<u64>>, bool)>(),
+            size_of::<usize>() * 2,
+            "pointer + flag"
+        );
+    }
+
+    #[test]
+    fn kill_then_revive_reuses_allocation() {
+        let mut s = BitShadow::new();
+        s.set(Box::new(vec![1, 2, 3]));
+        let addr = s.get().unwrap().as_ptr();
+        s.kill();
+        assert!(s.is_parked());
+        assert!(s.get().is_none(), "dead pointer must not be readable");
+        let hit = s.revive(Vec::new, |v| v.push(4));
+        assert!(hit);
+        assert_eq!(s.get().unwrap().as_ptr(), addr);
+        assert_eq!(s.get().unwrap().as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn revive_from_empty_is_miss() {
+        let mut s: BitShadow<u32> = BitShadow::new();
+        assert!(!s.revive(|| 9, |_| {}));
+        assert_eq!(*s.get().unwrap(), 9);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn double_kill_is_idempotent() {
+        let mut s = BitShadow::new();
+        s.set(Box::new(1u8));
+        let mut cleanups = 0;
+        s.kill_with(|_| cleanups += 1);
+        s.kill_with(|_| cleanups += 1);
+        assert_eq!(cleanups, 1, "the destructor must run once");
+        assert!(s.is_parked());
+    }
+
+    #[test]
+    fn take_respects_deletion_bit() {
+        let mut s = BitShadow::new();
+        s.set(Box::new(5u32));
+        s.kill();
+        assert!(s.take().is_none(), "a dead object cannot be taken");
+        assert!(s.is_parked(), "parked object survives the failed take");
+    }
+
+    #[test]
+    fn discard_really_frees() {
+        let mut s = BitShadow::new();
+        s.set(Box::new(1u32));
+        s.kill();
+        s.discard_parked();
+        assert!(!s.is_parked());
+        assert!(!s.revive(|| 2, |_| {}), "nothing to revive after discard");
+    }
+
+    #[test]
+    fn semantics_match_two_word_shadow() {
+        // Drive both implementations through the same script; observable
+        // behaviour must be identical.
+        let mut bit = BitShadow::new();
+        let mut two = crate::Shadow::new();
+        bit.set(Box::new(10u64));
+        two.set(Box::new(10u64));
+        for i in 0..50u64 {
+            bit.kill();
+            two.kill();
+            let hb = bit.revive(|| i, |v| *v = i);
+            let ht = two.revive(|| i, |v| *v = i);
+            assert_eq!(hb, ht);
+            assert_eq!(bit.get().copied(), two.get().copied());
+        }
+        assert_eq!(bit.hits(), two.hits());
+    }
+}

@@ -1,0 +1,58 @@
+//! Structure-pool runtime: the semantics that Amplify-generated code runs on,
+//! implemented natively in Rust.
+//!
+//! The ICPP 2001 paper's pre-processor rewrites C++ so that:
+//!
+//! * every class allocates from its own **object pool** (free list of dead
+//!   objects) instead of the heap — [`object_pool`];
+//! * whole **object structures** are parked and revived with their internal
+//!   links intact, exploiting temporal locality — [`structure_pool`] and the
+//!   per-field [`shadow::Shadow`] slot that models the paper's *shadow
+//!   pointers*;
+//! * raw data arrays (`new char[n]`) are recycled through a shadowed
+//!   `realloc` with a half-size reuse rule and size caps (§5.2, the BGw
+//!   extension) — [`shadow_buf::ShadowBuf`];
+//! * pools are **sharded** across threads ptmalloc-style to avoid lock
+//!   contention — [`sharded::ShardedPool`];
+//! * in single-threaded programs all locks are elided
+//!   ([`object_pool::LocalPool`]), which is why the paper's Figure 4 shows a
+//!   1-thread Amplify advantage.
+//!
+//! All pools expose [`stats::PoolStats`] counters (hits, misses, failed lock
+//! attempts) — the observability the paper used to conclude that Amplify's
+//! critical sections are short enough that "threads will seldom or never be
+//! blocked".
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pools::object_pool::ObjectPool;
+//!
+//! let pool: ObjectPool<Vec<u8>> = ObjectPool::new();
+//! let a = pool.acquire(|| vec![0u8; 64]);
+//! pool.release(a);
+//! let _b = pool.acquire(|| vec![0u8; 64]); // reuses a's allocation
+//! assert_eq!(pool.stats().pool_hits(), 1);
+//! ```
+
+pub mod bit_shadow;
+pub mod limits;
+pub mod object_pool;
+pub mod registry;
+pub mod shadow;
+pub mod shadow_buf;
+pub mod shadow_vec;
+pub mod sharded;
+pub mod stats;
+pub mod structure_pool;
+
+pub use bit_shadow::BitShadow;
+pub use limits::PoolConfig;
+pub use object_pool::{LocalPool, ObjectPool};
+pub use registry::{PoolRegistry, Trimmable};
+pub use shadow::Shadow;
+pub use shadow_buf::ShadowBuf;
+pub use shadow_vec::ShadowVec;
+pub use sharded::ShardedPool;
+pub use stats::PoolStats;
+pub use structure_pool::{Reusable, StructurePool};

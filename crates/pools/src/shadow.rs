@@ -1,0 +1,246 @@
+//! The shadow-pointer slot: Amplify's core structure-preservation mechanism.
+//!
+//! In the rewritten C++, every pointer field `Child* left` gains a hidden
+//! replica `Child* leftShadow`. `delete left;` becomes
+//!
+//! ```cpp
+//! if (left) { left->~Child(); leftShadow = left; }
+//! ```
+//!
+//! and `left = new Child(...)` becomes `left = new(leftShadow) Child(...)`.
+//! [`Shadow<T>`] models the *pair* (pointer, shadow) as one safe Rust slot:
+//! [`Shadow::kill`] parks the object without freeing it, and
+//! [`Shadow::revive`] reuses the parked allocation when temporal locality
+//! holds — falling back to a fresh allocation when it does not.
+
+/// A field slot holding a live object, a parked ("logically deleted")
+/// object, or nothing.
+#[derive(Debug)]
+pub struct Shadow<T> {
+    state: State<T>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+enum State<T> {
+    /// The pointer is live; the shadow is irrelevant.
+    Live(Box<T>),
+    /// The pointer was logically deleted; the allocation is parked in the
+    /// shadow for reuse.
+    Parked(Box<T>),
+    /// Neither pointer nor shadow (both null — the state right after a
+    /// fresh heap allocation zeroes the shadows).
+    Empty,
+}
+
+impl<T> Default for Shadow<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Shadow<T> {
+    /// An empty slot (pointer and shadow both null).
+    pub fn new() -> Self {
+        Shadow { state: State::Empty, hits: 0, misses: 0 }
+    }
+
+    /// True if a live object is present.
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, State::Live(_))
+    }
+
+    /// True if a dead allocation is parked for reuse.
+    pub fn is_parked(&self) -> bool {
+        matches!(self.state, State::Parked(_))
+    }
+
+    /// Borrow the live object.
+    pub fn get(&self) -> Option<&T> {
+        match &self.state {
+            State::Live(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the live object.
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        match &mut self.state {
+            State::Live(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Plain assignment of a freshly built object (`left = new Child(...)`
+    /// when no shadow exists). Any previous live object is dropped; a parked
+    /// allocation is displaced (dropped) — prefer [`Shadow::revive`], which
+    /// reuses it.
+    pub fn set(&mut self, value: Box<T>) {
+        self.state = State::Live(value);
+    }
+
+    /// The rewritten `delete left;`: park the live object (running the
+    /// destructor is modeled by `cleanup`). No-op when not live — matching
+    /// the generated `if (left)` null check.
+    pub fn kill_with(&mut self, cleanup: impl FnOnce(&mut T)) {
+        if let State::Live(mut b) = std::mem::replace(&mut self.state, State::Empty) {
+            cleanup(&mut b);
+            self.state = State::Parked(b);
+        }
+    }
+
+    /// [`Shadow::kill_with`] without a cleanup action.
+    pub fn kill(&mut self) {
+        self.kill_with(|_| {});
+    }
+
+    /// The rewritten `left = new(leftShadow) Child(...)`: reuse the parked
+    /// allocation if present (re-running the "constructor" via `reinit`) —
+    /// a shadow **hit** — or build a fresh object with `fresh` — a **miss**.
+    ///
+    /// Returns `true` on a hit.
+    pub fn revive(&mut self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> bool {
+        match std::mem::replace(&mut self.state, State::Empty) {
+            State::Parked(mut b) => {
+                reinit(&mut b);
+                self.state = State::Live(b);
+                self.hits += 1;
+                true
+            }
+            State::Live(_) | State::Empty => {
+                // Live: C++ would leak the old object; we drop it. Either
+                // way the new allocation is fresh.
+                self.state = State::Live(Box::new(fresh()));
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Remove and return the live object (ownership transfer out of the
+    /// field).
+    pub fn take(&mut self) -> Option<Box<T>> {
+        match std::mem::replace(&mut self.state, State::Empty) {
+            State::Live(b) => Some(b),
+            other => {
+                self.state = other;
+                None
+            }
+        }
+    }
+
+    /// Drop any parked allocation (the real `delete` — used by trimming).
+    pub fn discard_parked(&mut self) {
+        if matches!(self.state, State::Parked(_)) {
+            self.state = State::Empty;
+        }
+    }
+
+    /// Reuses served by the parked allocation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Revivals that had to allocate fresh.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let s: Shadow<u32> = Shadow::new();
+        assert!(!s.is_live());
+        assert!(!s.is_parked());
+        assert!(s.get().is_none());
+    }
+
+    #[test]
+    fn kill_then_revive_reuses_allocation() {
+        let mut s = Shadow::new();
+        s.set(Box::new(vec![1, 2, 3]));
+        let addr_before = s.get().unwrap().as_ptr();
+        s.kill();
+        assert!(s.is_parked());
+        let hit = s.revive(Vec::new, |v| v.push(9));
+        assert!(hit);
+        // Same heap allocation: the Vec's buffer pointer is unchanged.
+        assert_eq!(s.get().unwrap().as_ptr(), addr_before);
+        assert_eq!(s.get().unwrap().as_slice(), &[1, 2, 3, 9]);
+        assert_eq!(s.hits(), 1);
+    }
+
+    #[test]
+    fn revive_from_empty_is_a_miss() {
+        let mut s: Shadow<u32> = Shadow::new();
+        let hit = s.revive(|| 5, |_| {});
+        assert!(!hit);
+        assert_eq!(*s.get().unwrap(), 5);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn kill_on_empty_is_noop() {
+        let mut s: Shadow<u32> = Shadow::new();
+        s.kill();
+        assert!(!s.is_parked());
+    }
+
+    #[test]
+    fn cleanup_runs_on_kill() {
+        let mut s = Shadow::new();
+        s.set(Box::new(String::from("resource")));
+        let mut cleaned = false;
+        s.kill_with(|v| {
+            v.clear(); // the "destructor" releasing resources
+            cleaned = true;
+        });
+        assert!(cleaned);
+        let hit = s.revive(String::new, |_| {});
+        assert!(hit);
+        assert!(s.get().unwrap().is_empty());
+    }
+
+    #[test]
+    fn take_transfers_ownership() {
+        let mut s = Shadow::new();
+        s.set(Box::new(42u32));
+        let b = s.take().unwrap();
+        assert_eq!(*b, 42);
+        assert!(!s.is_live());
+        // take on parked leaves the parked allocation in place.
+        s.set(Box::new(1));
+        s.kill();
+        assert!(s.take().is_none());
+        assert!(s.is_parked());
+    }
+
+    #[test]
+    fn discard_parked_frees() {
+        let mut s = Shadow::new();
+        s.set(Box::new(1u8));
+        s.kill();
+        s.discard_parked();
+        assert!(!s.is_parked());
+        let hit = s.revive(|| 2, |_| {});
+        assert!(!hit);
+    }
+
+    #[test]
+    fn repeated_cycles_all_hit() {
+        let mut s = Shadow::new();
+        s.set(Box::new(0u64));
+        for i in 0..100 {
+            s.kill();
+            let hit = s.revive(|| unreachable!(), |v| *v = i);
+            assert!(hit);
+        }
+        assert_eq!(s.hits(), 100);
+        assert_eq!(s.misses(), 0);
+    }
+}

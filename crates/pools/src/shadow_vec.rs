@@ -1,0 +1,165 @@
+//! Typed shadowed arrays: the `int[]` counterpart of
+//! [`crate::shadow_buf::ShadowBuf`].
+//!
+//! BGw's data-type arrays were `char[]` **and** `int[]` (§5.2). `ShadowVec`
+//! applies the same shadowed-realloc discipline to any element type.
+
+use crate::limits::PoolConfig;
+
+/// One shadowed typed-array slot.
+#[derive(Debug)]
+pub struct ShadowVec<T> {
+    parked: Option<Vec<T>>,
+    config: PoolConfig,
+    hits: u64,
+    misses: u64,
+    dropped: u64,
+}
+
+impl<T: Default + Clone> Default for ShadowVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Default + Clone> ShadowVec<T> {
+    /// An empty slot with the default (unbounded, half-size-rule) config.
+    pub fn new() -> Self {
+        Self::with_config(PoolConfig::default())
+    }
+
+    /// An empty slot with explicit limits. `max_shadow_bytes` compares
+    /// against the parked block's *byte* size (`capacity * size_of::<T>()`).
+    pub fn with_config(config: PoolConfig) -> Self {
+        ShadowVec { parked: None, config, hits: 0, misses: 0, dropped: 0 }
+    }
+
+    /// `array = new T[len]` → shadowed realloc. Returns a default-filled
+    /// vector of exactly `len` elements, reusing the parked block when the
+    /// half-size rule allows.
+    pub fn acquire(&mut self, len: usize) -> Vec<T> {
+        let mut v = match self.parked.take() {
+            Some(parked) if self.config.may_reuse(parked.capacity(), len) => {
+                self.hits += 1;
+                parked
+            }
+            Some(parked) => {
+                drop(parked);
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        v.clear();
+        v.resize(len, T::default());
+        v
+    }
+
+    /// `delete[] array` → park for reuse (unless over the byte cap).
+    pub fn release(&mut self, v: Vec<T>) {
+        let bytes = v.capacity() * std::mem::size_of::<T>();
+        if self.config.accepts_shadow(bytes) {
+            self.parked = Some(v);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// True if a block is parked.
+    pub fn has_parked(&self) -> bool {
+        self.parked.is_some()
+    }
+
+    /// Capacity (in elements) of the parked block.
+    pub fn parked_capacity(&self) -> usize {
+        self.parked.as_ref().map(Vec::capacity).unwrap_or(0)
+    }
+
+    /// Drop the parked block.
+    pub fn discard(&mut self) {
+        self.parked = None;
+    }
+
+    /// Requests served by reuse.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that allocated fresh memory.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Blocks refused parking by the byte cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_reuse_keeps_allocation() {
+        let mut s: ShadowVec<u32> = ShadowVec::new();
+        let v = s.acquire(100);
+        let addr = v.as_ptr();
+        s.release(v);
+        let v2 = s.acquire(80); // within half-size window
+        assert_eq!(v2.as_ptr(), addr);
+        assert_eq!(v2.len(), 80);
+        assert_eq!(s.hits(), 1);
+    }
+
+    #[test]
+    fn reused_elements_are_defaulted() {
+        let mut s: ShadowVec<i64> = ShadowVec::new();
+        let mut v = s.acquire(8);
+        v.iter_mut().for_each(|x| *x = -1);
+        s.release(v);
+        let v2 = s.acquire(8);
+        assert!(v2.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn half_size_rule_on_elements() {
+        let mut s: ShadowVec<u16> = ShadowVec::new();
+        let v = s.acquire(100);
+        let cap = v.capacity();
+        s.release(v);
+        let _small = s.acquire(cap / 2 - 1);
+        assert_eq!(s.hits(), 0, "below half: fresh allocation");
+        assert_eq!(s.misses(), 2);
+    }
+
+    #[test]
+    fn byte_cap_accounts_for_element_size() {
+        // 64-byte cap: 16 u32s fit, 17 do not.
+        let cfg = PoolConfig { max_shadow_bytes: Some(64), ..Default::default() };
+        let mut s: ShadowVec<u32> = ShadowVec::with_config(cfg);
+        let v = s.acquire(16);
+        let fits = v.capacity() * 4 <= 64;
+        s.release(v);
+        assert_eq!(s.has_parked(), fits);
+        let mut s2: ShadowVec<u32> = ShadowVec::with_config(cfg);
+        let v = s2.acquire(32);
+        s2.release(v);
+        assert!(!s2.has_parked());
+        assert_eq!(s2.dropped(), 1);
+    }
+
+    #[test]
+    fn non_copy_element_types_work() {
+        let mut s: ShadowVec<String> = ShadowVec::new();
+        let mut v = s.acquire(4);
+        v[0] = "hello".into();
+        s.release(v);
+        let v2 = s.acquire(4);
+        assert!(v2.iter().all(String::is_empty));
+        assert_eq!(s.hits(), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Lock-free counters shared by all pool kinds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing a pool's behaviour. All methods use relaxed atomics —
+/// these are statistics, not synchronization.
+///
+/// The distinction that matters for the paper's evaluation:
+///
+/// * `pool_hits` — allocations served from the free list (a reused object or
+///   structure; no heap traffic);
+/// * `fresh_allocs` — allocations that had to fall through to the heap
+///   (pool empty, or the parked memory was unusable);
+/// * `failed_locks` — try-lock failures; the paper monitors exactly this to
+///   argue Amplify's critical sections are short (§5.1).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    pool_hits: AtomicU64,
+    fresh_allocs: AtomicU64,
+    releases: AtomicU64,
+    dropped: AtomicU64,
+    failed_locks: AtomicU64,
+    lock_acquisitions: AtomicU64,
+}
+
+impl PoolStats {
+    /// New zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fresh(&self) {
+        self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_release(&self) {
+        self.releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed_lock(&self) {
+        self.failed_locks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lock(&self) {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocations served by reuse from the free list.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Allocations that fell through to the underlying allocator.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Objects returned to the pool.
+    pub fn releases(&self) -> u64 {
+        self.releases.load(Ordering::Relaxed)
+    }
+
+    /// Objects the pool refused to keep (capacity/size caps) and dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// try-lock attempts that found the lock held.
+    pub fn failed_locks(&self) -> u64 {
+        self.failed_locks.load(Ordering::Relaxed)
+    }
+
+    /// Successful lock acquisitions.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Total allocation requests (hits + fresh).
+    pub fn total_allocs(&self) -> u64 {
+        self.pool_hits() + self.fresh_allocs()
+    }
+
+    /// Fraction of allocations served by reuse, in `[0, 1]`. Returns 0 when
+    /// nothing was allocated.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_allocs();
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits() as f64 / total as f64
+        }
+    }
+
+    /// Snapshot all counters into a plain struct (for reports).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pool_hits: self.pool_hits(),
+            fresh_allocs: self.fresh_allocs(),
+            releases: self.releases(),
+            dropped: self.dropped(),
+            failed_locks: self.failed_locks(),
+            lock_acquisitions: self.lock_acquisitions(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub pool_hits: u64,
+    pub fresh_allocs: u64,
+    pub releases: u64,
+    pub dropped: u64,
+    pub failed_locks: u64,
+    pub lock_acquisitions: u64,
+}
+
+impl StatsSnapshot {
+    /// Merge another snapshot into this one (for aggregating shards).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.pool_hits += other.pool_hits;
+        self.fresh_allocs += other.fresh_allocs;
+        self.releases += other.releases;
+        self.dropped += other.dropped;
+        self.failed_locks += other.failed_locks;
+        self.lock_acquisitions += other.lock_acquisitions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PoolStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_fresh();
+        s.record_release();
+        s.record_failed_lock();
+        assert_eq!(s.pool_hits(), 2);
+        assert_eq!(s.fresh_allocs(), 1);
+        assert_eq!(s.total_allocs(), 3);
+        assert_eq!(s.releases(), 1);
+        assert_eq!(s.failed_locks(), 1);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let s = PoolStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.record_fresh();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.record_hit();
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge() {
+        let a = StatsSnapshot { pool_hits: 1, fresh_allocs: 2, ..Default::default() };
+        let mut b = StatsSnapshot { pool_hits: 10, dropped: 3, ..Default::default() };
+        b.merge(&a);
+        assert_eq!(b.pool_hits, 11);
+        assert_eq!(b.fresh_allocs, 2);
+        assert_eq!(b.dropped, 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Structure pools: free lists whose reusable unit is a whole *object
+//! structure* — a root object keeping its references to children intact
+//! (§2.1 of the paper).
+//!
+//! Compared to a per-class object pool, acquiring a `Car` from a structure
+//! pool yields the complete car with engine, wheels and chassis in **one**
+//! pool operation instead of one per sub-object. The
+//! [`Reusable`] trait supplies the two member functions handmade pools add
+//! to every class (§3.1): `recycle` (the `destroy()` replacement for the
+//! destructor) and `reinit` (the `init()` replacement for the constructor).
+
+use crate::limits::PoolConfig;
+use crate::object_pool::ObjectPool;
+use crate::stats::PoolStats;
+
+/// Implemented by types whose instances can be parked and revived with
+/// their internal structure intact.
+pub trait Reusable {
+    /// The parameters `init()` takes (e.g. `numberOfWheels` for a `Car`).
+    type Params;
+
+    /// Build a fresh structure on the heap (the pool-miss path).
+    fn fresh(params: &Self::Params) -> Self;
+
+    /// Re-initialize a parked structure for new use (the pool-hit path).
+    /// Must leave `self` indistinguishable from `Self::fresh(params)` from
+    /// the caller's point of view, while reusing as much of the existing
+    /// structure as possible.
+    fn reinit(&mut self, params: &Self::Params);
+
+    /// Release external resources (files, sockets) before parking — the
+    /// `destroy()` of handmade pools. Memory and child links must be kept.
+    fn recycle(&mut self) {}
+}
+
+/// A thread-safe pool of whole structures.
+#[derive(Debug)]
+pub struct StructurePool<T: Reusable> {
+    inner: ObjectPool<T>,
+}
+
+impl<T: Reusable> Default for StructurePool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Reusable> StructurePool<T> {
+    /// An empty, unbounded structure pool.
+    pub fn new() -> Self {
+        StructurePool { inner: ObjectPool::new() }
+    }
+
+    /// An empty structure pool with limits.
+    pub fn with_config(config: PoolConfig) -> Self {
+        StructurePool { inner: ObjectPool::with_config(config) }
+    }
+
+    /// Allocate a structure: one pool access regardless of how many
+    /// sub-objects the structure contains.
+    pub fn alloc(&self, params: &T::Params) -> Box<T> {
+        self.inner.acquire_with(|| T::fresh(params), |t| t.reinit(params))
+    }
+
+    /// Free a structure: run `recycle` (the destructor chain) and park the
+    /// whole thing, links intact.
+    pub fn free(&self, mut structure: Box<T>) {
+        structure.recycle();
+        self.inner.release(structure);
+    }
+
+    /// Number of parked structures.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if no structures are parked.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all parked structures.
+    pub fn trim(&self) -> usize {
+        self.inner.trim()
+    }
+
+    /// Pool statistics.
+    pub fn stats(&self) -> &PoolStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature of the paper's Figure 1 car: a root with nested
+    /// heap-allocated parts.
+    #[derive(Debug)]
+    struct Car {
+        wheels: Vec<Box<Wheel>>,
+        engine: Option<Box<Engine>>,
+        doors: u32,
+    }
+
+    #[derive(Debug)]
+    struct Wheel {
+        #[allow(dead_code)] // payload only; tests assert on identity
+        radius: u32,
+    }
+
+    #[derive(Debug)]
+    struct Engine {
+        name: String,
+    }
+
+    struct CarParams {
+        wheels: usize,
+        engine: &'static str,
+        doors: u32,
+    }
+
+    impl Reusable for Car {
+        type Params = CarParams;
+
+        fn fresh(p: &CarParams) -> Self {
+            Car {
+                wheels: (0..p.wheels).map(|_| Box::new(Wheel { radius: 16 })).collect(),
+                engine: Some(Box::new(Engine { name: p.engine.to_string() })),
+                doors: p.doors,
+            }
+        }
+
+        fn reinit(&mut self, p: &CarParams) {
+            // Reuse existing wheels; adjust the count if it differs (the
+            // "overhead of reorganizing the structure" — §3.2).
+            while self.wheels.len() > p.wheels {
+                self.wheels.pop();
+            }
+            while self.wheels.len() < p.wheels {
+                self.wheels.push(Box::new(Wheel { radius: 16 }));
+            }
+            match &mut self.engine {
+                Some(e) => {
+                    e.name.clear();
+                    e.name.push_str(p.engine);
+                }
+                none => *none = Some(Box::new(Engine { name: p.engine.to_string() })),
+            }
+            self.doors = p.doors;
+        }
+
+        fn recycle(&mut self) {
+            // Nothing external to release; structure is kept as-is.
+        }
+    }
+
+    #[test]
+    fn structure_reuse_is_one_pool_op() {
+        let pool: StructurePool<Car> = StructurePool::new();
+        let p = CarParams { wheels: 4, engine: "V8", doors: 5 };
+        let car = pool.alloc(&p);
+        assert_eq!(car.wheels.len(), 4);
+        pool.free(car);
+        let car2 = pool.alloc(&p);
+        assert_eq!(pool.stats().pool_hits(), 1);
+        assert_eq!(pool.stats().fresh_allocs(), 1);
+        assert_eq!(car2.wheels.len(), 4);
+        assert_eq!(car2.engine.as_ref().unwrap().name, "V8");
+    }
+
+    #[test]
+    fn child_allocations_survive_reuse() {
+        let pool: StructurePool<Car> = StructurePool::new();
+        let p = CarParams { wheels: 2, engine: "I4", doors: 3 };
+        let car = pool.alloc(&p);
+        let wheel_addr = &*car.wheels[0] as *const Wheel;
+        pool.free(car);
+        let car2 = pool.alloc(&p);
+        // Temporal locality: identical structure → same child allocation.
+        assert_eq!(&*car2.wheels[0] as *const Wheel, wheel_addr);
+    }
+
+    #[test]
+    fn structure_shape_change_reorganizes() {
+        let pool: StructurePool<Car> = StructurePool::new();
+        let car = pool.alloc(&CarParams { wheels: 8, engine: "V8", doors: 2 });
+        pool.free(car);
+        let car2 = pool.alloc(&CarParams { wheels: 4, engine: "I4", doors: 5 });
+        assert_eq!(car2.wheels.len(), 4);
+        assert_eq!(car2.engine.as_ref().unwrap().name, "I4");
+        assert_eq!(car2.doors, 5);
+        assert_eq!(pool.stats().pool_hits(), 1);
+    }
+
+    #[test]
+    fn pool_cap_applies_to_structures() {
+        let pool: StructurePool<Car> =
+            StructurePool::with_config(PoolConfig { max_objects: Some(1), ..Default::default() });
+        let p = CarParams { wheels: 1, engine: "E", doors: 1 };
+        let a = pool.alloc(&p);
+        let b = pool.alloc(&p);
+        pool.free(a);
+        pool.free(b);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.stats().dropped(), 1);
+    }
+
+    #[test]
+    fn trim_returns_memory() {
+        let pool: StructurePool<Car> = StructurePool::new();
+        let p = CarParams { wheels: 4, engine: "V8", doors: 5 };
+        let car = pool.alloc(&p);
+        pool.free(car);
+        assert_eq!(pool.trim(), 1);
+        assert!(pool.is_empty());
+    }
+}

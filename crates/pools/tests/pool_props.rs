@@ -1,0 +1,129 @@
+//! Property-based tests for the pool runtime invariants.
+
+use pools::{LocalPool, ObjectPool, PoolConfig, ShadowBuf, ShardedPool};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Acquire,
+    Release,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Op::Acquire), Just(Op::Release)],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Pool population never exceeds the cap, and alloc/free accounting
+    /// balances, for any acquire/release sequence.
+    #[test]
+    fn object_pool_respects_cap(ops in ops(), cap in 1usize..8) {
+        let pool: ObjectPool<u64> =
+            ObjectPool::with_config(PoolConfig { max_objects: Some(cap), ..Default::default() });
+        let mut held: Vec<Box<u64>> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Acquire => held.push(pool.acquire(|| 0)),
+                Op::Release => {
+                    if let Some(b) = held.pop() {
+                        pool.release(b);
+                    }
+                }
+            }
+            prop_assert!(pool.len() <= cap, "pool grew past its cap");
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.total_allocs() as usize,
+                        held.len() + s.releases() as usize + s.dropped() as usize);
+    }
+
+    /// LIFO discipline: the most recently released distinct object comes
+    /// back first.
+    #[test]
+    fn object_pool_is_lifo(n in 1usize..20) {
+        let pool: ObjectPool<usize> = ObjectPool::new();
+        let objs: Vec<Box<usize>> = (0..n).map(|i| pool.acquire(move || i)).collect();
+        for o in objs {
+            pool.release(o);
+        }
+        for expected in (0..n).rev() {
+            prop_assert_eq!(*pool.acquire(|| usize::MAX), expected);
+        }
+    }
+
+    /// The shadow buffer's steady-state guarantee: if a request is served
+    /// by reuse, the block is at most twice the request (the half-size
+    /// rule), and released blocks above the cap are never parked.
+    #[test]
+    fn shadow_buf_bounds(sizes in proptest::collection::vec(1usize..4096, 1..60),
+                         cap in proptest::option::of(64usize..2048)) {
+        let mut s = ShadowBuf::with_config(PoolConfig {
+            max_shadow_bytes: cap,
+            ..Default::default()
+        });
+        for &size in &sizes {
+            let before_hits = s.hits();
+            let buf = s.acquire(size);
+            prop_assert_eq!(buf.len(), size);
+            if s.hits() > before_hits {
+                // Reuse happened: the half-size rule bounds slack.
+                prop_assert!(buf.capacity() <= 2 * size,
+                    "reused {} for request {size}", buf.capacity());
+            }
+            s.release(buf);
+            if let Some(max) = cap {
+                prop_assert!(s.parked_capacity() <= max,
+                    "parked {} over cap {max}", s.parked_capacity());
+            }
+        }
+    }
+
+    /// Sharded pools conserve objects: everything released can be
+    /// re-acquired, nothing is duplicated.
+    #[test]
+    fn sharded_pool_conserves_objects(shards in 1usize..6, n in 1usize..40) {
+        let pool: ShardedPool<usize> = ShardedPool::new(shards);
+        let objs: Vec<Box<usize>> = (0..n).map(|i| pool.acquire(move || i)).collect();
+        let mut values: Vec<usize> = objs.iter().map(|b| **b).collect();
+        for o in objs {
+            pool.release(o);
+        }
+        prop_assert_eq!(pool.len(), n);
+        let mut back: Vec<usize> = (0..n).map(|_| *pool.acquire(|| usize::MAX)).collect();
+        values.sort();
+        back.sort();
+        prop_assert_eq!(values, back, "objects lost or duplicated across shards");
+    }
+
+    /// LocalPool (lock-elided) matches ObjectPool behaviour for the same
+    /// sequence.
+    #[test]
+    fn local_pool_matches_object_pool(ops in ops()) {
+        let a: ObjectPool<u32> = ObjectPool::new();
+        let b: LocalPool<u32> = LocalPool::new();
+        let mut held_a = Vec::new();
+        let mut held_b = Vec::new();
+        for op in ops {
+            match op {
+                Op::Acquire => {
+                    held_a.push(a.acquire(|| 7));
+                    held_b.push(b.acquire(|| 7));
+                }
+                Op::Release => {
+                    if let Some(x) = held_a.pop() {
+                        a.release(x);
+                    }
+                    if let Some(x) = held_b.pop() {
+                        b.release(x);
+                    }
+                }
+            }
+            prop_assert_eq!(a.len(), b.len());
+        }
+        prop_assert_eq!(a.stats().pool_hits(), b.pool_hits());
+        prop_assert_eq!(a.stats().fresh_allocs(), b.fresh_allocs());
+    }
+}

@@ -1,0 +1,208 @@
+//! MESI-lite cache-coherence model.
+//!
+//! Tracks, per 64-byte line, which CPU last wrote it and which CPUs hold a
+//! copy. Costs come out as one of three latencies: local hit, memory miss,
+//! or **coherence miss** (the line is dirty in another CPU's cache and must
+//! be transferred/invalidated). False sharing needs no special casing — it
+//! emerges whenever two threads' data land on the same line, which is
+//! exactly what happens when a serial heap interleaves small blocks from
+//! different threads (§5.1's explanation for Amplify's poor scaleup in
+//! test case 1).
+
+use crate::params::{arch::CACHE_LINE, CostParams};
+use std::collections::HashMap;
+
+/// Outcome classification of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Hit,
+    MemMiss,
+    CoherenceMiss,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Line {
+    /// CPU that last wrote the line (line is dirty there), if any.
+    dirty_in: Option<u32>,
+    /// Bitmask of CPUs holding a (clean or dirty) copy.
+    sharers: u64,
+}
+
+/// The coherence directory for one simulation run.
+#[derive(Debug, Default)]
+pub struct CacheModel {
+    lines: HashMap<u64, Line>,
+    hits: u64,
+    mem_misses: u64,
+    coherence_misses: u64,
+}
+
+impl CacheModel {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classify and record an access by `cpu` to byte address `addr`.
+    pub fn access(&mut self, cpu: u32, addr: u64, write: bool) -> Access {
+        debug_assert!(cpu < 64, "sharers bitmask supports up to 64 CPUs");
+        let line = self.lines.entry(addr / CACHE_LINE).or_default();
+        let bit = 1u64 << cpu;
+        let have_copy = line.sharers & bit != 0;
+
+        let outcome = if write {
+            if line.dirty_in == Some(cpu) {
+                Access::Hit
+            } else if line.dirty_in.is_some() || (line.sharers & !bit) != 0 {
+                // Must invalidate other copies / fetch the dirty line.
+                Access::CoherenceMiss
+            } else if have_copy {
+                Access::Hit // clean & exclusive here: silent upgrade
+            } else {
+                Access::MemMiss
+            }
+        } else if have_copy && line.dirty_in.is_none_or(|d| d == cpu) {
+            Access::Hit
+        } else if line.dirty_in.is_some() && line.dirty_in != Some(cpu) {
+            Access::CoherenceMiss
+        } else if have_copy {
+            Access::Hit
+        } else {
+            Access::MemMiss
+        };
+
+        // State update.
+        if write {
+            line.dirty_in = Some(cpu);
+            line.sharers = bit;
+        } else {
+            line.sharers |= bit;
+            if let Some(d) = line.dirty_in {
+                if d != cpu {
+                    // Reader pulled the dirty line; it is now shared-clean.
+                    line.dirty_in = None;
+                }
+            }
+        }
+
+        match outcome {
+            Access::Hit => self.hits += 1,
+            Access::MemMiss => self.mem_misses += 1,
+            Access::CoherenceMiss => self.coherence_misses += 1,
+        }
+        outcome
+    }
+
+    /// Latency of an access under the given parameters.
+    pub fn cost(&mut self, cpu: u32, addr: u64, write: bool, p: &CostParams) -> u64 {
+        match self.access(cpu, addr, write) {
+            Access::Hit => p.cache_hit_ns,
+            Access::MemMiss => p.mem_miss_ns,
+            Access::CoherenceMiss => p.coherence_ns,
+        }
+    }
+
+    /// Drop all cached state for a CPU (models the cache-cold effect of a
+    /// thread migrating onto it evicting the old footprint; called by the
+    /// scheduler on migration).
+    pub fn flush_cpu(&mut self, cpu: u32) {
+        let bit = 1u64 << cpu;
+        for line in self.lines.values_mut() {
+            line.sharers &= !bit;
+            if line.dirty_in == Some(cpu) {
+                line.dirty_in = None;
+            }
+        }
+    }
+
+    /// Cache hits recorded.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Plain memory misses recorded.
+    pub fn mem_misses(&self) -> u64 {
+        self.mem_misses
+    }
+
+    /// Coherence (dirty-transfer/invalidate) misses recorded.
+    pub fn coherence_misses(&self) -> u64 {
+        self.coherence_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_mem_miss_then_hit() {
+        let mut c = CacheModel::new();
+        assert_eq!(c.access(0, 0x100, false), Access::MemMiss);
+        assert_eq!(c.access(0, 0x100, false), Access::Hit);
+        assert_eq!(c.access(0, 0x108, false), Access::Hit, "same line");
+        assert_eq!(c.access(0, 0x140, false), Access::MemMiss, "next line");
+    }
+
+    #[test]
+    fn write_write_ping_pong_between_cpus() {
+        let mut c = CacheModel::new();
+        assert_eq!(c.access(0, 0x0, true), Access::MemMiss);
+        assert_eq!(c.access(1, 0x0, true), Access::CoherenceMiss);
+        assert_eq!(c.access(0, 0x0, true), Access::CoherenceMiss);
+        assert_eq!(c.access(0, 0x0, true), Access::Hit);
+        assert_eq!(c.coherence_misses(), 2);
+    }
+
+    #[test]
+    fn false_sharing_on_one_line() {
+        let mut c = CacheModel::new();
+        // CPU0 writes byte 0, CPU1 writes byte 32: same 64-byte line.
+        c.access(0, 0, true);
+        assert_eq!(c.access(1, 32, true), Access::CoherenceMiss);
+        assert_eq!(c.access(0, 0, true), Access::CoherenceMiss);
+    }
+
+    #[test]
+    fn read_sharing_is_cheap_after_first_fetch() {
+        let mut c = CacheModel::new();
+        c.access(0, 0, false);
+        assert_eq!(c.access(1, 0, false), Access::MemMiss, "own copy fetch");
+        assert_eq!(c.access(0, 0, false), Access::Hit);
+        assert_eq!(c.access(1, 0, false), Access::Hit);
+    }
+
+    #[test]
+    fn reader_of_dirty_line_pays_coherence_once() {
+        let mut c = CacheModel::new();
+        c.access(0, 0, true);
+        assert_eq!(c.access(1, 0, false), Access::CoherenceMiss);
+        assert_eq!(c.access(1, 0, false), Access::Hit);
+        // Line is now shared-clean; writer must invalidate again.
+        assert_eq!(c.access(0, 0, true), Access::CoherenceMiss);
+    }
+
+    #[test]
+    fn write_upgrade_on_exclusive_clean_copy_is_hit() {
+        let mut c = CacheModel::new();
+        c.access(0, 0, false); // exclusive clean
+        assert_eq!(c.access(0, 0, true), Access::Hit);
+    }
+
+    #[test]
+    fn flush_cpu_makes_next_access_miss() {
+        let mut c = CacheModel::new();
+        c.access(0, 0, false);
+        c.flush_cpu(0);
+        assert_eq!(c.access(0, 0, false), Access::MemMiss);
+    }
+
+    #[test]
+    fn costs_follow_params() {
+        let p = CostParams::default();
+        let mut c = CacheModel::new();
+        assert_eq!(c.cost(0, 0, false, &p), p.mem_miss_ns);
+        assert_eq!(c.cost(0, 0, false, &p), p.cache_hit_ns);
+        assert_eq!(c.cost(1, 0, true, &p), p.coherence_ns);
+    }
+}

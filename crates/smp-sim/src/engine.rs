@@ -1,0 +1,517 @@
+//! The discrete-event simulation engine: CPUs, threads, a quantum
+//! scheduler with migration, FIFO mutexes, and the cache model.
+//!
+//! Determinism: the event queue is ordered by `(time, sequence)`, the ready
+//! queue is FIFO, and lock handoff is FIFO — identical inputs produce
+//! identical metrics, which the property tests assert.
+
+use crate::cache::CacheModel;
+use crate::metrics::RunMetrics;
+use crate::model::{AllocModel, MicroOp, SimView, StructShape};
+use crate::params::CostParams;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Index of a simulated mutex.
+pub type LockId = usize;
+/// Index of a simulated thread.
+pub type ThreadId = usize;
+
+/// An application-level operation issued by a [`Program`]. The engine
+/// expands allocation ops through the installed [`AllocModel`].
+#[derive(Debug, Clone)]
+pub enum AppOp {
+    /// Pure computation for the given nanoseconds.
+    Compute(u64),
+    /// Allocate one object structure; remember it under `tag`.
+    AllocStruct { shape: StructShape, tag: u64 },
+    /// Walk all nodes of structure `tag` (constructor/destructor pass):
+    /// one memory access per node plus `work_per_node` ns.
+    TouchNodes { tag: u64, write: bool, work_per_node: u64 },
+    /// Free structure `tag`.
+    FreeStruct { tag: u64 },
+    /// Allocate a raw data array (BGw): `slot` identifies the shadowed
+    /// parent field.
+    AllocArray { slot: u64, size: u32, tag: u64 },
+    /// Touch an allocated array `tag`: one access per cache line.
+    TouchArray { tag: u64, size: u32, write: bool, work_total: u64 },
+    /// Free array `tag`.
+    FreeArray { tag: u64 },
+    /// Thread is finished.
+    End,
+}
+
+/// A per-thread workload generator.
+pub trait Program: Send {
+    /// Produce the next application operation. Called again after `End`
+    /// must keep returning `End`.
+    fn next(&mut self) -> AppOp;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of processors.
+    pub cpus: u32,
+    /// Cost model.
+    pub params: CostParams,
+    /// Maximum busy time accumulated per event batch; smaller values give
+    /// finer preemption granularity at more event overhead.
+    pub batch_cap_ns: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the calibrated cost model.
+    pub fn new(cpus: u32) -> Self {
+        SimConfig { cpus, params: CostParams::default(), batch_cap_ns: 1_000 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Running,
+    Blocked,
+    Done,
+}
+
+struct ThreadCtx {
+    program: Box<dyn Program>,
+    pending: VecDeque<MicroOp>,
+    /// tag → (model handle, node addresses, node size).
+    structs: HashMap<u64, (u64, Vec<u64>, u32)>,
+    /// tag → (slot, model handle, base address).
+    arrays: HashMap<u64, (u64, u64, u64)>,
+    state: TState,
+    last_cpu: Option<u32>,
+    /// Mutexes currently held; a thread is never preempted while > 0
+    /// (critical sections are far shorter than a quantum, so real
+    /// holder-preemption is vanishingly rare — modeling it at event
+    /// granularity would overstate convoys).
+    held_locks: u32,
+    block_start: u64,
+    wait_ns: u64,
+    busy_ns: u64,
+    migrations: u64,
+    finished_at: u64,
+}
+
+struct Cpu {
+    running: Option<ThreadId>,
+    /// Thread that most recently ran here; re-dispatching it is free
+    /// (models an adaptive mutex spinning on an otherwise idle CPU
+    /// instead of a full context switch).
+    last_tid: Option<ThreadId>,
+    slice_end: u64,
+}
+
+struct ViewImpl<'a> {
+    locks: &'a [LockState],
+    failed_locks: &'a mut u64,
+}
+
+impl SimView for ViewImpl<'_> {
+    fn lock_held(&self, lock: LockId) -> bool {
+        self.locks.get(lock).is_some_and(|l| l.holder.is_some())
+    }
+
+    fn record_failed_lock(&mut self) {
+        *self.failed_locks += 1;
+    }
+}
+
+/// The simulator. Build with [`Sim::new`], run with [`Sim::run`].
+pub struct Sim {
+    cfg: SimConfig,
+    model: Box<dyn AllocModel>,
+    threads: Vec<ThreadCtx>,
+    locks: Vec<LockState>,
+    cpus: Vec<Cpu>,
+    ready: VecDeque<ThreadId>,
+    events: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    now: u64,
+    seq: u64,
+    cache: CacheModel,
+    failed_locks: u64,
+    ctx_switches: u64,
+    done_count: usize,
+}
+
+impl Sim {
+    /// Create a simulation with one program per thread.
+    pub fn new(cfg: SimConfig, model: Box<dyn AllocModel>, programs: Vec<Box<dyn Program>>) -> Self {
+        assert!(cfg.cpus >= 1 && cfg.cpus <= 64, "1..=64 CPUs supported");
+        assert!(!programs.is_empty(), "need at least one thread");
+        let threads = programs
+            .into_iter()
+            .map(|p| ThreadCtx {
+                program: p,
+                pending: VecDeque::new(),
+                structs: HashMap::new(),
+                arrays: HashMap::new(),
+                state: TState::Ready,
+                last_cpu: None,
+                held_locks: 0,
+                block_start: 0,
+                wait_ns: 0,
+                busy_ns: 0,
+                migrations: 0,
+                finished_at: 0,
+            })
+            .collect::<Vec<_>>();
+        let n = threads.len();
+        Sim {
+            cpus: (0..cfg.cpus)
+                .map(|_| Cpu { running: None, last_tid: None, slice_end: 0 })
+                .collect(),
+            cfg,
+            model,
+            threads,
+            locks: Vec::new(),
+            ready: (0..n).collect(),
+            events: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            cache: CacheModel::new(),
+            failed_locks: 0,
+            ctx_switches: 0,
+            done_count: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: u64, cpu: u32) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, cpu)));
+    }
+
+    fn ensure_lock(&mut self, l: LockId) {
+        while self.locks.len() <= l {
+            self.locks.push(LockState::default());
+        }
+    }
+
+    /// Assign ready threads to idle CPUs.
+    fn dispatch_idle(&mut self) {
+        for c in 0..self.cpus.len() {
+            if self.cpus[c].running.is_some() {
+                continue;
+            }
+            let Some(tid) = self.ready.pop_front() else { break };
+            let t = &mut self.threads[tid];
+            debug_assert_eq!(t.state, TState::Ready);
+            t.state = TState::Running;
+            if let Some(prev) = t.last_cpu {
+                if prev != c as u32 {
+                    t.migrations += 1;
+                }
+            }
+            t.last_cpu = Some(c as u32);
+            let resumed_in_place = self.cpus[c].last_tid == Some(tid);
+            self.cpus[c].running = Some(tid);
+            self.cpus[c].last_tid = Some(tid);
+            self.cpus[c].slice_end = self.now + self.cfg.params.quantum_ns;
+            let start = if resumed_in_place {
+                // Same thread back on its own idle CPU: no switch cost.
+                self.now
+            } else {
+                self.ctx_switches += 1;
+                self.now + self.cfg.params.ctx_switch_ns
+            };
+            self.schedule(start, c as u32);
+        }
+    }
+
+    /// Run the simulation to completion and return metrics.
+    pub fn run(mut self) -> RunMetrics {
+        self.dispatch_idle();
+        while let Some(Reverse((time, _, cpu))) = self.events.pop() {
+            self.now = time;
+            self.step(cpu);
+        }
+        debug_assert_eq!(self.done_count, self.threads.len(), "deadlock: threads unfinished");
+        let wall_ns = self.threads.iter().map(|t| t.finished_at).max().unwrap_or(0);
+        RunMetrics {
+            wall_ns,
+            busy_ns: self.threads.iter().map(|t| t.busy_ns).sum(),
+            lock_wait_ns: self.threads.iter().map(|t| t.wait_ns).sum(),
+            failed_locks: self.failed_locks,
+            migrations: self.threads.iter().map(|t| t.migrations).sum(),
+            ctx_switches: self.ctx_switches,
+            cache_hits: self.cache.hits(),
+            mem_misses: self.cache.mem_misses(),
+            coherence_misses: self.cache.coherence_misses(),
+            model_counters: self
+                .model
+                .counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// Process the event for `cpu`: continue its running thread (or grab
+    /// new work if idle).
+    fn step(&mut self, cpu: u32) {
+        let c = cpu as usize;
+        let Some(tid) = self.cpus[c].running else {
+            self.dispatch_idle();
+            return;
+        };
+
+        // Quantum preemption at event boundaries.
+        if self.now >= self.cpus[c].slice_end && !self.ready.is_empty() {
+            self.threads[tid].state = TState::Ready;
+            self.ready.push_back(tid);
+            self.cpus[c].running = None;
+            self.dispatch_idle();
+            return;
+        }
+
+        let mut elapsed: u64 = 0;
+        loop {
+            if elapsed >= self.cfg.batch_cap_ns {
+                self.threads[tid].busy_ns += elapsed;
+                self.schedule(self.now + elapsed, cpu);
+                return;
+            }
+            let Some(op) = self.next_micro_op(tid) else {
+                // Program finished and nothing pending.
+                let t = &mut self.threads[tid];
+                t.busy_ns += elapsed;
+                t.state = TState::Done;
+                t.finished_at = self.now + elapsed;
+                self.done_count += 1;
+                self.cpus[c].running = None;
+                self.schedule(self.now + elapsed, cpu); // free the CPU then
+                return;
+            };
+            match op {
+                MicroOp::Work(d) => elapsed += d,
+                MicroOp::Touch { addr, write } => {
+                    elapsed += self.cache.cost(cpu, addr, write, &self.cfg.params);
+                }
+                MicroOp::Acquire(l) => {
+                    self.ensure_lock(l);
+                    if self.locks[l].holder.is_none() {
+                        self.locks[l].holder = Some(tid);
+                        self.threads[tid].held_locks += 1;
+                        elapsed += self.cfg.params.lock_ns;
+                    } else if elapsed > 0 {
+                        // Charge accumulated time first; retry the acquire
+                        // when the batch completes.
+                        self.threads[tid].pending.push_front(MicroOp::Acquire(l));
+                        self.threads[tid].busy_ns += elapsed;
+                        self.schedule(self.now + elapsed, cpu);
+                        return;
+                    } else {
+                        // Block. If the holder was preempted (sits in the
+                        // ready queue), boost it to the front — adaptive
+                        // mutexes / priority inheritance keep lock-holder
+                        // preemption from stalling a full quantum.
+                        if let Some(h) = self.locks[l].holder {
+                            if self.threads[h].state == TState::Ready {
+                                if let Some(pos) = self.ready.iter().position(|&x| x == h) {
+                                    self.ready.remove(pos);
+                                    self.ready.push_front(h);
+                                }
+                            }
+                        }
+                        self.locks[l].waiters.push_back(tid);
+                        let t = &mut self.threads[tid];
+                        t.state = TState::Blocked;
+                        t.block_start = self.now;
+                        self.cpus[c].running = None;
+                        self.dispatch_idle();
+                        return;
+                    }
+                }
+                MicroOp::Release(l) => {
+                    self.ensure_lock(l);
+                    debug_assert_eq!(self.locks[l].holder, Some(tid), "release by non-holder");
+                    self.threads[tid].held_locks -= 1;
+                    elapsed += self.cfg.params.unlock_ns;
+                    if let Some(w) = self.locks[l].waiters.pop_front() {
+                        // FIFO handoff: the waiter owns the lock when it
+                        // resumes.
+                        self.locks[l].holder = Some(w);
+                        self.threads[w].held_locks += 1;
+                        let wt = &mut self.threads[w];
+                        wt.wait_ns += (self.now + elapsed).saturating_sub(wt.block_start);
+                        wt.state = TState::Ready;
+                        self.ready.push_back(w);
+                        self.dispatch_idle();
+                    } else {
+                        self.locks[l].holder = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pop the next micro-op for a thread, expanding the program through
+    /// the model as needed. `None` means the thread is finished.
+    fn next_micro_op(&mut self, tid: ThreadId) -> Option<MicroOp> {
+        loop {
+            if let Some(op) = self.threads[tid].pending.pop_front() {
+                return Some(op);
+            }
+            // Expand the next application op.
+            let app = self.threads[tid].program.next();
+            let mut view = ViewImpl { locks: &self.locks, failed_locks: &mut self.failed_locks };
+            match app {
+                AppOp::Compute(d) => return Some(MicroOp::Work(d)),
+                AppOp::AllocStruct { shape, tag } => {
+                    let res = self.model.alloc_structure(&mut view, tid, &shape);
+                    let t = &mut self.threads[tid];
+                    t.structs.insert(tag, (res.handle, res.node_addrs, shape.node_size));
+                    t.pending.extend(res.ops);
+                }
+                AppOp::TouchNodes { tag, write, work_per_node } => {
+                    let t = &mut self.threads[tid];
+                    if let Some((_, addrs, node_size)) = t.structs.get(&tag) {
+                        let size = (*node_size).max(1) as u64;
+                        for &a in addrs {
+                            // Touch the node's first and (if it straddles a
+                            // line boundary) last byte — small heap blocks
+                            // sharing a line with a neighbour is exactly how
+                            // false sharing arises.
+                            t.pending.push_back(MicroOp::Touch { addr: a, write });
+                            let last = a + size - 1;
+                            if last / crate::params::arch::CACHE_LINE
+                                != a / crate::params::arch::CACHE_LINE
+                            {
+                                t.pending.push_back(MicroOp::Touch { addr: last, write });
+                            }
+                            if work_per_node > 0 {
+                                t.pending.push_back(MicroOp::Work(work_per_node));
+                            }
+                        }
+                    }
+                }
+                AppOp::FreeStruct { tag } => {
+                    let entry = self.threads[tid].structs.remove(&tag);
+                    if let Some((handle, _, _)) = entry {
+                        let ops = self.model.free_structure(&mut view, tid, handle);
+                        self.threads[tid].pending.extend(ops);
+                    }
+                }
+                AppOp::AllocArray { slot, size, tag } => {
+                    let res = self.model.alloc_array(&mut view, tid, slot, size);
+                    let t = &mut self.threads[tid];
+                    t.arrays.insert(tag, (slot, res.handle, res.addr));
+                    t.pending.extend(res.ops);
+                }
+                AppOp::TouchArray { tag, size, write, work_total } => {
+                    let t = &mut self.threads[tid];
+                    if let Some(&(_, _, base)) = t.arrays.get(&tag) {
+                        let lines = (size as u64).div_ceil(crate::params::arch::CACHE_LINE).max(1);
+                        let per_line_work = work_total / lines;
+                        for i in 0..lines {
+                            t.pending.push_back(MicroOp::Touch {
+                                addr: base + i * crate::params::arch::CACHE_LINE,
+                                write,
+                            });
+                            if per_line_work > 0 {
+                                t.pending.push_back(MicroOp::Work(per_line_work));
+                            }
+                        }
+                    }
+                }
+                AppOp::FreeArray { tag } => {
+                    let entry = self.threads[tid].arrays.remove(&tag);
+                    if let Some((slot, handle, _)) = entry {
+                        let ops = self.model.free_array(&mut view, tid, slot, handle);
+                        self.threads[tid].pending.extend(ops);
+                    }
+                }
+                AppOp::End => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::serial::SerialModel;
+
+    /// A program that computes, allocates, touches and frees `iters`
+    /// single-node structures.
+    struct MiniProgram {
+        iters: u32,
+        phase: u32,
+    }
+
+    impl Program for MiniProgram {
+        fn next(&mut self) -> AppOp {
+            if self.iters == 0 {
+                return AppOp::End;
+            }
+            let op = match self.phase {
+                0 => AppOp::AllocStruct { shape: StructShape::binary_tree(1, 20), tag: 1 },
+                1 => AppOp::TouchNodes { tag: 1, write: true, work_per_node: 50 },
+                2 => AppOp::FreeStruct { tag: 1 },
+                _ => unreachable!(),
+            };
+            if self.phase == 2 {
+                self.phase = 0;
+                self.iters -= 1;
+            } else {
+                self.phase += 1;
+            }
+            op
+        }
+    }
+
+    fn run_mini(cpus: u32, threads: usize, iters: u32) -> RunMetrics {
+        let programs: Vec<Box<dyn Program>> =
+            (0..threads).map(|_| Box::new(MiniProgram { iters, phase: 0 }) as _).collect();
+        let model = Box::new(SerialModel::new());
+        Sim::new(SimConfig::new(cpus), model, programs).run()
+    }
+
+    #[test]
+    fn single_thread_completes() {
+        let m = run_mini(1, 1, 10);
+        assert!(m.wall_ns > 0);
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.lock_wait_ns, 0, "one thread never waits");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_mini(4, 6, 50);
+        let b = run_mini(4, 6, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_model_serializes_threads() {
+        // With a single global lock, adding threads on plenty of CPUs must
+        // produce lock waiting.
+        let m = run_mini(8, 8, 60);
+        assert!(m.lock_wait_ns > 0, "expected contention on the global lock");
+    }
+
+    #[test]
+    fn more_threads_than_cpus_still_finishes() {
+        let m = run_mini(2, 9, 20);
+        assert!(m.wall_ns > 0);
+        assert!(m.ctx_switches >= 9);
+    }
+
+    #[test]
+    fn work_conservation_single_thread() {
+        // On one CPU with one thread, wall time ≈ busy time (plus context
+        // switch overhead).
+        let m = run_mini(1, 1, 20);
+        assert!(m.wall_ns >= m.busy_ns);
+        assert!(m.wall_ns <= m.busy_ns + 100_000, "unexplained idle time");
+    }
+}

@@ -1,0 +1,89 @@
+//! Aggregate results of one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything a run reports. `wall_ns` drives the speedup figures; the rest
+/// explains *why* (lock waiting, failed try-locks, migrations, coherence
+/// misses — the quantities §5.1 discusses).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Simulated wall-clock time until the last thread finished.
+    pub wall_ns: u64,
+    /// Total busy CPU time across threads.
+    pub busy_ns: u64,
+    /// Total time threads spent blocked on locks.
+    pub lock_wait_ns: u64,
+    /// Failed try-lock probes recorded by the allocator model.
+    pub failed_locks: u64,
+    /// Thread migrations between CPUs.
+    pub migrations: u64,
+    /// Thread dispatches.
+    pub ctx_switches: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Plain memory misses.
+    pub mem_misses: u64,
+    /// Coherence (dirty-line transfer) misses — the false-sharing signal.
+    pub coherence_misses: u64,
+    /// Model-specific counters (pool hits, arena switches, ...).
+    pub model_counters: Vec<(String, u64)>,
+}
+
+impl RunMetrics {
+    /// Wall time in (simulated) seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+
+    /// Look up a model counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.model_counters.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Fraction of memory accesses that were coherence misses.
+    pub fn coherence_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.mem_misses + self.coherence_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.coherence_misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            wall_ns: 2_000_000_000,
+            busy_ns: 1,
+            lock_wait_ns: 2,
+            failed_locks: 3,
+            migrations: 4,
+            ctx_switches: 5,
+            cache_hits: 90,
+            mem_misses: 5,
+            coherence_misses: 5,
+            model_counters: vec![("pool_hits".into(), 42)],
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        let m = sample();
+        assert!((m.wall_seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(m.counter("pool_hits"), Some(42));
+        assert_eq!(m.counter("nope"), None);
+        assert!((m.coherence_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializes() {
+        let m = sample();
+        let j = serde_json::to_string(&m).unwrap();
+        let back: RunMetrics = serde_json::from_str(&j).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,142 @@
+//! The allocator-model interface: how a memory-management strategy plugs
+//! into the simulator.
+//!
+//! A model does **real bookkeeping** — arenas, free lists, pools with
+//! actual (simulated) addresses — and expands each application-level
+//! request into *micro-ops* (work, lock traffic, memory touches) whose
+//! timing the engine accounts. Reuse behaviour, contention and false
+//! sharing therefore emerge from mechanism rather than from curve fitting.
+
+use crate::engine::LockId;
+
+/// A single timed action issued by a model or by the application layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Busy CPU time in nanoseconds.
+    Work(u64),
+    /// Acquire a mutex (blocks if held).
+    Acquire(LockId),
+    /// Release a mutex.
+    Release(LockId),
+    /// Access one byte address (the cache model prices it).
+    Touch { addr: u64, write: bool },
+}
+
+/// The shape of one object structure to allocate: `nodes` objects of
+/// `node_size` bytes each, rooted in class `class_id` (Table 1: depth-d
+/// binary trees have `2^(d+1)-1` nodes of 20 bytes — 28 when amplified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructShape {
+    pub class_id: u32,
+    pub nodes: u32,
+    pub node_size: u32,
+}
+
+impl StructShape {
+    /// A binary tree of the given depth, as in the paper's test cases.
+    /// Depth 1 → 3 nodes, depth 3 → 15, depth 5 → 63.
+    pub fn binary_tree(depth: u32, node_size: u32) -> Self {
+        StructShape { class_id: 0, nodes: (1u32 << (depth + 1)) - 1, node_size }
+    }
+}
+
+/// Result of expanding a structure allocation.
+#[derive(Debug, Clone)]
+pub struct StructAlloc {
+    /// The timed operations to execute.
+    pub ops: Vec<MicroOp>,
+    /// Opaque handle the model will receive back on free.
+    pub handle: u64,
+    /// Addresses of the structure's nodes (the application layer touches
+    /// these during init/destroy).
+    pub node_addrs: Vec<u64>,
+}
+
+/// Result of expanding a raw array allocation (BGw data-type arrays).
+#[derive(Debug, Clone)]
+pub struct ArrayAlloc {
+    pub ops: Vec<MicroOp>,
+    pub handle: u64,
+    /// Base address of the array.
+    pub addr: u64,
+}
+
+/// Read access to simulator state at model-decision time, plus the
+/// failed-lock counter models bump when a try-lock probe finds an arena
+/// busy (the signal ptmalloc keys on).
+pub trait SimView {
+    /// True if the given lock is currently held by any thread.
+    fn lock_held(&self, lock: LockId) -> bool;
+    /// Record a failed try-lock probe.
+    fn record_failed_lock(&mut self);
+}
+
+/// A memory-management strategy under simulation.
+pub trait AllocModel: Send {
+    /// Display name for benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Expand "allocate one structure of `shape`" for `thread`.
+    fn alloc_structure(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        shape: &StructShape,
+    ) -> StructAlloc;
+
+    /// Expand "free the structure previously returned with `handle`".
+    fn free_structure(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        handle: u64,
+    ) -> Vec<MicroOp>;
+
+    /// Expand "allocate a `size`-byte data array in shadow slot `slot`"
+    /// (BGw extension). Default: a 1-node structure of class
+    /// `ARRAY_CLASS` — i.e. a plain malloc.
+    fn alloc_array(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        slot: u64,
+        size: u32,
+    ) -> ArrayAlloc {
+        let _ = slot;
+        let shape = StructShape { class_id: ARRAY_CLASS, nodes: 1, node_size: size };
+        let s = self.alloc_structure(view, thread, &shape);
+        ArrayAlloc { addr: s.node_addrs[0], ops: s.ops, handle: s.handle }
+    }
+
+    /// Expand "free the data array `handle` from shadow slot `slot`".
+    fn free_array(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        slot: u64,
+        handle: u64,
+    ) -> Vec<MicroOp> {
+        let _ = slot;
+        self.free_structure(view, thread, handle)
+    }
+
+    /// Model-specific counters for reports (pool hits, arena switches, ...).
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// Pseudo class id used for raw data arrays.
+pub const ARRAY_CLASS: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_shapes_match_table_1() {
+        assert_eq!(StructShape::binary_tree(1, 20).nodes, 3);
+        assert_eq!(StructShape::binary_tree(3, 20).nodes, 15);
+        assert_eq!(StructShape::binary_tree(5, 20).nodes, 63);
+    }
+}

@@ -1,0 +1,16 @@
+//! Allocator models: the comparison set of the paper's evaluation.
+
+pub mod amplify;
+pub mod common;
+pub mod handmade;
+pub mod hoard;
+pub mod ptmalloc;
+pub mod serial;
+pub mod smartheap;
+
+pub use amplify::{AmplifyConfig, AmplifyModel, LIBRARY_CLASS};
+pub use handmade::HandmadeModel;
+pub use hoard::HoardModel;
+pub use ptmalloc::PtmallocModel;
+pub use serial::SerialModel;
+pub use smartheap::SmartHeapModel;

@@ -1,0 +1,149 @@
+//! The serial allocator model: one heap, one global lock — the Solaris 2.6
+//! default `malloc` used as the paper's speedup baseline.
+
+use crate::model::{AllocModel, MicroOp, SimView, StructAlloc, StructShape};
+use crate::models::common::{HandleGen, HeapCore};
+use crate::params::CostParams;
+use std::collections::HashMap;
+
+/// Every allocation and free from every thread serializes on lock 0 and
+/// writes the same metadata cache line.
+#[derive(Debug)]
+pub struct SerialModel {
+    heap: HeapCore,
+    handles: HandleGen,
+    live: HashMap<u64, Vec<(u64, u32)>>,
+    params: CostParams,
+    mallocs: u64,
+    frees: u64,
+}
+
+impl Default for SerialModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SerialModel {
+    /// Model with the calibrated cost parameters.
+    pub fn new() -> Self {
+        Self::with_params(CostParams::default())
+    }
+
+    /// Model with explicit costs.
+    pub fn with_params(params: CostParams) -> Self {
+        SerialModel {
+            heap: HeapCore::new(0, 0, 0),
+            handles: HandleGen::default(),
+            live: HashMap::new(),
+            params,
+            mallocs: 0,
+            frees: 0,
+        }
+    }
+}
+
+impl AllocModel for SerialModel {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn alloc_structure(
+        &mut self,
+        _view: &mut dyn SimView,
+        _thread: usize,
+        shape: &StructShape,
+    ) -> StructAlloc {
+        let mut ops = Vec::with_capacity(shape.nodes as usize * 4);
+        let mut node_addrs = Vec::with_capacity(shape.nodes as usize);
+        let mut blocks = Vec::with_capacity(shape.nodes as usize);
+        for _ in 0..shape.nodes {
+            let addr =
+                self.heap.malloc_ops(&mut ops, shape.node_size, self.params.malloc_serial_ns);
+            node_addrs.push(addr);
+            blocks.push((addr, shape.node_size));
+            self.mallocs += 1;
+        }
+        let handle = self.handles.next();
+        self.live.insert(handle, blocks);
+        StructAlloc { ops, handle, node_addrs }
+    }
+
+    fn free_structure(
+        &mut self,
+        _view: &mut dyn SimView,
+        _thread: usize,
+        handle: u64,
+    ) -> Vec<MicroOp> {
+        let blocks = self.live.remove(&handle).expect("free of unknown handle");
+        let mut ops = Vec::with_capacity(blocks.len() * 4);
+        for (addr, size) in blocks {
+            self.heap.free_ops(&mut ops, addr, size, self.params.free_serial_ns);
+            self.frees += 1;
+        }
+        ops
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("mallocs", self.mallocs),
+            ("frees", self.frees),
+            ("footprint_bytes", self.heap.space.footprint()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimView;
+
+    struct NullView;
+    impl SimView for NullView {
+        fn lock_held(&self, _: usize) -> bool {
+            false
+        }
+        fn record_failed_lock(&mut self) {}
+    }
+
+    #[test]
+    fn structure_expansion_is_one_malloc_per_node() {
+        let mut m = SerialModel::new();
+        let shape = StructShape::binary_tree(3, 20); // 15 nodes
+        let res = m.alloc_structure(&mut NullView, 0, &shape);
+        assert_eq!(res.node_addrs.len(), 15);
+        // 4 micro-ops per malloc.
+        assert_eq!(res.ops.len(), 60);
+        let frees = m.free_structure(&mut NullView, 0, res.handle);
+        assert_eq!(frees.len(), 60);
+        assert_eq!(
+            m.counters(),
+            vec![("mallocs", 15), ("frees", 15), ("footprint_bytes", 15 * 24)]
+        );
+    }
+
+    #[test]
+    fn addresses_reused_after_free() {
+        let mut m = SerialModel::new();
+        let shape = StructShape::binary_tree(1, 20);
+        let a = m.alloc_structure(&mut NullView, 0, &shape);
+        let addrs_a = a.node_addrs.clone();
+        m.free_structure(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        // Freelist reuse: same addresses come back (LIFO order).
+        let mut x = addrs_a;
+        let mut y = b.node_addrs.clone();
+        x.sort();
+        y.sort();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown handle")]
+    fn double_free_panics() {
+        let mut m = SerialModel::new();
+        let a = m.alloc_structure(&mut NullView, 0, &StructShape::binary_tree(1, 20));
+        m.free_structure(&mut NullView, 0, a.handle);
+        m.free_structure(&mut NullView, 0, a.handle);
+    }
+}

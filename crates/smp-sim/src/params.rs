@@ -1,0 +1,110 @@
+//! Cost-model parameters for the simulated SMP.
+//!
+//! The absolute values are calibrated to a late-1990s SMP (the paper's Sun
+//! Enterprise 4000/10000 class): a serial `malloc` with coalescing costs
+//! most of a microsecond, arena allocators are ~2–3× cheaper per call, and
+//! a pool operation ("lock, insert/remove an object into a free list, and
+//! then unlock" — §5.1) is an order of magnitude cheaper than a malloc.
+//! The reproduced figures depend on the *ratios*, not the absolutes.
+
+use serde::{Deserialize, Serialize};
+
+/// All timing constants, in simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// One allocation in a serial, coalescing allocator (Solaris default).
+    pub malloc_serial_ns: u64,
+    /// One free in the serial allocator.
+    pub free_serial_ns: u64,
+    /// One allocation in an arena allocator (ptmalloc / Hoard / SmartHeap).
+    pub malloc_arena_ns: u64,
+    /// One free in an arena allocator.
+    pub free_arena_ns: u64,
+    /// Free-list push/pop inside a pool (excluding the lock).
+    pub pool_op_ns: u64,
+    /// Uncontended mutex acquire.
+    pub lock_ns: u64,
+    /// Mutex release.
+    pub unlock_ns: u64,
+    /// One try-lock probe of a locked arena/shard (ptmalloc spill).
+    pub probe_ns: u64,
+    /// Cache hit (line valid in this CPU's cache).
+    pub cache_hit_ns: u64,
+    /// Plain memory miss (line not cached anywhere dirty).
+    pub mem_miss_ns: u64,
+    /// Coherence miss (line dirty in another CPU's cache) — the cost that
+    /// makes false sharing visible.
+    pub coherence_ns: u64,
+    /// Per-node application work when initializing a freshly created node
+    /// (constructor body).
+    pub node_init_ns: u64,
+    /// Per-node application work when destroying a node (destructor body).
+    pub node_destroy_ns: u64,
+    /// Scheduler time slice.
+    pub quantum_ns: u64,
+    /// Direct cost of a context switch / dispatch.
+    pub ctx_switch_ns: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            malloc_serial_ns: 900,
+            free_serial_ns: 700,
+            malloc_arena_ns: 350,
+            free_arena_ns: 250,
+            pool_op_ns: 40,
+            lock_ns: 60,
+            unlock_ns: 30,
+            probe_ns: 25,
+            cache_hit_ns: 2,
+            mem_miss_ns: 90,
+            coherence_ns: 240,
+            node_init_ns: 100,
+            node_destroy_ns: 60,
+            quantum_ns: 2_000_000, // 2 ms — Solaris-era time slice
+            ctx_switch_ns: 3_000,
+        }
+    }
+}
+
+impl CostParams {
+    /// The default calibration (see module docs).
+    pub fn calibrated() -> Self {
+        Self::default()
+    }
+}
+
+/// Fixed architectural constants.
+pub mod arch {
+    /// Cache line size in bytes (UltraSPARC E-cache line granularity for
+    /// coherence; 64 B keeps the false-sharing geometry realistic).
+    pub const CACHE_LINE: u64 = 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_op_is_order_of_magnitude_cheaper_than_malloc() {
+        let p = CostParams::default();
+        assert!(p.malloc_serial_ns >= 10 * p.pool_op_ns);
+        assert!(p.malloc_arena_ns >= 5 * p.pool_op_ns);
+    }
+
+    #[test]
+    fn coherence_miss_dominates_hit() {
+        let p = CostParams::default();
+        assert!(p.coherence_ns > p.mem_miss_ns);
+        assert!(p.mem_miss_ns > p.cache_hit_ns);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = CostParams::default();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: CostParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

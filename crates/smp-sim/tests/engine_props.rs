@@ -1,0 +1,117 @@
+//! Engine-level invariants: scheduling, lock fairness, conservation and
+//! determinism under randomized configurations.
+
+use proptest::prelude::*;
+use smp_sim::engine::{AppOp, Program, Sim, SimConfig};
+use smp_sim::model::StructShape;
+use smp_sim::models::SerialModel;
+use smp_sim::params::CostParams;
+use smp_sim::programs::TreeProgram;
+
+fn tree_sim(cpus: u32, threads: usize, iters: u32, depth: u32) -> smp_sim::RunMetrics {
+    let params = CostParams::default();
+    let shape = StructShape::binary_tree(depth, 20);
+    let programs: Vec<Box<dyn Program>> = (0..threads)
+        .map(|_| Box::new(TreeProgram::new(shape, iters, &params)) as Box<dyn Program>)
+        .collect();
+    Sim::new(SimConfig::new(cpus), Box::new(SerialModel::new()), programs).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every run completes, conserves allocations, and is deterministic.
+    #[test]
+    fn random_configs_complete_and_reproduce(
+        cpus in 1u32..12,
+        threads in 1usize..12,
+        iters in 1u32..30,
+        depth in 1u32..4,
+    ) {
+        let a = tree_sim(cpus, threads, iters, depth);
+        let b = tree_sim(cpus, threads, iters, depth);
+        prop_assert_eq!(&a, &b, "nondeterministic run");
+
+        let nodes = ((1u64 << (depth + 1)) - 1) * iters as u64 * threads as u64;
+        prop_assert_eq!(a.counter("mallocs"), Some(nodes));
+        prop_assert_eq!(a.counter("frees"), Some(nodes));
+        prop_assert!(a.wall_ns > 0);
+        prop_assert!(a.busy_ns > 0);
+    }
+
+    /// Wall time is bounded below by the critical path (total busy work
+    /// divided by CPUs) and above by fully serialized execution.
+    #[test]
+    fn wall_time_is_physically_consistent(
+        cpus in 1u32..8,
+        threads in 1usize..8,
+        iters in 2u32..20,
+    ) {
+        let m = tree_sim(cpus, threads, iters, 2);
+        let lower = m.busy_ns / cpus as u64;
+        prop_assert!(m.wall_ns + 1 >= lower,
+            "wall {} below critical path {lower}", m.wall_ns);
+        let upper = m.busy_ns + m.lock_wait_ns + 1_000_000_000;
+        prop_assert!(m.wall_ns <= upper,
+            "wall {} exceeds serialized bound {upper}", m.wall_ns);
+    }
+
+    /// With one CPU there are no coherence misses (a single cache) and no
+    /// migrations.
+    #[test]
+    fn single_cpu_has_no_coherence_traffic(threads in 1usize..6, iters in 1u32..20) {
+        let m = tree_sim(1, threads, iters, 2);
+        prop_assert_eq!(m.coherence_misses, 0);
+        prop_assert_eq!(m.migrations, 0);
+    }
+
+    /// More CPUs never slows a *single-threaded* workload (nothing to
+    /// contend on — the scheduler must not invent overhead).
+    #[test]
+    fn adding_cpus_never_hurts_one_thread(iters in 4u32..16) {
+        let one = tree_sim(1, 1, iters, 2).wall_ns;
+        let many = tree_sim(8, 1, iters, 2).wall_ns;
+        prop_assert!(many <= one + one / 20, "8 CPUs ({many}) slower than 1 ({one})");
+    }
+
+    /// For a serial-malloc-bound workload, running threads truly in
+    /// parallel is *worse* than time-sharing one CPU — the paper's central
+    /// phenomenon (Figures 4–6 show the Solaris default dropping below 1):
+    /// on one CPU threads never fight over the allocator lock or bounce
+    /// its cache line.
+    #[test]
+    fn parallel_contention_hurts_serial_malloc(threads in 3usize..6, iters in 6u32..16) {
+        let timeshared = tree_sim(1, threads, iters, 2).wall_ns;
+        let parallel = tree_sim(8, threads, iters, 2).wall_ns;
+        prop_assert!(parallel > timeshared,
+            "expected contention slowdown: 8 CPUs {parallel} vs 1 CPU {timeshared}");
+    }
+}
+
+/// A program that acquires the same model-level resources in a tight loop,
+/// to exercise FIFO lock handoff fairness.
+struct Spinner {
+    remaining: u32,
+}
+
+impl Program for Spinner {
+    fn next(&mut self) -> AppOp {
+        if self.remaining == 0 {
+            return AppOp::End;
+        }
+        self.remaining -= 1;
+        AppOp::AllocStruct { shape: StructShape::binary_tree(1, 20), tag: 7 }
+    }
+}
+
+/// All threads make progress under heavy contention: no thread's portion
+/// of the work is starved (FIFO handoff).
+#[test]
+fn fifo_locks_prevent_starvation() {
+    let programs: Vec<Box<dyn Program>> = (0..6)
+        .map(|_| Box::new(Spinner { remaining: 50 }) as Box<dyn Program>)
+        .collect();
+    let m = Sim::new(SimConfig::new(4), Box::new(SerialModel::new()), programs).run();
+    // 6 threads x 50 structures x 3 nodes all completed.
+    assert_eq!(m.counter("mallocs"), Some(900));
+}

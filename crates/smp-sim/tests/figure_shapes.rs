@@ -1,0 +1,144 @@
+//! End-to-end assertions that the simulator reproduces the *shapes* of the
+//! paper's figures (who wins, where the crossovers fall). Absolute numbers
+//! are calibration-dependent and asserted only loosely.
+
+use smp_sim::params::CostParams;
+use smp_sim::run::{run_bgw, run_tree, ModelKind, TreeExperiment};
+
+fn exp(depth: u32) -> TreeExperiment {
+    TreeExperiment { depth, total_trees: 4000, cpus: 8, params: CostParams::default() }
+}
+
+/// Figures 4–6: Amplify outperforms ptmalloc and Hoard at every thread
+/// count, "even when the data structure is shallow".
+#[test]
+fn amplify_dominates_the_allocators() {
+    for depth in [1, 3, 5] {
+        let e = exp(depth);
+        for threads in [1usize, 2, 4, 8] {
+            let a = run_tree(ModelKind::Amplify, threads, &e).wall_ns;
+            let p = run_tree(ModelKind::Ptmalloc, threads, &e).wall_ns;
+            let h = run_tree(ModelKind::Hoard, threads, &e).wall_ns;
+            assert!(a < p, "depth {depth}, {threads}t: amplify {a} !< ptmalloc {p}");
+            assert!(a < h, "depth {depth}, {threads}t: amplify {a} !< hoard {h}");
+        }
+    }
+}
+
+/// Figure 4's 2-thread dip: Amplify at 2 threads is *slower* than at 1
+/// thread in test case 1, because the 1-thread pre-process elides all locks.
+#[test]
+fn amplify_two_thread_dip_on_shallow_trees() {
+    let e = exp(1);
+    let t1 = run_tree(ModelKind::Amplify, 1, &e).wall_ns;
+    let t2 = run_tree(ModelKind::Amplify, 2, &e).wall_ns;
+    assert!(t2 > t1, "expected the Figure 4 dip: t1={t1} t2={t2}");
+}
+
+/// §5.1: the failed-lock monitoring that led the authors to exonerate the
+/// locking mechanism — Amplify's failed lock attempts are very low.
+#[test]
+fn amplify_failed_locks_are_rare() {
+    let e = exp(1);
+    let m = run_tree(ModelKind::Amplify, 8, &e);
+    let pool_ops = m.counter("pool_hits").unwrap() + m.counter("misses").unwrap();
+    assert!(
+        m.failed_locks < pool_ops / 100,
+        "failed locks {} vs pool ops {pool_ops}",
+        m.failed_locks
+    );
+}
+
+/// Figure 10: the handmade pool is the upper bound on what the
+/// pre-processor achieves.
+#[test]
+fn handmade_is_the_theoretical_maximum() {
+    let e = exp(3);
+    for threads in [2usize, 4, 8] {
+        let hm = run_tree(ModelKind::Handmade, threads, &e).wall_ns;
+        let am = run_tree(ModelKind::Amplify, threads, &e).wall_ns;
+        assert!(hm < am, "{threads}t: handmade {hm} !< amplify {am}");
+    }
+}
+
+/// Figure 10: Hoard does not scale once threads outnumber the 8 processors.
+#[test]
+fn hoard_stops_scaling_past_processor_count() {
+    let e = exp(3);
+    let at8 = run_tree(ModelKind::Hoard, 8, &e).wall_ns;
+    let at16 = run_tree(ModelKind::Hoard, 16, &e).wall_ns;
+    assert!(
+        at16 as f64 > at8 as f64 * 1.15,
+        "hoard kept scaling: 8t={at8} 16t={at16}"
+    );
+}
+
+/// §5.1 / §7: Amplify is "up to six times more efficient" than the best
+/// C-library allocator — the ratio grows with structure depth and reaches
+/// roughly 6 on the deep test case.
+#[test]
+fn efficiency_ratio_grows_with_depth_toward_six() {
+    let ratio = |depth: u32| {
+        let e = exp(depth);
+        let a = run_tree(ModelKind::Amplify, 8, &e).wall_ns as f64;
+        let p = run_tree(ModelKind::Ptmalloc, 8, &e).wall_ns as f64;
+        let h = run_tree(ModelKind::Hoard, 8, &e).wall_ns as f64;
+        p.min(h) / a
+    };
+    let r1 = ratio(1);
+    let r5 = ratio(5);
+    assert!(r1 < r5, "ratio should grow with depth: {r1:.2} vs {r5:.2}");
+    assert!(
+        (3.0..12.0).contains(&r5),
+        "deep-tree efficiency ratio {r5:.2} out of the 'up to six times' ballpark"
+    );
+}
+
+/// Figure 11: SmartHeap makes BGw scale; Amplify alone does not; the
+/// combination beats SmartHeap by roughly the paper's 17 %.
+#[test]
+fn bgw_figure_11_shape() {
+    let cdrs = 2000;
+    let sh1 = run_bgw(ModelKind::SmartHeap, 1, cdrs, 8).wall_ns;
+    let sh8 = run_bgw(ModelKind::SmartHeap, 8, cdrs, 8).wall_ns;
+    assert!(sh8 as f64 * 3.0 < sh1 as f64, "SmartHeap must scale: {sh1} -> {sh8}");
+
+    let am1 = run_bgw(ModelKind::Amplify, 1, cdrs, 8).wall_ns;
+    let am8 = run_bgw(ModelKind::Amplify, 8, cdrs, 8).wall_ns;
+    assert!(
+        (am8 as f64) > (am1 as f64) / 2.5,
+        "Amplify alone must not make BGw scalable: {am1} -> {am8}"
+    );
+
+    let combo8 = run_bgw(ModelKind::AmplifyOverSmartHeap, 8, cdrs, 8).wall_ns;
+    let gain = sh8 as f64 / combo8 as f64 - 1.0;
+    assert!(
+        (0.05..0.40).contains(&gain),
+        "combined gain {:.1}% not in the paper's ~17% ballpark",
+        gain * 100.0
+    );
+}
+
+/// §5.2: "The same result was measured if only data type arrays were
+/// shadowed or if all objects were shadowed, i.e., the shadowing of data
+/// types contributed with the major part of the allocations."
+#[test]
+fn bgw_arrays_only_variant_matches_full_amplify() {
+    let cdrs = 2000;
+    let full = run_bgw(ModelKind::AmplifyOverSmartHeap, 8, cdrs, 8).wall_ns as f64;
+    let arrays_only = run_bgw(ModelKind::AmplifyArraysOnlyOverSmartHeap, 8, cdrs, 8).wall_ns as f64;
+    let ratio = arrays_only / full;
+    assert!(
+        (0.93..1.12).contains(&ratio),
+        "arrays-only should be within ~10% of full amplify, got ratio {ratio:.3}"
+    );
+}
+
+/// Cross-cutting: the simulator is deterministic run-to-run.
+#[test]
+fn experiments_are_deterministic() {
+    let e = exp(3);
+    let a = run_tree(ModelKind::Amplify, 4, &e);
+    let b = run_tree(ModelKind::Amplify, 4, &e);
+    assert_eq!(a, b);
+}

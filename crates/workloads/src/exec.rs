@@ -1,0 +1,241 @@
+//! Execute workloads against the real allocators and pools.
+//!
+//! These runners back the Criterion micro-benchmarks and the umbrella
+//! integration tests. (Wall-clock *scalability* comparisons live in the
+//! simulator — this host has a single CPU — but per-operation costs and
+//! correctness are measured natively here.)
+
+use crate::trace::{Trace, TraceOp};
+use crate::tree::{PoolTree, TreeParams, TreeWorkload};
+use allocators::{BlockRef, ParallelAllocator};
+use pools::StructurePool;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of replaying traces against an allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecResult {
+    pub elapsed: Duration,
+    pub allocs: u64,
+    pub frees: u64,
+    pub contention_events: u64,
+}
+
+/// Replay one trace per thread against a shared allocator.
+///
+/// # Panics
+/// Panics if a trace is malformed (frees a dead handle).
+pub fn run_traces(alloc: Arc<dyn ParallelAllocator>, traces: &[Trace]) -> ExecResult {
+    for t in traces {
+        t.validate().expect("malformed trace");
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for trace in traces {
+            let alloc = Arc::clone(&alloc);
+            s.spawn(move || {
+                let mut live: HashMap<u32, BlockRef> = HashMap::new();
+                for op in &trace.ops {
+                    match op {
+                        TraceOp::Alloc { id, size } => {
+                            live.insert(*id, alloc.alloc(*size));
+                        }
+                        TraceOp::Free { id } => {
+                            let block = live.remove(id).expect("validated trace");
+                            alloc.free(block);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    ExecResult {
+        elapsed: start.elapsed(),
+        allocs: alloc.total_allocs(),
+        frees: alloc.total_frees(),
+        contention_events: alloc.contention_events(),
+    }
+}
+
+/// Result of the pooled tree workload.
+#[derive(Debug, Clone)]
+pub struct TreeRunResult {
+    pub elapsed: Duration,
+    /// Per-thread checksums (for determinism assertions).
+    pub checksums: Vec<u64>,
+    pub pool_hits: u64,
+    pub fresh_allocs: u64,
+}
+
+/// Run the synthetic tree workload on a shared [`StructurePool`], the
+/// paper's Amplify configuration: allocate → use → recycle, `iterations`
+/// times per thread.
+pub fn run_tree_pooled(workload: &TreeWorkload) -> TreeRunResult {
+    let pool: Arc<StructurePool<PoolTree>> = Arc::new(StructurePool::new());
+    let start = Instant::now();
+    let mut checksums = vec![0u64; workload.threads as usize];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workload.threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let w = *workload;
+                s.spawn(move || {
+                    let mut sum = 0u64;
+                    for i in 0..w.iterations {
+                        let tree = pool
+                            .alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i });
+                        sum = sum.wrapping_add(tree.checksum());
+                        pool.free(tree);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            checksums[t] = h.join().expect("worker panicked");
+        }
+    });
+    TreeRunResult {
+        elapsed: start.elapsed(),
+        checksums,
+        pool_hits: pool.stats().pool_hits(),
+        fresh_allocs: pool.stats().fresh_allocs(),
+    }
+}
+
+/// Run the tree workload on a [`pools::ShardedPool`] — the ptmalloc-style
+/// spreading Amplify uses in threaded builds (§3.2). Returns the same
+/// result shape as [`run_tree_pooled`], with hit counts aggregated across
+/// shards.
+pub fn run_tree_sharded(workload: &TreeWorkload, shards: usize) -> TreeRunResult {
+    use pools::structure_pool::Reusable;
+    use pools::ShardedPool;
+    let pool: Arc<ShardedPool<PoolTree>> = Arc::new(ShardedPool::new(shards));
+    let start = Instant::now();
+    let mut checksums = vec![0u64; workload.threads as usize];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workload.threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let w = *workload;
+                s.spawn(move || {
+                    let mut sum = 0u64;
+                    for i in 0..w.iterations {
+                        let params = TreeParams { depth: w.depth, seed: t * 1000 + i };
+                        let mut tree = pool.acquire(|| PoolTree::fresh(&params));
+                        tree.reinit(&params);
+                        sum = sum.wrapping_add(tree.checksum());
+                        tree.recycle();
+                        pool.release(tree);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            checksums[t] = h.join().expect("worker panicked");
+        }
+    });
+    let stats = pool.stats();
+    TreeRunResult {
+        elapsed: start.elapsed(),
+        checksums,
+        pool_hits: stats.pool_hits,
+        fresh_allocs: stats.fresh_allocs,
+    }
+}
+
+/// Run the tree workload WITHOUT pooling: every iteration builds and drops
+/// the whole tree through the global allocator (the baseline behaviour).
+pub fn run_tree_unpooled(workload: &TreeWorkload) -> TreeRunResult {
+    use pools::structure_pool::Reusable;
+    let start = Instant::now();
+    let mut checksums = vec![0u64; workload.threads as usize];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workload.threads)
+            .map(|t| {
+                let w = *workload;
+                s.spawn(move || {
+                    let mut sum = 0u64;
+                    for i in 0..w.iterations {
+                        let tree =
+                            PoolTree::fresh(&TreeParams { depth: w.depth, seed: t * 1000 + i });
+                        sum = sum.wrapping_add(tree.checksum());
+                        drop(tree);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            checksums[t] = h.join().expect("worker panicked");
+        }
+    });
+    TreeRunResult {
+        elapsed: start.elapsed(),
+        checksums,
+        pool_hits: 0,
+        fresh_allocs: (workload.iterations as u64) * (workload.threads as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allocators::{HoardAllocator, PtmallocAllocator, SerialAllocator};
+
+    fn tree_traces(threads: u32) -> Vec<Trace> {
+        (0..threads).map(|_| Trace::tree(3, 50, 20)).collect()
+    }
+
+    #[test]
+    fn traces_replay_on_all_allocators() {
+        for alloc in [
+            Arc::new(SerialAllocator::new()) as Arc<dyn ParallelAllocator>,
+            Arc::new(PtmallocAllocator::new(4)),
+            Arc::new(HoardAllocator::new(4)),
+        ] {
+            let name = alloc.name();
+            let r = run_traces(alloc, &tree_traces(4));
+            assert_eq!(r.allocs, 4 * 50 * 15, "{name}");
+            assert_eq!(r.allocs, r.frees, "{name}");
+        }
+    }
+
+    #[test]
+    fn pooled_and_unpooled_agree_on_checksums() {
+        let w = TreeWorkload { depth: 3, iterations: 20, threads: 3 };
+        let pooled = run_tree_pooled(&w);
+        let unpooled = run_tree_unpooled(&w);
+        assert_eq!(pooled.checksums, unpooled.checksums);
+    }
+
+    #[test]
+    fn pooling_turns_allocations_into_hits() {
+        let w = TreeWorkload { depth: 3, iterations: 100, threads: 2 };
+        let r = run_tree_pooled(&w);
+        let total = (w.iterations * w.threads) as u64;
+        assert_eq!(r.pool_hits + r.fresh_allocs, total);
+        // Shared LIFO pool: after warm-up everything is a hit.
+        assert!(r.pool_hits >= total - 10, "hits {} of {total}", r.pool_hits);
+    }
+
+    #[test]
+    fn sharded_runner_matches_unpooled_checksums() {
+        let w = TreeWorkload { depth: 2, iterations: 40, threads: 3 };
+        let sharded = run_tree_sharded(&w, 4);
+        let unpooled = run_tree_unpooled(&w);
+        assert_eq!(sharded.checksums, unpooled.checksums);
+        let total = (w.iterations * w.threads) as u64;
+        assert_eq!(sharded.pool_hits + sharded.fresh_allocs, total);
+        assert!(sharded.pool_hits > 0, "some reuse must happen");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed trace")]
+    fn malformed_traces_are_rejected() {
+        let bad = Trace { ops: vec![TraceOp::Free { id: 0 }] };
+        run_traces(Arc::new(SerialAllocator::new()), &[bad]);
+    }
+}

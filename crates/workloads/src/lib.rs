@@ -1,0 +1,28 @@
+//! Workload generators and executors for the Amplify reproduction.
+//!
+//! Two consumers share these workloads:
+//!
+//! * the **simulator** (`smp-sim`) regenerates the paper's 8-CPU figures
+//!   from workload *shapes*;
+//! * the **real runtimes** (`pools`, `allocators`) execute the same
+//!   workloads natively — that is what the Criterion micro-benchmarks and
+//!   the umbrella integration tests drive.
+//!
+//! Modules:
+//!
+//! * [`tree`] — the synthetic binary-tree test suite (§4, Table 1), with a
+//!   real reusable tree type ([`tree::PoolTree`]) for structure pools;
+//! * [`bgw`] — a Billing-Gateway-like CDR processing pipeline (§5.2);
+//! * [`locality`] — temporal-locality profiles for the ablation studies;
+//! * [`trace`] — allocation traces (generate, serialize, replay);
+//! * [`exec`] — execute traces/workloads against real allocators and pools;
+//! * [`sim_bridge`] — replay recorded traces on the simulated SMP.
+
+pub mod bgw;
+pub mod exec;
+pub mod locality;
+pub mod sim_bridge;
+pub mod trace;
+pub mod tree;
+
+pub use tree::{PoolTree, TreeWorkload};

@@ -1,0 +1,97 @@
+//! Temporal-locality profiles.
+//!
+//! The paper's synthetic suite has 100 % locality ("creating the same
+//! structure over and over again"); real systems sit somewhere below that.
+//! A [`LocalityProfile`] deterministically decides, per iteration, which of
+//! two structure shapes to create — the ablation benches sweep the mix to
+//! find where structure reuse stops paying.
+
+/// A deterministic two-shape mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalityProfile {
+    /// Base tree depth.
+    pub base_depth: u32,
+    /// Alternate tree depth.
+    pub alt_depth: u32,
+    /// Fraction of iterations using the alternate shape, in permille.
+    pub alt_permille: u32,
+}
+
+impl LocalityProfile {
+    /// Full temporal locality: every iteration uses the base shape.
+    pub fn full(depth: u32) -> Self {
+        LocalityProfile { base_depth: depth, alt_depth: depth, alt_permille: 0 }
+    }
+
+    /// A mixed profile.
+    pub fn mixed(base_depth: u32, alt_depth: u32, alt_permille: u32) -> Self {
+        assert!(alt_permille <= 1000, "permille must be <= 1000");
+        LocalityProfile { base_depth, alt_depth, alt_permille }
+    }
+
+    /// Depth used at iteration `i` — a low-discrepancy spread so alternate
+    /// iterations interleave evenly rather than clustering.
+    pub fn depth_at(&self, i: u32) -> u32 {
+        // Weyl sequence on the golden ratio: x_i = frac(i * phi) < p.
+        let x = (i as u64).wrapping_mul(2654435769) & 0xFFFF_FFFF; // 2^32 * (phi-1)
+        let threshold = (self.alt_permille as u64) * ((1u64 << 32) / 1000);
+        if x < threshold {
+            self.alt_depth
+        } else {
+            self.base_depth
+        }
+    }
+
+    /// The fraction of the first `n` iterations that use the alternate
+    /// shape (diagnostic).
+    pub fn observed_alt_fraction(&self, n: u32) -> f64 {
+        let alts = (0..n).filter(|&i| self.depth_at(i) == self.alt_depth).count();
+        if self.base_depth == self.alt_depth {
+            return 1.0;
+        }
+        alts as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_locality_never_alternates() {
+        let p = LocalityProfile::full(3);
+        assert!((0..100).all(|i| p.depth_at(i) == 3));
+    }
+
+    #[test]
+    fn mix_fraction_is_respected() {
+        let p = LocalityProfile::mixed(3, 1, 250);
+        let f = p.observed_alt_fraction(10_000);
+        assert!((f - 0.25).abs() < 0.02, "observed {f}");
+    }
+
+    #[test]
+    fn zero_and_full_permille_bounds() {
+        let p0 = LocalityProfile::mixed(3, 1, 0);
+        assert!((0..100).all(|i| p0.depth_at(i) == 3));
+        let p1 = LocalityProfile::mixed(3, 1, 1000);
+        assert!((0..100).all(|i| p1.depth_at(i) == 1));
+    }
+
+    #[test]
+    fn alternates_are_spread_not_clustered() {
+        let p = LocalityProfile::mixed(3, 1, 500);
+        // In any window of 8 consecutive iterations there is at least one
+        // of each shape at a 50% mix.
+        for start in 0..100 {
+            let depths: Vec<u32> = (start..start + 8).map(|i| p.depth_at(i)).collect();
+            assert!(depths.contains(&3) && depths.contains(&1), "window {start}: {depths:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permille")]
+    fn permille_over_1000_rejected() {
+        LocalityProfile::mixed(3, 1, 1001);
+    }
+}

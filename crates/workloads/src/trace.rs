@@ -1,0 +1,129 @@
+//! Allocation traces: a portable record of a workload's allocator traffic.
+//!
+//! Traces decouple workload generation from execution: the same trace can
+//! be replayed against any [`allocators::ParallelAllocator`] (see
+//! [`crate::exec`]) or serialized for offline analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// One allocator event. `id`s are trace-local handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Allocate `size` bytes under handle `id`.
+    Alloc { id: u32, size: u32 },
+    /// Free the block with handle `id`.
+    Free { id: u32 },
+}
+
+/// A per-thread sequence of allocator events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    pub ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// The tree workload's trace for one thread: for each iteration,
+    /// allocate every node of a depth-`depth` tree, then free them all
+    /// (LIFO, as destructors run).
+    pub fn tree(depth: u32, iterations: u32, node_size: u32) -> Trace {
+        let nodes = (1u32 << (depth + 1)) - 1;
+        let mut ops = Vec::with_capacity((nodes as usize * 2) * iterations as usize);
+        for _ in 0..iterations {
+            for id in 0..nodes {
+                ops.push(TraceOp::Alloc { id, size: node_size });
+            }
+            for id in (0..nodes).rev() {
+                ops.push(TraceOp::Free { id });
+            }
+        }
+        Trace { ops }
+    }
+
+    /// Number of allocations in the trace.
+    pub fn alloc_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, TraceOp::Alloc { .. })).count()
+    }
+
+    /// Number of frees in the trace.
+    pub fn free_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, TraceOp::Free { .. })).count()
+    }
+
+    /// Check the trace is well-formed: every free refers to a live handle,
+    /// every alloc to a dead one, and nothing is live at the end.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut live = std::collections::HashSet::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                TraceOp::Alloc { id, .. } => {
+                    if !live.insert(*id) {
+                        return Err(format!("op {i}: alloc of live handle {id}"));
+                    }
+                }
+                TraceOp::Free { id } => {
+                    if !live.remove(id) {
+                        return Err(format!("op {i}: free of dead handle {id}"));
+                    }
+                }
+            }
+        }
+        if live.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} handles leaked", live.len()))
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_trace_is_balanced_and_valid() {
+        let t = Trace::tree(3, 10, 20);
+        assert_eq!(t.alloc_count(), 15 * 10);
+        assert_eq!(t.free_count(), 15 * 10);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_double_alloc() {
+        let t = Trace {
+            ops: vec![
+                TraceOp::Alloc { id: 1, size: 8 },
+                TraceOp::Alloc { id: 1, size: 8 },
+            ],
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_dangling_free() {
+        let t = Trace { ops: vec![TraceOp::Free { id: 9 }] };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_leak() {
+        let t = Trace { ops: vec![TraceOp::Alloc { id: 1, size: 8 }] };
+        assert!(t.validate().unwrap_err().contains("leaked"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::tree(1, 2, 20);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,96 @@
+//! A long-running-server scenario: worker threads process bursts of
+//! requests through sharded structure pools and shadowed buffers, while
+//! the pool registry reports fleet-wide statistics and trims parked memory
+//! between load phases — the §5.1 "returning memory from the pools to the
+//! operating system on demand".
+//!
+//! ```text
+//! cargo run --release --example server_pools
+//! ```
+
+use pools::structure_pool::Reusable;
+use pools::{PoolConfig, PoolRegistry, ShadowBuf, ShardedPool, StructurePool};
+use std::sync::Arc;
+use std::time::Instant;
+use workloads::bgw::{BgwPipeline, CdrGenerator};
+use workloads::tree::{PoolTree, TreeParams};
+
+const WORKERS: u32 = 4;
+const BURSTS: u32 = 3;
+const REQUESTS_PER_BURST: u32 = 5_000;
+
+fn main() {
+    let registry = PoolRegistry::new();
+
+    // Per-request object structures: a sharded pool (one shard per worker).
+    let sessions: Arc<ShardedPool<PoolTree>> = Arc::new(ShardedPool::with_config(
+        WORKERS as usize,
+        PoolConfig { max_objects: Some(64), ..Default::default() },
+    ));
+    registry.register("session-structures", &sessions);
+
+    // A second pool for small reply objects, shared LIFO.
+    let replies: Arc<StructurePool<PoolTree>> = Arc::new(StructurePool::new());
+    registry.register("reply-structures", &replies);
+
+    for burst in 1..=BURSTS {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for worker in 0..WORKERS {
+                let sessions = Arc::clone(&sessions);
+                let replies = Arc::clone(&replies);
+                s.spawn(move || {
+                    // Each worker also keeps a shadowed scratch buffer and a
+                    // small CDR pipeline (thread-local, lock-free).
+                    let mut scratch = ShadowBuf::with_config(PoolConfig::bgw(8, 16 * 1024));
+                    let mut pipeline = BgwPipeline::new(true, PoolConfig::bgw(8, 16 * 1024));
+                    let mut gen = CdrGenerator::new(worker as u64);
+                    let mut digest = 0u64;
+                    for i in 0..REQUESTS_PER_BURST {
+                        // "Parse" a request record.
+                        let cdr = gen.next_cdr();
+                        digest = digest.wrapping_add(pipeline.process(&cdr));
+                        // Session state: a small structure from the shard.
+                        let params =
+                            TreeParams { depth: 2, seed: worker * 100_000 + i };
+                        let mut session = sessions.acquire(|| PoolTree::fresh(&params));
+                        session.reinit(&params);
+                        digest = digest.wrapping_add(session.checksum());
+                        // A reply object.
+                        let reply = replies
+                            .alloc(&TreeParams { depth: 1, seed: i });
+                        digest = digest.wrapping_add(reply.checksum());
+                        replies.free(reply);
+                        // Scratch buffer with wobbling size.
+                        let buf = scratch.acquire(512 + (i as usize * 7) % 128);
+                        digest = digest.wrapping_add(buf.len() as u64);
+                        scratch.release(buf);
+                        session.recycle();
+                        sessions.release(session);
+                    }
+                    digest
+                });
+            }
+        });
+
+        let elapsed = start.elapsed();
+        println!(
+            "burst {burst}: {} requests on {WORKERS} workers in {elapsed:?}",
+            WORKERS * REQUESTS_PER_BURST
+        );
+        for line in registry.report() {
+            println!("    {line}");
+        }
+        let agg = registry.aggregate_stats();
+        println!(
+            "    fleet: hit rate {:.1}%  parked {}  dropped {}",
+            100.0 * agg.pool_hits as f64 / (agg.pool_hits + agg.fresh_allocs).max(1) as f64,
+            registry.total_parked(),
+            agg.dropped
+        );
+
+        // Quiet period between bursts: return parked memory on demand.
+        let trimmed = registry.trim_all();
+        println!("    idle trim released {trimmed} structures\n");
+    }
+}

@@ -1,0 +1,46 @@
+//! Reproduce the core of Figures 4–10 interactively: speedup of each
+//! memory-management strategy on the simulated 8-CPU SMP.
+//!
+//! ```text
+//! cargo run --release --example speedup_sim [depth] [total_trees]
+//! ```
+
+use smp_sim::params::CostParams;
+use smp_sim::run::{baseline_wall_ns, run_tree, ModelKind, TreeExperiment};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let depth: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let total_trees: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_000);
+
+    let exp = TreeExperiment { depth, total_trees, cpus: 8, params: CostParams::default() };
+    let base = baseline_wall_ns(&exp);
+    let threads = [1usize, 2, 4, 6, 8, 12, 16];
+
+    println!(
+        "Binary trees of depth {depth} ({} nodes each), {total_trees} trees total, 8 CPUs.",
+        (1u32 << (depth + 1)) - 1
+    );
+    println!("Speedup vs 1-thread Solaris-default malloc (baseline {:.2} ms):\n", base as f64 / 1e6);
+
+    print!("{:<18}", "threads");
+    for t in threads {
+        print!("{t:>8}");
+    }
+    println!();
+    for kind in [
+        ModelKind::Serial,
+        ModelKind::Ptmalloc,
+        ModelKind::Hoard,
+        ModelKind::Amplify,
+        ModelKind::Handmade,
+    ] {
+        print!("{:<18}", kind.name());
+        for t in threads {
+            let m = run_tree(kind, t, &exp);
+            print!("{:>8.2}", base as f64 / m.wall_ns as f64);
+        }
+        println!();
+    }
+    println!("\n(Each line regenerates one curve of Figures 4/5/6 and 10.)");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the Amplify reproduction workspace.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). The actual functionality lives
+//! in the member crates:
+//!
+//! * [`cxx_frontend`] — fault-tolerant C++-subset front end (lexer, parser,
+//!   AST, span-based rewriter).
+//! * [`amplify`] — the paper's contribution: the Amplify pre-processor that
+//!   rewrites C++ to use automatically generated structure pools.
+//! * [`pools`] — structure-pool runtime (object pools, structure pools,
+//!   shadow pointers, shadowed realloc buffers, sharded pools).
+//! * [`allocators`] — executable baseline allocators (serial global-lock
+//!   heap, ptmalloc-like multi-arena, Hoard-like per-CPU heaps).
+//! * [`smp_sim`] — deterministic discrete-event SMP simulator used to
+//!   regenerate the paper's 8-processor speedup/scaleup figures.
+//! * [`workloads`] — binary-tree and Billing-Gateway (CDR) workload
+//!   generators and trace execution.
+
+pub use allocators;
+pub use amplify;
+pub use cxx_frontend;
+pub use pools;
+pub use smp_sim;
+pub use workloads;
