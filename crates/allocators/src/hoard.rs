@@ -105,9 +105,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..16 {
             let a2 = Arc::clone(&a);
-            let idx = std::thread::spawn(move || a2.heap_for_current_thread())
-                .join()
-                .unwrap();
+            let idx = std::thread::spawn(move || a2.heap_for_current_thread()).join().unwrap();
             seen.insert(idx);
         }
         // With 16 threads over 8 heaps, essentially certain to hit >1 heap.

@@ -1,9 +1,7 @@
 //! Property-based tests: the heap core against a reference model, and the
 //! parallel allocators under random cross-thread usage.
 
-use allocators::{
-    HoardAllocator, ParallelAllocator, PtmallocAllocator, RawHeap, SerialAllocator,
-};
+use allocators::{HoardAllocator, ParallelAllocator, PtmallocAllocator, RawHeap, SerialAllocator};
 use proptest::prelude::*;
 
 /// A random alloc/free script: `Alloc(size)` or `Free(index into live)`.

@@ -164,11 +164,8 @@ fn collect_classes(
             if f.ty.pointers != 1 {
                 continue;
             }
-            let kind = if f.ty.is_builtin() {
-                FieldKind::DataArrayPtr
-            } else {
-                FieldKind::ObjectPtr
-            };
+            let kind =
+                if f.ty.is_builtin() { FieldKind::DataArrayPtr } else { FieldKind::ObjectPtr };
             if kind == FieldKind::DataArrayPtr && !options.amplify_arrays {
                 continue;
             }
@@ -360,8 +357,7 @@ private:
     #[test]
     fn delete_sites_are_found_including_dtor() {
         let a = analyzed();
-        let members: Vec<_> =
-            a.deletes.iter().map(|d| (d.member.clone(), d.is_array)).collect();
+        let members: Vec<_> = a.deletes.iter().map(|d| (d.member.clone(), d.is_array)).collect();
         assert!(members.contains(&("left".into(), false)));
         assert!(members.contains(&("right".into(), false)));
         assert!(members.contains(&("buffer".into(), true)));
@@ -382,10 +378,7 @@ private:
     #[test]
     fn composition_edges() {
         let a = analyzed();
-        assert!(a
-            .composition
-            .iter()
-            .any(|(o, f, t)| o == "Root" && f == "left" && t == "Child"));
+        assert!(a.composition.iter().any(|(o, f, t)| o == "Root" && f == "left" && t == "Child"));
         // `char*` is not a class edge.
         assert!(!a.composition.iter().any(|(_, f, _)| f == "buffer"));
     }
@@ -435,12 +428,12 @@ class A { public: void f() { p = new(pShadow) T(); } private: T* p; };
 
     #[test]
     fn project_mode_merges_class_tables() {
-        let header = parse_source("b.h", "class Item { public: Item(int); };\n\
-                                          class Box { public: ~Box(); Item* item; };");
-        let source = parse_source(
-            "b.cpp",
-            "Box::~Box() { delete item; item = new Item(1); }",
+        let header = parse_source(
+            "b.h",
+            "class Item { public: Item(int); };\n\
+                                          class Box { public: ~Box(); Item* item; };",
         );
+        let source = parse_source("b.cpp", "Box::~Box() { delete item; item = new Item(1); }");
         let analyses = analyze_project(&[header, source], &AmplifyOptions::default());
         assert_eq!(analyses.len(), 2);
         // Both analyses see both classes.
@@ -466,19 +459,13 @@ class A { public: void f() { p = new(pShadow) T(); } private: T* p; };
         let a = parse_source("a.h", "class Owner { Part* part; };");
         let b = parse_source("b.h", "class Part { int x; };");
         let analyses = analyze_project(&[a, b], &AmplifyOptions::default());
-        assert!(analyses[0]
-            .composition
-            .iter()
-            .any(|(o, _, p)| o == "Owner" && p == "Part"));
+        assert!(analyses[0].composition.iter().any(|(o, _, p)| o == "Owner" && p == "Part"));
     }
 
     #[test]
     fn exclusion_disables_class() {
         let unit = parse_source("t.cpp", SRC);
-        let opts = AmplifyOptions {
-            exclude_classes: vec!["Root".into()],
-            ..Default::default()
-        };
+        let opts = AmplifyOptions { exclude_classes: vec!["Root".into()], ..Default::default() };
         let a = analyze(&unit, &opts);
         assert!(!a.classes["Root"].enabled);
         assert!(a.classes["Child"].enabled);

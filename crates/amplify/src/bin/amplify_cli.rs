@@ -16,7 +16,7 @@
 //!   --report-json         print the transformation report as JSON
 //! ```
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -83,15 +83,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let out_dir = out_dir.ok_or("missing -o <out-dir>")?;
 
     let amplifier = Amplifier::new(options);
-    let report = amplifier
-        .amplify_files(&inputs, &out_dir)
-        .map_err(|e| format!("i/o error: {e}"))?;
+    let report =
+        amplifier.amplify_files(&inputs, &out_dir).map_err(|e| format!("i/o error: {e}"))?;
 
     if report_json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).map_err(|e| format!("report: {e}"))?
-        );
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| format!("report: {e}"))?);
     } else {
         println!("{}", report.summary());
     }

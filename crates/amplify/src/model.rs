@@ -77,10 +77,7 @@ mod tests {
     fn estimates(src: &str) -> HashMap<String, StructureEstimate> {
         let unit = parse_source("t.cpp", src);
         let a = analyze(&unit, &AmplifyOptions::default());
-        estimate_structures(&a)
-            .into_iter()
-            .map(|e| (e.class.clone(), e))
-            .collect()
+        estimate_structures(&a).into_iter().map(|e| (e.class.clone(), e)).collect()
     }
 
     #[test]

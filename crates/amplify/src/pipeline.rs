@@ -100,7 +100,11 @@ impl Amplifier {
     /// runtime header next to them. All inputs are processed as **one
     /// project** (headers inform the rewriting of sources). Returns the
     /// merged report.
-    pub fn amplify_files<P: AsRef<Path>>(&self, inputs: &[P], out_dir: &Path) -> io::Result<Report> {
+    pub fn amplify_files<P: AsRef<Path>>(
+        &self,
+        inputs: &[P],
+        out_dir: &Path,
+    ) -> io::Result<Report> {
         fs::create_dir_all(out_dir)?;
         let mut names = Vec::with_capacity(inputs.len());
         let mut texts = Vec::with_capacity(inputs.len());
@@ -108,11 +112,7 @@ impl Amplifier {
             let input = input.as_ref();
             texts.push(fs::read_to_string(input)?);
             names.push(
-                input
-                    .file_name()
-                    .and_then(|n| n.to_str())
-                    .unwrap_or("input.cpp")
-                    .to_string(),
+                input.file_name().and_then(|n| n.to_str()).unwrap_or("input.cpp").to_string(),
             );
         }
         let files: Vec<(&str, &str)> =
@@ -172,7 +172,9 @@ private:
         assert!(t.contains("if (engine) { engine->~Engine(); engineShadow = engine; }"));
         assert!(t.contains("engine = new(engineShadow) Engine(power);"));
         assert!(t.contains("plateShadow = ::amplify::shadow_array(plate);"));
-        assert!(t.contains("plate = (char*) ::amplify::array_realloc(plateShadow, (len), sizeof(char));"));
+        assert!(t.contains(
+            "plate = (char*) ::amplify::array_realloc(plateShadow, (len), sizeof(char));"
+        ));
         assert!(t.contains("#include \"amplify_runtime.hpp\""));
 
         let r = &out.report;
@@ -239,16 +241,15 @@ private:
     }
 
     #[test]
-    fn files_round_trip(){
+    fn files_round_trip() {
         let dir = std::env::temp_dir().join("amplify_pipe_test");
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let input = dir.join("car.cpp");
         fs::write(&input, CAR).unwrap();
         let out_dir = dir.join("out");
-        let report = Amplifier::new(AmplifyOptions::default())
-            .amplify_files(&[&input], &out_dir)
-            .unwrap();
+        let report =
+            Amplifier::new(AmplifyOptions::default()).amplify_files(&[&input], &out_dir).unwrap();
         assert_eq!(report.classes_amplified, 2);
         assert!(out_dir.join("car.cpp").exists());
         assert!(out_dir.join("amplify_runtime.hpp").exists());

@@ -37,7 +37,9 @@ pub fn apply(analysis: &Analysis, rw: &mut Rewriter, report: &mut Report) {
         if site.array_len.is_none() {
             continue;
         }
-        let Some(class) = analysis.classes.get(&site.class) else { continue };
+        let Some(class) = analysis.classes.get(&site.class) else {
+            continue;
+        };
         if let Some(field) = class.field(&site.member) {
             if field.kind == FieldKind::DataArrayPtr && field.pointee == site.ty {
                 eligible.insert((site.class.clone(), site.member.clone()));
@@ -54,7 +56,9 @@ pub fn apply(analysis: &Analysis, rw: &mut Rewriter, report: &mut Report) {
         if !class.enabled {
             continue;
         }
-        let Some(field) = class.field(&site.member) else { continue };
+        let Some(field) = class.field(&site.member) else {
+            continue;
+        };
         if field.kind != FieldKind::DataArrayPtr
             || !eligible.contains(&(site.class.clone(), site.member.clone()))
         {
@@ -77,7 +81,9 @@ pub fn apply(analysis: &Analysis, rw: &mut Rewriter, report: &mut Report) {
         if !class.enabled {
             continue;
         }
-        let Some(field) = class.field(&site.member) else { continue };
+        let Some(field) = class.field(&site.member) else {
+            continue;
+        };
         if field.kind != FieldKind::DataArrayPtr || field.pointee != site.ty {
             report.sites_left_untouched += 1;
             continue;
@@ -113,7 +119,9 @@ mod tests {
         let src = "class B { void f(int n) { buf = new char[n * 2]; } char* buf; };";
         let (out, r) = run(src, &AmplifyOptions::default());
         assert!(
-            out.contains("buf = (char*) ::amplify::array_realloc(bufShadow, (n * 2), sizeof(char));"),
+            out.contains(
+                "buf = (char*) ::amplify::array_realloc(bufShadow, (n * 2), sizeof(char));"
+            ),
             "got: {out}"
         );
         assert_eq!(r.array_rewrites, 1);
@@ -145,7 +153,8 @@ mod tests {
 
     #[test]
     fn disabled_arrays_leave_source_untouched() {
-        let src = "class B { void f(int n) { buf = new char[n]; } ~B() { delete[] buf; } char* buf; };";
+        let src =
+            "class B { void f(int n) { buf = new char[n]; } ~B() { delete[] buf; } char* buf; };";
         let opts = AmplifyOptions { amplify_arrays: false, ..Default::default() };
         let (out, r) = run(src, &opts);
         assert!(out.contains("buf = new char[n];"));

@@ -29,9 +29,7 @@ pub fn apply(analysis: &Analysis, rw: &mut Rewriter, report: &mut Report) {
             continue;
         }
         if class.has_operator_new {
-            report
-                .classes_skipped
-                .push((class.name.clone(), SkipReason::HasOperatorNew));
+            report.classes_skipped.push((class.name.clone(), SkipReason::HasOperatorNew));
             continue;
         }
         let name = &class.name;
@@ -96,16 +94,12 @@ mod tests {
         let (out, r) = run(src, &AmplifyOptions::default());
         assert!(!out.contains("amplify::Pool"));
         assert_eq!(r.classes_amplified, 0);
-        assert_eq!(r.classes_skipped, vec![(
-            "Special".to_string(),
-            SkipReason::HasOperatorNew
-        )]);
+        assert_eq!(r.classes_skipped, vec![("Special".to_string(), SkipReason::HasOperatorNew)]);
     }
 
     #[test]
     fn excluded_class_is_skipped() {
-        let opts =
-            AmplifyOptions { exclude_classes: vec!["Car".into()], ..Default::default() };
+        let opts = AmplifyOptions { exclude_classes: vec!["Car".into()], ..Default::default() };
         let (out, r) = run("class Car { int x; };", &opts);
         assert!(!out.contains("amplify::Pool"));
         assert_eq!(r.classes_skipped, vec![("Car".to_string(), SkipReason::Excluded)]);
@@ -121,8 +115,7 @@ mod tests {
 
     #[test]
     fn multiple_classes_all_amplified() {
-        let (out, r) =
-            run("class A { int x; };\nclass B { int y; };", &AmplifyOptions::default());
+        let (out, r) = run("class A { int x; };\nclass B { int y; };", &AmplifyOptions::default());
         assert!(out.contains("Pool< A >"));
         assert!(out.contains("Pool< B >"));
         assert_eq!(r.classes_amplified, 2);

@@ -17,10 +17,7 @@ use cxx_frontend::Rewriter;
 
 /// True if `ty` names a class that received pool operators.
 fn pointee_amplified(analysis: &Analysis, ty: &str) -> bool {
-    analysis
-        .classes
-        .get(ty)
-        .is_some_and(|c| c.enabled && !c.has_operator_new)
+    analysis.classes.get(ty).is_some_and(|c| c.enabled && !c.has_operator_new)
 }
 
 /// The shadow expression matching how the member was written:
@@ -58,8 +55,12 @@ fn eligible_members(analysis: &Analysis) -> std::collections::HashSet<(String, S
         if site.array_len.is_some() {
             continue;
         }
-        let Some(class) = analysis.classes.get(&site.class) else { continue };
-        let Some(field) = class.field(&site.member) else { continue };
+        let Some(class) = analysis.classes.get(&site.class) else {
+            continue;
+        };
+        let Some(field) = class.field(&site.member) else {
+            continue;
+        };
         if field.kind != FieldKind::ObjectPtr {
             continue;
         }
@@ -87,7 +88,9 @@ pub fn apply(analysis: &Analysis, rw: &mut Rewriter, report: &mut Report) {
         if !class.enabled {
             continue;
         }
-        let Some(field) = class.field(&site.member) else { continue };
+        let Some(field) = class.field(&site.member) else {
+            continue;
+        };
         if field.kind != FieldKind::ObjectPtr
             || !eligible.contains(&(site.class.clone(), site.member.clone()))
         {
@@ -113,7 +116,9 @@ pub fn apply(analysis: &Analysis, rw: &mut Rewriter, report: &mut Report) {
         if !class.enabled {
             continue;
         }
-        let Some(field) = class.field(&site.member) else { continue };
+        let Some(field) = class.field(&site.member) else {
+            continue;
+        };
         if field.kind != FieldKind::ObjectPtr
             || field.pointee != site.ty
             || !eligible.contains(&(site.class.clone(), site.member.clone()))
@@ -154,10 +159,7 @@ mod tests {
              void f(int v) {{ left = new Child(v); }} Child* left; }};"
         );
         let (out, r) = run(&src);
-        assert!(
-            out.contains("if (left) { left->~Child(); leftShadow = left; }"),
-            "got: {out}"
-        );
+        assert!(out.contains("if (left) { left->~Child(); leftShadow = left; }"), "got: {out}");
         assert_eq!(r.delete_rewrites, 1);
     }
 
@@ -210,7 +212,9 @@ mod tests {
         );
         let (out, _) = run(&src);
         assert!(
-            out.contains("if (this->left) { this->left->~Child(); this->leftShadow = this->left; }"),
+            out.contains(
+                "if (this->left) { this->left->~Child(); this->leftShadow = this->left; }"
+            ),
             "got: {out}"
         );
     }

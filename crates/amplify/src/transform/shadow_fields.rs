@@ -80,8 +80,7 @@ mod tests {
 
     #[test]
     fn disabled_class_is_untouched() {
-        let opts =
-            AmplifyOptions { exclude_classes: vec!["A".into()], ..Default::default() };
+        let opts = AmplifyOptions { exclude_classes: vec!["A".into()], ..Default::default() };
         let (out, r) = run("class A { Child* left; };", &opts);
         assert!(!out.contains("Shadow"));
         assert_eq!(r.shadow_fields, 0);

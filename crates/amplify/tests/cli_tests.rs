@@ -56,12 +56,8 @@ fn single_threaded_flag_elides_locks() {
     fs::write(&input, SRC).unwrap();
     let out_dir = dir.join("out");
 
-    let status = cli()
-        .arg(&input)
-        .args(["--single-threaded", "-o"])
-        .arg(&out_dir)
-        .status()
-        .unwrap();
+    let status =
+        cli().arg(&input).args(["--single-threaded", "-o"]).arg(&out_dir).status().unwrap();
     assert!(status.success());
     let header = fs::read_to_string(out_dir.join("amplify_runtime.hpp")).unwrap();
     assert!(!header.contains("mutex"));
@@ -98,12 +94,7 @@ fn report_json_is_machine_readable() {
     fs::write(&input, SRC).unwrap();
     let out_dir = dir.join("out");
 
-    let output = cli()
-        .arg(&input)
-        .args(["--report-json", "-o"])
-        .arg(&out_dir)
-        .output()
-        .unwrap();
+    let output = cli().arg(&input).args(["--report-json", "-o"]).arg(&out_dir).output().unwrap();
     assert!(output.status.success());
     let json: serde_json::Value =
         serde_json::from_slice(&output.stdout).expect("valid JSON report");
@@ -141,12 +132,7 @@ fn inject_stats_flag_instruments_main() {
     fs::write(&input, format!("{SRC}\nint main() {{ Root r; return 0; }}\n")).unwrap();
     let out_dir = dir.join("out");
 
-    let status = cli()
-        .arg(&input)
-        .args(["--inject-stats", "-o"])
-        .arg(&out_dir)
-        .status()
-        .unwrap();
+    let status = cli().arg(&input).args(["--inject-stats", "-o"]).arg(&out_dir).status().unwrap();
     assert!(status.success());
     let rewritten = fs::read_to_string(out_dir.join("prog.cpp")).unwrap();
     assert!(rewritten.contains("::amplify::print_stats(); return 0;"), "{rewritten}");

@@ -13,7 +13,7 @@
 //! cp /tmp/g/amplify_runtime.hpp crates/amplify/testdata/golden/
 //! ```
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use std::fs;
 use std::path::Path;
 

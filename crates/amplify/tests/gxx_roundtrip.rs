@@ -8,7 +8,7 @@
 //!
 //! All tests are skipped gracefully when no C++ compiler is installed.
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -78,11 +78,7 @@ fn parse_stats(output: &str) -> HashMap<String, u64> {
 
 /// Behavioural output: all lines except the stats line.
 fn behaviour(output: &str) -> String {
-    output
-        .lines()
-        .filter(|l| !l.starts_with("amplify-stats"))
-        .collect::<Vec<_>>()
-        .join("\n")
+    output.lines().filter(|l| !l.starts_with("amplify-stats")).collect::<Vec<_>>().join("\n")
 }
 
 /// Amplify `fixture_name`, build original + amplified, run both, and
@@ -125,8 +121,11 @@ fn runtime_header_compiles_standalone_in_all_configs() {
         let dir = temp_dir(&format!("hdr_{name}"));
         let amp = Amplifier::new(options);
         fs::write(dir.join("amplify_runtime.hpp"), amp.runtime_header()).unwrap();
-        fs::write(dir.join("use.cpp"), "#include \"amplify_runtime.hpp\"\nint main() { return 0; }\n")
-            .unwrap();
+        fs::write(
+            dir.join("use.cpp"),
+            "#include \"amplify_runtime.hpp\"\nint main() { return 0; }\n",
+        )
+        .unwrap();
         let out = Command::new("g++")
             .current_dir(&dir)
             .args(["-std=c++11", "-Wall", "-Wextra", "-Werror", "-fsyntax-only", "use.cpp"])
@@ -207,8 +206,8 @@ fn existing_operator_new_is_respected_at_runtime() {
     // The custom counters still reach 100/100 — visible in the behaviour
     // line `custom=100/100`, asserted via equality above. The pre-processor
     // must not have injected pool operators into Special.
-    let special_body = &text[text.find("class Special").unwrap()
-        ..text.find("class Plain").unwrap()];
+    let special_body =
+        &text[text.find("class Special").unwrap()..text.find("class Plain").unwrap()];
     assert!(!special_body.contains("amplify::Pool"));
     // Plain, however, is pooled.
     assert!(text.contains("::amplify::Pool< Plain >::alloc"));
@@ -352,14 +351,7 @@ fn split_header_source_project_round_trips() {
     let bin = amp_dir.join("prog");
     let out = Command::new("g++")
         .current_dir(&amp_dir)
-        .args([
-            "-std=c++11",
-            "-O2",
-            "-fno-lifetime-dse",
-            "carlib.cpp",
-            "main_car.cpp",
-            "-o",
-        ])
+        .args(["-std=c++11", "-O2", "-fno-lifetime-dse", "carlib.cpp", "main_car.cpp", "-o"])
         .arg(&bin)
         .output()
         .unwrap();

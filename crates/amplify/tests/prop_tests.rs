@@ -1,6 +1,6 @@
 //! Property-based tests for the pre-processor.
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use cxx_frontend::parse_source;
 use proptest::prelude::*;
 
@@ -35,10 +35,34 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,6}".prop_filter("keyword-free", |s| {
         !matches!(
             s.as_str(),
-            "new" | "delete" | "if" | "else" | "for" | "do" | "int" | "char" | "long" | "class"
-                | "void" | "return" | "while" | "this" | "bool" | "true" | "false" | "signed"
-                | "float" | "double" | "short" | "case" | "goto" | "union" | "enum" | "struct"
-                | "const" | "using"
+            "new"
+                | "delete"
+                | "if"
+                | "else"
+                | "for"
+                | "do"
+                | "int"
+                | "char"
+                | "long"
+                | "class"
+                | "void"
+                | "return"
+                | "while"
+                | "this"
+                | "bool"
+                | "true"
+                | "false"
+                | "signed"
+                | "float"
+                | "double"
+                | "short"
+                | "case"
+                | "goto"
+                | "union"
+                | "enum"
+                | "struct"
+                | "const"
+                | "using"
         )
     })
 }

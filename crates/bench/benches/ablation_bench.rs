@@ -19,21 +19,17 @@ fn locality_sweep(c: &mut Criterion) {
     g.sample_size(30);
     for permille in [0u32, 100, 300, 500, 1000] {
         let profile = LocalityProfile::mixed(3, 1, permille);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(permille),
-            &profile,
-            |b, profile| {
-                let pool: StructurePool<PoolTree> = StructurePool::new();
-                let mut i = 0u32;
-                b.iter(|| {
-                    let depth = profile.depth_at(i);
-                    i = i.wrapping_add(1);
-                    let t = pool.alloc(&TreeParams { depth, seed: i });
-                    black_box(t.root().data);
-                    pool.free(t);
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(permille), &profile, |b, profile| {
+            let pool: StructurePool<PoolTree> = StructurePool::new();
+            let mut i = 0u32;
+            b.iter(|| {
+                let depth = profile.depth_at(i);
+                i = i.wrapping_add(1);
+                let t = pool.alloc(&TreeParams { depth, seed: i });
+                black_box(t.root().data);
+                pool.free(t);
+            })
+        });
     }
     g.finish();
 }
@@ -44,10 +40,7 @@ fn half_size_rule(c: &mut Criterion) {
     let configs = [
         ("half_size_rule", PoolConfig { half_size_rule: true, ..Default::default() }),
         ("always_reuse", PoolConfig { half_size_rule: false, ..Default::default() }),
-        (
-            "never_shadow",
-            PoolConfig { max_shadow_bytes: Some(0), ..Default::default() },
-        ),
+        ("never_shadow", PoolConfig { max_shadow_bytes: Some(0), ..Default::default() }),
     ];
     for (name, cfg) in configs {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {

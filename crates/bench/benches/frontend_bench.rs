@@ -2,16 +2,14 @@
 //! throughput (a pre-processor runs on every compile, so this matters for
 //! adoption).
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cxx_frontend::parse_source;
 use std::hint::black_box;
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../amplify/testdata")
-        .join(name);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../amplify/testdata").join(name);
     std::fs::read_to_string(path).expect("fixture")
 }
 

@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pools::structure_pool::Reusable;
-use pools::{LocalPool, ObjectPool, ShadowBuf, StructurePool};
+use pools::{
+    LocalPool, ObjectPool, PoolConfig, ShadowBuf, ShardedPool, StructurePool, DEFAULT_MAGAZINE_CAP,
+};
 use std::hint::black_box;
 use workloads::tree::{PoolTree, TreeParams};
 
@@ -34,6 +36,55 @@ fn object_pool_vs_box(c: &mut Criterion) {
             let x = local.acquire(|| [0u8; 64]);
             black_box(&x);
             local.release(x);
+        })
+    });
+    g.finish();
+}
+
+/// The tentpole comparison: steady-state acquire/release through the
+/// thread-local magazine versus the same pool forced into direct
+/// (lock-per-op) mode. Both hit and miss paths.
+fn sharded_magazine_vs_mutex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_hit_path");
+
+    // Direct mode: magazine_cap = 0, every op locks its shard mutex.
+    let direct: ShardedPool<[u8; 64]> = ShardedPool::with_magazines(4, PoolConfig::default(), 0);
+    g.bench_function("mutex_baseline", |b| {
+        b.iter(|| {
+            let x = direct.acquire(|| [0u8; 64]);
+            black_box(&x);
+            direct.release(x);
+        })
+    });
+
+    // Magazine mode: steady state never touches the shard mutex.
+    let mag: ShardedPool<[u8; 64]> =
+        ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
+    g.bench_function("magazine", |b| {
+        b.iter(|| {
+            let x = mag.acquire(|| [0u8; 64]);
+            black_box(&x);
+            mag.release(x);
+        })
+    });
+    g.finish();
+
+    // Miss path: the pool is never refilled (acquired boxes are dropped,
+    // not released), so every acquire falls through to `fresh`.
+    let mut g = c.benchmark_group("sharded_miss_path");
+    let direct: ShardedPool<[u8; 64]> = ShardedPool::with_magazines(4, PoolConfig::default(), 0);
+    g.bench_function("mutex_baseline", |b| {
+        b.iter(|| {
+            let x = direct.acquire(|| [0u8; 64]);
+            black_box(&x);
+        })
+    });
+    let mag: ShardedPool<[u8; 64]> =
+        ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
+    g.bench_function("magazine", |b| {
+        b.iter(|| {
+            let x = mag.acquire(|| [0u8; 64]);
+            black_box(&x);
         })
     });
     g.finish();
@@ -80,5 +131,11 @@ fn shadow_buf_vs_fresh_vec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, object_pool_vs_box, structure_pool_by_depth, shadow_buf_vs_fresh_vec);
+criterion_group!(
+    benches,
+    object_pool_vs_box,
+    sharded_magazine_vs_mutex,
+    structure_pool_by_depth,
+    shadow_buf_vs_fresh_vec
+);
 criterion_main!(benches);

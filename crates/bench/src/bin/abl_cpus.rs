@@ -3,38 +3,49 @@
 //! advantage scales with the machine — the question an adopter with a
 //! 4-way or 16-way box would ask.
 
+use bench::parallel;
 use smp_sim::params::CostParams;
 use smp_sim::run::{run_tree, ModelKind, TreeExperiment};
 
 fn main() {
     let depth = 3;
     let total_trees = 8_000;
-    println!("CPU sweep (threads = CPUs), depth-3 trees, wall ms:");
-    println!(
-        "{:<18}{:>9}{:>9}{:>9}{:>9}{:>9}",
-        "strategy", "1", "2", "4", "8", "16"
-    );
-    for kind in [
+    let kinds = [
         ModelKind::Serial,
         ModelKind::Ptmalloc,
         ModelKind::Hoard,
         ModelKind::Amplify,
         ModelKind::Handmade,
-    ] {
+    ];
+    let cpu_counts = [1u32, 2, 4, 8, 16];
+    let cols = cpu_counts.len();
+
+    // One grid, computed once on the worker pool; both report sections
+    // below read from it (the speedup section used to re-run three models).
+    let wall_ns = parallel::run_indexed(parallel::jobs_from_args(), kinds.len() * cols, |i| {
+        let (kind, cpus) = (kinds[i / cols], cpu_counts[i % cols]);
+        let exp = TreeExperiment { depth, total_trees, cpus, params: CostParams::default() };
+        run_tree(kind, cpus as usize, &exp).wall_ns
+    });
+    let cell = |kind: ModelKind, c: usize| {
+        let k = kinds.iter().position(|&x| x.name() == kind.name()).unwrap();
+        wall_ns[k * cols + c] as f64
+    };
+
+    println!("CPU sweep (threads = CPUs), depth-3 trees, wall ms:");
+    println!("{:<18}{:>9}{:>9}{:>9}{:>9}{:>9}", "strategy", "1", "2", "4", "8", "16");
+    for (k, kind) in kinds.iter().enumerate() {
         print!("{:<18}", kind.name());
-        for cpus in [1u32, 2, 4, 8, 16] {
-            let exp = TreeExperiment { depth, total_trees, cpus, params: CostParams::default() };
-            let m = run_tree(kind, cpus as usize, &exp);
-            print!("{:>9.2}", m.wall_ns as f64 / 1e6);
+        for c in 0..cols {
+            print!("{:>9.2}", wall_ns[k * cols + c] as f64 / 1e6);
         }
         println!();
     }
     println!("\nSpeedup of amplify over the best allocator at each size:");
-    for cpus in [1u32, 2, 4, 8, 16] {
-        let exp = TreeExperiment { depth, total_trees, cpus, params: CostParams::default() };
-        let a = run_tree(ModelKind::Amplify, cpus as usize, &exp).wall_ns as f64;
-        let p = run_tree(ModelKind::Ptmalloc, cpus as usize, &exp).wall_ns as f64;
-        let h = run_tree(ModelKind::Hoard, cpus as usize, &exp).wall_ns as f64;
+    for (c, cpus) in cpu_counts.iter().enumerate() {
+        let a = cell(ModelKind::Amplify, c);
+        let p = cell(ModelKind::Ptmalloc, c);
+        let h = cell(ModelKind::Hoard, c);
         println!("  {cpus:>2} CPUs: {:.2}x", p.min(h) / a);
     }
 }

@@ -8,26 +8,31 @@
 //! must reorganize (reuse a subset, or extend a smaller parked structure).
 //! Both Amplify and ptmalloc run the *same* mixed workload.
 
+use bench::parallel;
 use smp_sim::params::CostParams;
 use smp_sim::run::{run_tree_with_locality, ModelKind, TreeExperiment};
 
 fn main() {
-    let exp = TreeExperiment {
-        depth: 5,
-        total_trees: 8_000,
-        cpus: 8,
-        params: CostParams::default(),
-    };
+    let exp =
+        TreeExperiment { depth: 5, total_trees: 8_000, cpus: 8, params: CostParams::default() };
     let threads = 8;
+    let permilles = [0u32, 50, 100, 250, 500, 750, 1000];
+
+    // Each sweep point runs both models; points fan out over the pool.
+    let runs = parallel::run_indexed(parallel::jobs_from_args(), permilles.len(), |i| {
+        let permille = permilles[i];
+        (
+            run_tree_with_locality(ModelKind::Amplify, threads, &exp, 1, permille),
+            run_tree_with_locality(ModelKind::Ptmalloc, threads, &exp, 1, permille),
+        )
+    });
 
     println!("Locality sweep: depth-5 trees with N% depth-1 interleaved, 8 threads / 8 CPUs");
     println!(
         "{:<10}{:>13}{:>14}{:>12}{:>11}{:>10}{:>12}",
         "alt %", "amplify ms", "ptmalloc ms", "advantage", "full hit", "partial", "waste"
     );
-    for permille in [0u32, 50, 100, 250, 500, 750, 1000] {
-        let a = run_tree_with_locality(ModelKind::Amplify, threads, &exp, 1, permille);
-        let p = run_tree_with_locality(ModelKind::Ptmalloc, threads, &exp, 1, permille);
+    for (permille, (a, p)) in permilles.iter().copied().zip(&runs) {
         let hits = a.counter("pool_hits").unwrap_or(0);
         let partial = a.counter("partial_hits").unwrap_or(0);
         let total = hits + partial + a.counter("misses").unwrap_or(0);

@@ -28,6 +28,29 @@ fn run_burst(model: Box<dyn AllocModel>, node_size: u32) -> RunMetrics {
 
 fn main() {
     let params = CostParams::default();
+    let configs = [
+        ("amplify unbounded", None),
+        ("amplify cap 32/pool", Some(32usize)),
+        ("amplify cap 8/pool", Some(8)),
+        ("amplify cap 1/pool", Some(1)),
+    ];
+
+    // Slot 0 is the serial baseline; the rest are the capped configs. All
+    // five bursty runs fan out over the worker pool.
+    let runs =
+        bench::parallel::run_indexed(bench::parallel::jobs_from_args(), configs.len() + 1, |i| {
+            if i == 0 {
+                return run_burst(ModelKind::Serial.build(THREADS, 8, params), 20);
+            }
+            let mut cfg = AmplifyConfig::synthetic(THREADS, 8);
+            cfg.max_per_pool = configs[i - 1].1;
+            let model = Box::new(AmplifyModel::with_params(
+                cfg,
+                Box::new(SerialModel::with_params(params)),
+                params,
+            ));
+            run_burst(model, 28)
+        });
 
     println!(
         "Memory overhead, bursty workload ({BURST} live depth-5 trees per thread, \
@@ -38,7 +61,7 @@ fn main() {
         "configuration", "footprint KiB", "wall ms", "parked nodes", "dropped"
     );
 
-    let serial = run_burst(ModelKind::Serial.build(THREADS, 8, params), 20);
+    let serial = &runs[0];
     println!(
         "{:<26}{:>15.1}{:>12.2}{:>15}{:>10}",
         "serial (no pools)",
@@ -47,22 +70,7 @@ fn main() {
         0,
         0
     );
-
-    let configs = [
-        ("amplify unbounded", None),
-        ("amplify cap 32/pool", Some(32usize)),
-        ("amplify cap 8/pool", Some(8)),
-        ("amplify cap 1/pool", Some(1)),
-    ];
-    for (name, cap) in configs {
-        let mut cfg = AmplifyConfig::synthetic(THREADS, 8);
-        cfg.max_per_pool = cap;
-        let model = Box::new(AmplifyModel::with_params(
-            cfg,
-            Box::new(SerialModel::with_params(params)),
-            params,
-        ));
-        let m = run_burst(model, 28);
+    for ((name, _), m) in configs.iter().zip(&runs[1..]) {
         println!(
             "{:<26}{:>15.1}{:>12.2}{:>15}{:>10}",
             name,

@@ -4,31 +4,32 @@
 //! one shard every thread shares one free list (lock waiting + structure
 //! swapping between threads); with 8+ the pools behave thread-privately.
 
+use bench::parallel;
 use smp_sim::models::{AmplifyConfig, AmplifyModel, SerialModel};
 use smp_sim::params::CostParams;
 use smp_sim::run::{run_tree_with_model, TreeExperiment};
 
 fn main() {
-    let exp = TreeExperiment {
-        depth: 3,
-        total_trees: 8_000,
-        cpus: 8,
-        params: CostParams::default(),
-    };
+    let exp =
+        TreeExperiment { depth: 3, total_trees: 8_000, cpus: 8, params: CostParams::default() };
     let threads = 8;
+    let shard_counts = [1usize, 2, 4, 8, 16];
+
+    let metrics = parallel::run_indexed(parallel::jobs_from_args(), shard_counts.len(), |i| {
+        let model = Box::new(AmplifyModel::with_params(
+            AmplifyConfig::synthetic(threads, shard_counts[i]),
+            Box::new(SerialModel::with_params(exp.params)),
+            exp.params,
+        ));
+        run_tree_with_model(model, threads, &exp, 28)
+    });
 
     println!("Pool shard sweep: depth-3 trees, 8 threads / 8 CPUs");
     println!(
         "{:<10}{:>12}{:>16}{:>16}{:>16}",
         "shards", "wall ms", "lock wait ms", "failed locks", "coherence"
     );
-    for shards in [1usize, 2, 4, 8, 16] {
-        let model = Box::new(AmplifyModel::with_params(
-            AmplifyConfig::synthetic(threads, shards),
-            Box::new(SerialModel::with_params(exp.params)),
-            exp.params,
-        ));
-        let m = run_tree_with_model(model, threads, &exp, 28);
+    for (shards, m) in shard_counts.iter().zip(&metrics) {
         println!(
             "{:<10}{:>12.2}{:>16.2}{:>16}{:>16}",
             shards,

@@ -4,7 +4,13 @@ use bench::figures::{self, speedup_figure, standard_kinds, TOTAL_TREES};
 use std::path::Path;
 
 fn main() {
-    let fig = speedup_figure("fig04", 1, &standard_kinds(), TOTAL_TREES);
+    let fig = speedup_figure(
+        "fig04",
+        1,
+        &standard_kinds(),
+        TOTAL_TREES,
+        bench::parallel::jobs_from_args(),
+    );
     print!("{}", fig.ascii());
     let _ = figures::FigureData::write_csv(&fig, Path::new("results"));
 }

@@ -4,7 +4,13 @@ use bench::figures::{scaleup_figure, speedup_figure, standard_kinds, TOTAL_TREES
 use std::path::Path;
 
 fn main() {
-    let speedup = speedup_figure("fig04", 1, &standard_kinds(), TOTAL_TREES);
+    let speedup = speedup_figure(
+        "fig04",
+        1,
+        &standard_kinds(),
+        TOTAL_TREES,
+        bench::parallel::jobs_from_args(),
+    );
     let fig = scaleup_figure("fig07", &speedup, 1);
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));

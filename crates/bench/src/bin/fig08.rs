@@ -4,7 +4,13 @@ use bench::figures::{scaleup_figure, speedup_figure, standard_kinds, TOTAL_TREES
 use std::path::Path;
 
 fn main() {
-    let speedup = speedup_figure("fig05", 3, &standard_kinds(), TOTAL_TREES);
+    let speedup = speedup_figure(
+        "fig05",
+        3,
+        &standard_kinds(),
+        TOTAL_TREES,
+        bench::parallel::jobs_from_args(),
+    );
     let fig = scaleup_figure("fig08", &speedup, 3);
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));

@@ -5,7 +5,8 @@ use bench::figures::{fig10_kinds, speedup_figure, TOTAL_TREES};
 use std::path::Path;
 
 fn main() {
-    let fig = speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES);
+    let fig =
+        speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES, bench::parallel::jobs_from_args());
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));
 }

@@ -5,7 +5,7 @@ use bench::figures::{bgw_figure, BGW_CDRS};
 use std::path::Path;
 
 fn main() {
-    let fig = bgw_figure(BGW_CDRS);
+    let fig = bgw_figure(BGW_CDRS, bench::parallel::jobs_from_args());
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));
 }

@@ -12,7 +12,7 @@
 //! only the sequential comparison is made natively — the multiprocessor
 //! curves come from the simulator.)
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -22,9 +22,7 @@ const ITERS: u32 = 300_000;
 const RUNS: usize = 5;
 
 fn fixture(name: &str) -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../amplify/testdata")
-        .join(name);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../amplify/testdata").join(name);
     fs::read_to_string(path).expect("bundled fixture")
 }
 
@@ -64,10 +62,7 @@ fn time_program(bin: &Path) -> (f64, String) {
 }
 
 fn checksum_line(output: &str) -> &str {
-    output
-        .lines()
-        .find(|l| l.starts_with("checksum="))
-        .expect("checksum line")
+    output.lines().find(|l| l.starts_with("checksum=")).expect("checksum line")
 }
 
 fn main() {

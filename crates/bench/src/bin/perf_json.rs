@@ -1,0 +1,120 @@
+//! Machine-readable perf snapshot: writes `BENCH_pools.json` (ns/op for the
+//! pool acquire/release hit and miss paths, magazine fast path versus the
+//! mutex-per-op baseline) and `BENCH_repro.json` (harness wall-clock, serial
+//! versus `--jobs N`), so future changes can track the perf trajectory.
+//!
+//! Usage: `perf_json [output_dir]` (default: current directory).
+
+use bench::figures;
+use bench::parallel;
+use pools::{PoolConfig, ShardedPool, DEFAULT_MAGAZINE_CAP};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median ns/op over `samples` batched timing runs of `f`.
+fn measure_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up and size the batch for ~2ms per sample.
+    let warmup = Instant::now();
+    let mut iters: u64 = 0;
+    while warmup.elapsed().as_millis() < 10 {
+        f();
+        iters += 1;
+    }
+    let est_ns = (10_000_000.0 / iters.max(1) as f64).max(0.5);
+    let batch = ((2_000_000.0 / est_ns) as u64).max(1);
+    let samples = 21;
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        times.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[samples / 2]
+}
+
+fn hit_pair_ns(pool: &ShardedPool<[u8; 64]>) -> f64 {
+    measure_ns(|| {
+        let x = pool.acquire(|| [0u8; 64]);
+        black_box(&x);
+        pool.release(x);
+    })
+}
+
+fn miss_ns(pool: &ShardedPool<[u8; 64]>) -> f64 {
+    measure_ns(|| {
+        // Dropping without release keeps the pool empty: always a miss.
+        let x = pool.acquire(|| [0u8; 64]);
+        black_box(&x);
+    })
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let dir = std::path::Path::new(&dir);
+
+    // --- Pool micro-benchmarks -------------------------------------------
+    eprintln!("[perf_json] measuring pool paths (magazine vs mutex baseline)...");
+    let direct: ShardedPool<[u8; 64]> = ShardedPool::with_magazines(4, PoolConfig::default(), 0);
+    let mag: ShardedPool<[u8; 64]> =
+        ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
+
+    let hit_before = hit_pair_ns(&direct);
+    let hit_after = hit_pair_ns(&mag);
+    let miss_before = miss_ns(&direct);
+    let miss_after = miss_ns(&mag);
+    let reduction_pct = 100.0 * (1.0 - hit_after / hit_before);
+
+    let pools_json = format!(
+        "{{\n  \"schema\": \"pools-perf-v1\",\n  \"object\": \"[u8; 64]\",\n  \"shards\": 4,\n  \
+         \"magazine_cap\": {cap},\n  \"acquire_release_hit\": {{\n    \
+         \"mutex_baseline_ns\": {hb:.2},\n    \"magazine_ns\": {ha:.2},\n    \
+         \"reduction_pct\": {rp:.1}\n  }},\n  \"acquire_miss\": {{\n    \
+         \"mutex_baseline_ns\": {mb:.2},\n    \"magazine_ns\": {ma:.2}\n  }}\n}}\n",
+        cap = DEFAULT_MAGAZINE_CAP,
+        hb = hit_before,
+        ha = hit_after,
+        rp = reduction_pct,
+        mb = miss_before,
+        ma = miss_after,
+    );
+    let pools_path = dir.join("BENCH_pools.json");
+    std::fs::write(&pools_path, &pools_json).expect("write BENCH_pools.json");
+    eprintln!(
+        "[perf_json] hit path: {hit_before:.1} ns (mutex) -> {hit_after:.1} ns (magazine), \
+         {reduction_pct:.1}% reduction -> {}",
+        pools_path.display()
+    );
+
+    // --- Harness wall-clock ----------------------------------------------
+    let jobs = parallel::default_jobs();
+    eprintln!("[perf_json] timing a speedup grid, serial vs {jobs} worker(s)...");
+    let kinds = figures::standard_kinds();
+    let t = Instant::now();
+    let serial = figures::speedup_figure("perf", 3, &kinds, 800, 1);
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let fanned = figures::speedup_figure("perf", 3, &kinds, 800, jobs);
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial.csv_string(), fanned.csv_string(), "parallel CSV must be byte-identical");
+
+    let repro_json = format!(
+        "{{\n  \"schema\": \"repro-perf-v1\",\n  \"grid\": \"speedup depth=3 trees=800 kinds={nk} \
+         threads={nt}\",\n  \"jobs\": {jobs},\n  \"serial_wall_ms\": {s:.1},\n  \
+         \"parallel_wall_ms\": {p:.1},\n  \"speedup\": {sp:.2},\n  \"csv_byte_identical\": true\n}}\n",
+        nk = kinds.len(),
+        nt = figures::THREADS.len(),
+        s = serial_ms,
+        p = parallel_ms,
+        sp = serial_ms / parallel_ms,
+    );
+    let repro_path = dir.join("BENCH_repro.json");
+    std::fs::write(&repro_path, &repro_json).expect("write BENCH_repro.json");
+    eprintln!(
+        "[perf_json] grid wall-clock: {serial_ms:.0} ms serial, {parallel_ms:.0} ms on {jobs} \
+         worker(s) -> {}",
+        repro_path.display()
+    );
+}

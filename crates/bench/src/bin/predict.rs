@@ -31,9 +31,7 @@ fn simulate(kind: ModelKind, nodes: u32) -> u64 {
             Box::new(TreeProgram::new(shape, STRUCTURES_PER_THREAD, &params)) as Box<dyn Program>
         })
         .collect();
-    Sim::new(SimConfig::new(8), kind.build(THREADS, 8, params), programs)
-        .run()
-        .wall_ns
+    Sim::new(SimConfig::new(8), kind.build(THREADS, 8, params), programs).run().wall_ns
 }
 
 fn main() {
@@ -44,15 +42,14 @@ fn main() {
     } else {
         args.iter()
             .map(|a| {
-                let text = std::fs::read_to_string(a)
-                    .unwrap_or_else(|e| panic!("cannot read {a}: {e}"));
+                let text =
+                    std::fs::read_to_string(a).unwrap_or_else(|e| panic!("cannot read {a}: {e}"));
                 (a.clone(), text)
             })
             .collect()
     };
 
-    let units: Vec<_> =
-        files.iter().map(|(name, text)| parse_source(name, text)).collect();
+    let units: Vec<_> = files.iter().map(|(name, text)| parse_source(name, text)).collect();
     let analyses = analyze_project(&units, &AmplifyOptions::default());
     let estimates = estimate_structures(&analyses[0]);
 

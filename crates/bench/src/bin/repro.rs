@@ -2,15 +2,20 @@
 //! headline claims (§5.1/§7), writing CSVs into `results/` and a summary
 //! to stdout. This is the one command behind EXPERIMENTS.md.
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use bench::figures::{
     self, bgw_figure, fig10_kinds, scaleup_figure, speedup_figure, standard_kinds, BGW_CDRS,
     TOTAL_TREES,
 };
+use bench::parallel;
 use std::path::Path;
 
 fn main() {
     let out = Path::new("results");
+    // `--jobs N` bounds the worker pool the (model, thread-count) grids
+    // fan out over; output is byte-identical for every N.
+    let jobs = parallel::jobs_from_args();
+    eprintln!("[repro] running simulator grids on {jobs} worker(s); override with --jobs N");
 
     // Table 1.
     print!("{}", figures::table1());
@@ -18,9 +23,10 @@ fn main() {
 
     // Figures 4–6 (speedup) and 7–9 (scaleup derived from the same runs).
     let mut claim_ratio: f64 = 0.0;
-    for (fig_s, fig_c, depth) in [("fig04", "fig07", 1u32), ("fig05", "fig08", 3), ("fig06", "fig09", 5)]
+    for (fig_s, fig_c, depth) in
+        [("fig04", "fig07", 1u32), ("fig05", "fig08", 3), ("fig06", "fig09", 5)]
     {
-        let speedup = speedup_figure(fig_s, depth, &standard_kinds(), TOTAL_TREES);
+        let speedup = speedup_figure(fig_s, depth, &standard_kinds(), TOTAL_TREES, jobs);
         print!("{}", speedup.ascii());
         let _ = speedup.write_csv(out);
         let scale = scaleup_figure(fig_c, &speedup, depth);
@@ -44,13 +50,13 @@ fn main() {
     }
 
     // Figure 10: test case 2 with the handmade pool.
-    let fig10 = speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES);
+    let fig10 = speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES, jobs);
     print!("{}", fig10.ascii());
     let _ = fig10.write_csv(out);
     println!();
 
     // Figure 11: BGw.
-    let fig11 = bgw_figure(BGW_CDRS);
+    let fig11 = bgw_figure(BGW_CDRS, jobs);
     print!("{}", fig11.ascii());
     let _ = fig11.write_csv(out);
     println!();
@@ -90,9 +96,7 @@ fn main() {
     println!("\n== Pre-processor check (testdata fixtures) ==");
     let amp = Amplifier::new(AmplifyOptions::default());
     for fixture in ["tree.cpp", "car.cpp", "bgw_buffer.cpp", "respect.cpp"] {
-        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../amplify/testdata")
-            .join(fixture);
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../amplify/testdata").join(fixture);
         match std::fs::read_to_string(&path) {
             Ok(src) => {
                 let result = amp.amplify_source(fixture, &src);

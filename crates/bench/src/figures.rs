@@ -1,5 +1,12 @@
 //! Figure/table data generation and rendering.
+//!
+//! The simulator runs behind each figure are pure functions of their
+//! parameters, so the (model, thread-count) grid fans out over the
+//! [`crate::parallel`] worker pool. Results are reassembled in grid order,
+//! which keeps the rendered tables and CSVs byte-identical to a serial
+//! run for any `jobs` count.
 
+use crate::parallel;
 use smp_sim::params::CostParams;
 use smp_sim::run::{
     baseline_wall_ns, run_bgw, run_tree, scaleup_from_speedup, speedup, ModelKind, TreeExperiment,
@@ -60,25 +67,35 @@ impl FigureData {
         out
     }
 
+    /// Render as CSV (`x,series1,series2,...`). This is the exact byte
+    /// content [`Self::write_csv`] puts on disk — the determinism tests
+    /// compare it across `jobs` settings.
+    pub fn csv_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str(&self.xlabel);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.name);
+        }
+        out.push('\n');
+        if let Some(first) = self.series.first() {
+            for (i, (x, _)) in first.points.iter().enumerate() {
+                let _ = write!(out, "{x}");
+                for s in &self.series {
+                    let _ = write!(out, ",{:.4}", s.points[i].1);
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
     /// Write as CSV (`x,series1,series2,...`).
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         let mut f = fs::File::create(&path)?;
-        write!(f, "{}", self.xlabel)?;
-        for s in &self.series {
-            write!(f, ",{}", s.name)?;
-        }
-        writeln!(f)?;
-        if let Some(first) = self.series.first() {
-            for (i, (x, _)) in first.points.iter().enumerate() {
-                write!(f, "{x}")?;
-                for s in &self.series {
-                    write!(f, ",{:.4}", s.points[i].1)?;
-                }
-                writeln!(f)?;
-            }
-        }
+        write!(f, "{}", self.csv_string())?;
         Ok(path)
     }
 
@@ -111,22 +128,30 @@ fn tree_exp(depth: u32, total_trees: u32) -> TreeExperiment {
 }
 
 /// A speedup figure (4, 5, 6 or 10) for one tree depth.
+///
+/// The `kinds × THREADS` grid fans out over `jobs` workers; the series
+/// are assembled in grid order, so the result is identical for any
+/// `jobs >= 1`.
 pub fn speedup_figure(
     id: &str,
     depth: u32,
     kinds: &[ModelKind],
     total_trees: u32,
+    jobs: usize,
 ) -> FigureData {
     let exp = tree_exp(depth, total_trees);
     let base = baseline_wall_ns(&exp);
+    let cols = THREADS.len();
+    let cells = parallel::run_indexed(jobs, kinds.len() * cols, |i| {
+        let (kind, t) = (kinds[i / cols], THREADS[i % cols]);
+        (t, speedup(base, &run_tree(kind, t, &exp)))
+    });
     let series = kinds
         .iter()
-        .map(|&kind| Series {
+        .enumerate()
+        .map(|(k, kind)| Series {
             name: kind.name().to_string(),
-            points: THREADS
-                .iter()
-                .map(|&t| (t, speedup(base, &run_tree(kind, t, &exp))))
-                .collect(),
+            points: cells[k * cols..(k + 1) * cols].to_vec(),
         })
         .collect();
     FigureData {
@@ -149,31 +174,36 @@ pub fn scaleup_figure(id: &str, speedup_fig: &FigureData, depth: u32) -> FigureD
         series: speedup_fig
             .series
             .iter()
-            .map(|s| Series {
-                name: s.name.clone(),
-                points: scaleup_from_speedup(&s.points),
-            })
+            .map(|s| Series { name: s.name.clone(), points: scaleup_from_speedup(&s.points) })
             .collect(),
     }
 }
 
 /// Figure 11: BGw CDR-processing speedup for the §5.2 configurations.
-pub fn bgw_figure(total_cdrs: u32) -> FigureData {
+///
+/// Like [`speedup_figure`], the (kind, thread) grid fans out over `jobs`
+/// workers with grid-order reassembly.
+pub fn bgw_figure(total_cdrs: u32, jobs: usize) -> FigureData {
     let threads: &[usize] = &[1, 2, 4, 6, 8];
     let base = run_bgw(ModelKind::Serial, 1, total_cdrs, 8).wall_ns;
-    let kinds = [ModelKind::Serial, ModelKind::SmartHeap, ModelKind::Amplify,
-                 ModelKind::AmplifyOverSmartHeap];
+    let kinds = [
+        ModelKind::Serial,
+        ModelKind::SmartHeap,
+        ModelKind::Amplify,
+        ModelKind::AmplifyOverSmartHeap,
+    ];
+    let cols = threads.len();
+    let cells = parallel::run_indexed(jobs, kinds.len() * cols, |i| {
+        let (kind, t) = (kinds[i / cols], threads[i % cols]);
+        let m = run_bgw(kind, t, total_cdrs, 8);
+        (t, base as f64 / m.wall_ns as f64)
+    });
     let series = kinds
         .iter()
-        .map(|&kind| Series {
+        .enumerate()
+        .map(|(k, kind)| Series {
             name: kind.name().to_string(),
-            points: threads
-                .iter()
-                .map(|&t| {
-                    let m = run_bgw(kind, t, total_cdrs, 8);
-                    (t, base as f64 / m.wall_ns as f64)
-                })
-                .collect(),
+            points: cells[k * cols..(k + 1) * cols].to_vec(),
         })
         .collect();
     FigureData {
@@ -238,8 +268,9 @@ mod tests {
     #[test]
     fn small_speedup_figure_has_expected_shape() {
         // A fast smoke run: tiny workload, just verify structure and the
-        // amplify-beats-allocators ordering at 8 threads.
-        let fig = speedup_figure("smoke", 3, &standard_kinds(), 800);
+        // amplify-beats-allocators ordering at 8 threads. jobs=2 also
+        // exercises the parallel fan-out path.
+        let fig = speedup_figure("smoke", 3, &standard_kinds(), 800, 2);
         assert_eq!(fig.series.len(), 4);
         let amplify = fig.value("amplify", 8).unwrap();
         let ptmalloc = fig.value("ptmalloc", 8).unwrap();
@@ -248,7 +279,7 @@ mod tests {
 
     #[test]
     fn scaleup_normalizes_to_one() {
-        let fig = speedup_figure("smoke", 1, &[ModelKind::Amplify], 400);
+        let fig = speedup_figure("smoke", 1, &[ModelKind::Amplify], 400, 1);
         let scale = scaleup_figure("smoke-scale", &fig, 1);
         let at1 = scale.value("amplify", 1).unwrap();
         assert!((at1 - 1.0).abs() < 1e-9);

@@ -6,5 +6,6 @@
 //! binary runs the whole evaluation and checks the paper's headline claims.
 
 pub mod figures;
+pub mod parallel;
 
 pub use figures::{FigureData, Series};

@@ -1,0 +1,33 @@
+//! The parallel harness must be invisible in the output: `repro --jobs N`
+//! has to produce byte-identical CSVs for every N. These tests run the
+//! same (scaled-down) figures serially and on a 4-worker pool and compare
+//! the exact CSV bytes.
+
+use bench::figures::{bgw_figure, fig10_kinds, scaleup_figure, speedup_figure, standard_kinds};
+
+#[test]
+fn speedup_csv_is_byte_identical_across_jobs() {
+    let serial = speedup_figure("det04", 3, &standard_kinds(), 600, 1);
+    for jobs in [2, 4, 8] {
+        let par = speedup_figure("det04", 3, &standard_kinds(), 600, jobs);
+        assert_eq!(serial.csv_string(), par.csv_string(), "jobs={jobs} must not change the CSV");
+    }
+}
+
+#[test]
+fn scaleup_csv_is_byte_identical_across_jobs() {
+    // Scaleup is derived from the speedup runs, so determinism must
+    // survive the derivation too (fig07–fig09 path).
+    let s1 = speedup_figure("det06", 1, &fig10_kinds(), 400, 1);
+    let s4 = speedup_figure("det06", 1, &fig10_kinds(), 400, 4);
+    let c1 = scaleup_figure("det07", &s1, 1);
+    let c4 = scaleup_figure("det07", &s4, 1);
+    assert_eq!(c1.csv_string(), c4.csv_string());
+}
+
+#[test]
+fn bgw_csv_is_byte_identical_across_jobs() {
+    let serial = bgw_figure(400, 1);
+    let par = bgw_figure(400, 4);
+    assert_eq!(serial.csv_string(), par.csv_string());
+}

@@ -584,11 +584,7 @@ mod tests {
 
     #[test]
     fn own_member_paths() {
-        let p = PathExpr {
-            this_prefix: true,
-            segments: vec!["left".into()],
-            span: sp(0, 10),
-        };
+        let p = PathExpr { this_prefix: true, segments: vec!["left".into()], span: sp(0, 10) };
         assert_eq!(p.as_own_member(), Some("left"));
         let q = PathExpr {
             this_prefix: false,

@@ -56,8 +56,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn emit(&mut self, kind: TokenKind, start: usize) {
-        self.tokens
-            .push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
+        self.tokens.push(Token::new(kind, Span::new(start as u32, self.pos as u32)));
         self.at_line_start = false;
     }
 
@@ -147,7 +146,7 @@ impl<'a> Lexer<'a> {
         }
         let delim = self.src[delim_start..self.pos].to_vec();
         self.pos += 1; // (
-        // Scan for `)delim"`.
+                       // Scan for `)delim"`.
         while self.pos < self.src.len() {
             if self.peek() == b')'
                 && self.src[self.pos + 1..].starts_with(&delim)
@@ -348,9 +347,10 @@ mod tests {
 
     #[test]
     fn operators_greedy() {
-        assert_eq!(texts("a->b ->* :: <<= >> >= ..."), vec![
-            "a", "->", "b", "->*", "::", "<<=", ">>", ">=", "..."
-        ]);
+        assert_eq!(
+            texts("a->b ->* :: <<= >> >= ..."),
+            vec!["a", "->", "b", "->*", "::", "<<=", ">>", ">=", "..."]
+        );
     }
 
     #[test]

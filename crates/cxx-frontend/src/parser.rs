@@ -478,7 +478,14 @@ impl Parser {
         let name = self.text(name_tok).to_string();
 
         if self.at_punct(Punct::LParen) {
-            return self.finish_method(start, name, MethodKind::Normal, None, is_virtual, is_static);
+            return self.finish_method(
+                start,
+                name,
+                MethodKind::Normal,
+                None,
+                is_virtual,
+                is_static,
+            );
         }
 
         // Field group: `T *a, b[4], *c;`
@@ -724,7 +731,8 @@ impl Parser {
         // Leading specifiers.
         while matches!(
             self.peek().kind,
-            TokenKind::Keyword(Kw::Static) | TokenKind::Keyword(Kw::Inline)
+            TokenKind::Keyword(Kw::Static)
+                | TokenKind::Keyword(Kw::Inline)
                 | TokenKind::Keyword(Kw::Virtual)
         ) {
             self.bump();
@@ -1112,11 +1120,8 @@ impl Parser {
             Span::at(self.peek().span.start)
         };
         let then_branch = Box::new(self.parse_stmt());
-        let else_branch = if self.eat_kw(Kw::Else).is_some() {
-            Some(Box::new(self.parse_stmt()))
-        } else {
-            None
-        };
+        let else_branch =
+            if self.eat_kw(Kw::Else).is_some() { Some(Box::new(self.parse_stmt())) } else { None };
         Stmt::If(IfStmt { cond, then_branch, else_branch, span: self.span_from(start) })
     }
 
@@ -1199,11 +1204,7 @@ impl Parser {
                     self.bump();
                     let rhs = self.parse_expr_until_semi();
                     let span = Span::new(start, rhs.span().end);
-                    return Expr::Assign(AssignExpr {
-                        lhs: Box::new(e),
-                        rhs: Box::new(rhs),
-                        span,
-                    });
+                    return Expr::Assign(AssignExpr { lhs: Box::new(e), rhs: Box::new(rhs), span });
                 }
                 if self.at_punct(Punct::Semi) || self.at_punct(Punct::RParen) {
                     return e;

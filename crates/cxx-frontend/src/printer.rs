@@ -92,7 +92,9 @@ mod tests {
         b.close(";");
         b.close("");
         let s = b.finish();
-        assert!(s.contains("namespace amplify {\n    struct Pool {\n        void* head;\n    };\n}\n"));
+        assert!(
+            s.contains("namespace amplify {\n    struct Pool {\n        void* head;\n    };\n}\n")
+        );
     }
 
     #[test]

@@ -77,10 +77,7 @@ impl SourceFile {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        LineCol {
-            line: line_idx as u32 + 1,
-            col: offset - starts[line_idx] + 1,
-        }
+        LineCol { line: line_idx as u32 + 1, col: offset - starts[line_idx] + 1 }
     }
 
     /// Byte span of the (1-based) line containing `offset`, excluding the
@@ -92,10 +89,8 @@ impl SourceFile {
             Err(i) => i - 1,
         };
         let start = starts[line_idx];
-        let end = starts
-            .get(line_idx + 1)
-            .map(|&next| next.saturating_sub(1))
-            .unwrap_or(self.len());
+        let end =
+            starts.get(line_idx + 1).map(|&next| next.saturating_sub(1)).unwrap_or(self.len());
         Span::new(start, end)
     }
 

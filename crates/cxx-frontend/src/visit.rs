@@ -19,9 +19,7 @@ fn walk_stmt<'a, F: FnMut(&'a Stmt)>(stmt: &'a Stmt, f: &mut F) {
                 walk_stmt(e, f);
             }
         }
-        Stmt::While(l) | Stmt::For(l) | Stmt::DoWhile(l) | Stmt::Switch(l) => {
-            walk_stmt(&l.body, f)
-        }
+        Stmt::While(l) | Stmt::For(l) | Stmt::DoWhile(l) | Stmt::Switch(l) => walk_stmt(&l.body, f),
         Stmt::Block(b) => {
             for s in &b.stmts {
                 walk_stmt(s, f);
@@ -68,8 +66,8 @@ pub fn count_stmts(block: &Block, mut pred: impl FnMut(&Stmt) -> bool) -> usize 
 
 #[cfg(test)]
 mod tests {
-    use crate::parse_source;
     use super::*;
+    use crate::parse_source;
 
     fn first_body(src: &str) -> Block {
         let unit = parse_source("t.cpp", src);
@@ -79,9 +77,8 @@ mod tests {
 
     #[test]
     fn walks_nested_statements() {
-        let body = first_body(
-            "void f() { if (x) { delete a; } else { while (y) delete b; } delete c; }",
-        );
+        let body =
+            first_body("void f() { if (x) { delete a; } else { while (y) delete b; } delete c; }");
         let n = count_stmts(&body, |s| matches!(s, Stmt::Delete(_)));
         assert_eq!(n, 3);
     }

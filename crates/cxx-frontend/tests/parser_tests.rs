@@ -312,10 +312,8 @@ fn free_function() {
 
 #[test]
 fn includes_are_recorded() {
-    let unit = parse_source(
-        "t.cpp",
-        "#include <vector>\n#include \"car.h\"\n#define N 5\nint x;\n",
-    );
+    let unit =
+        parse_source("t.cpp", "#include <vector>\n#include \"car.h\"\n#define N 5\nint x;\n");
     let incs: Vec<_> = unit.includes().collect();
     assert_eq!(incs.len(), 2);
     assert_eq!(incs[0].path, "vector");
@@ -537,8 +535,7 @@ private:
     assert_eq!(c.pointer_fields().count(), 1);
     let fill = c.methods().find(|m| m.name == "fill").unwrap();
     let body = fill.body.clone().unwrap();
-    let dels = cxx_frontend::visit::count_stmts(&body, |s| {
-        matches!(s, Stmt::Delete(d) if d.is_array)
-    });
+    let dels =
+        cxx_frontend::visit::count_stmts(&body, |s| matches!(s, Stmt::Delete(d) if d.is_array));
     assert_eq!(dels, 1);
 }

@@ -145,11 +145,7 @@ mod tests {
         // per object. Assert the representation is never *larger*, and
         // that the raw payload is pointer + bool.
         assert!(size_of::<BitShadow<u64>>() <= size_of::<crate::Shadow<u64>>());
-        assert_eq!(
-            size_of::<(Option<Box<u64>>, bool)>(),
-            size_of::<usize>() * 2,
-            "pointer + flag"
-        );
+        assert_eq!(size_of::<(Option<Box<u64>>, bool)>(), size_of::<usize>() * 2, "pointer + flag");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   `realloc` with a half-size reuse rule and size caps (§5.2, the BGw
 //!   extension) — [`shadow_buf::ShadowBuf`];
 //! * pools are **sharded** across threads ptmalloc-style to avoid lock
-//!   contention — [`sharded::ShardedPool`];
+//!   contention — [`sharded::ShardedPool`] — and fronted by lock-free
+//!   per-thread [`magazine`]s so steady-state acquire/release takes no
+//!   lock at all;
 //! * in single-threaded programs all locks are elided
 //!   ([`object_pool::LocalPool`]), which is why the paper's Figure 4 shows a
 //!   1-thread Amplify advantage.
@@ -37,6 +39,7 @@
 
 pub mod bit_shadow;
 pub mod limits;
+pub mod magazine;
 pub mod object_pool;
 pub mod registry;
 pub mod shadow;
@@ -48,6 +51,7 @@ pub mod structure_pool;
 
 pub use bit_shadow::BitShadow;
 pub use limits::PoolConfig;
+pub use magazine::DEFAULT_MAGAZINE_CAP;
 pub use object_pool::{LocalPool, ObjectPool};
 pub use registry::{PoolRegistry, Trimmable};
 pub use shadow::Shadow;

@@ -1,0 +1,394 @@
+//! Thread-local magazines: the lock-free fast path in front of a sharded
+//! pool (the tcmalloc/Hoard thread-cache idea applied to object pools).
+//!
+//! Each thread keeps a small bounded cache — a *magazine* — of parked
+//! objects per pool. Steady-state acquire/release is a thread-local vector
+//! pop/push: no mutex, no hash lookup. Shard locks are only taken to refill
+//! an empty magazine or flush a full one, moving roughly `cap/2` objects per
+//! lock acquisition, so the amortized locking cost per operation drops by
+//! the batch factor (and to zero in the common acquire-hit/release-park
+//! case).
+//!
+//! Invariants the rest of the crate (and the stress tests) rely on:
+//!
+//! * every object is in exactly one place at any time — held by a caller,
+//!   cached in one magazine, or parked in one shard free list;
+//! * [`Depot::magazine_parked`] equals the summed size of all live
+//!   magazines, so `ShardedPool::len()` is accurate without reaching into
+//!   other threads' caches;
+//! * a thread's magazines flush back to the shards when the thread exits
+//!   (TLS destructor), so no object leaks and `trim` can still reclaim it;
+//! * `trim` drains the *calling* thread's magazine and bumps
+//!   [`Depot::trim_epoch`]; other threads observe the stale epoch on their
+//!   next operation and drop their cached objects lazily (a trim cannot
+//!   safely touch another thread's `RefCell`).
+
+use crate::limits::PoolConfig;
+use crate::object_pool::ObjectPool;
+use crate::stats::PoolStats;
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Default objects a magazine may hold (per thread, per pool).
+pub const DEFAULT_MAGAZINE_CAP: usize = 32;
+
+/// Pool ids double as thread-local slot indices, so they are never reused.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's magazines, indexed by pool id. `dyn Any` erases the
+    /// pooled object type; a slot is only ever written by the pool owning
+    /// that id, so the downcast always succeeds.
+    static MAGAZINES: RefCell<Vec<Option<Box<dyn Any>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The shared half of a magazine-fronted pool: the shard array plus the
+/// counters magazines coordinate through.
+#[derive(Debug)]
+pub(crate) struct Depot<T> {
+    id: u64,
+    pub(crate) shards: Box<[ObjectPool<T>]>,
+    /// Objects a magazine may hold; 0 disables magazines (direct mode).
+    pub(crate) magazine_cap: usize,
+    /// Round-robin cursor assigning home shards to new magazines — the
+    /// one-time replacement for hashing the thread id on every operation.
+    next_shard: AtomicUsize,
+    /// Bumped by `trim`; magazines with an older epoch discard their cache.
+    trim_epoch: AtomicU64,
+    /// Objects currently cached in magazines, across all threads.
+    magazine_parked: AtomicUsize,
+    /// Hits/fresh/releases recorded by the magazine fast path (shard-level
+    /// stats only see batch lock traffic).
+    pub(crate) stats: PoolStats,
+}
+
+impl<T> Depot<T> {
+    pub(crate) fn new(shards: usize, config: PoolConfig, magazine_cap: usize) -> Self {
+        assert!(shards >= 1, "a sharded pool needs at least one shard");
+        Depot {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            shards: (0..shards).map(|_| ObjectPool::with_config(config)).collect(),
+            magazine_cap,
+            next_shard: AtomicUsize::new(0),
+            trim_epoch: AtomicU64::new(0),
+            magazine_parked: AtomicUsize::new(0),
+            stats: PoolStats::new(),
+        }
+    }
+
+    /// Objects cached in magazines across all threads.
+    pub(crate) fn magazine_parked(&self) -> usize {
+        self.magazine_parked.load(Ordering::Relaxed)
+    }
+
+    /// Invalidate every thread's magazine for this pool. Remote threads
+    /// notice on their next operation and drop their cache.
+    pub(crate) fn bump_trim_epoch(&self) {
+        self.trim_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Park `items` into shards starting at `start`, spilling to the next
+    /// shard on lock contention (ptmalloc's arena rule), blocking on the
+    /// home shard if every shard is contended.
+    pub(crate) fn park_batch(&self, start: usize, items: &mut Vec<Box<T>>) {
+        let n = self.shards.len();
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if self.shards[idx].try_put_batch(items).is_ok() {
+                return;
+            }
+        }
+        self.shards[start].put_batch(items);
+    }
+
+    /// Move up to `max` objects into `out` from the first shard that has
+    /// any, probing each shard once starting at `start` (empty and
+    /// contended shards are skipped). Returns the shard that supplied the
+    /// batch. When every shard was visited and nothing was found, `out`
+    /// stays empty and the caller allocates fresh; if *all* shards were
+    /// contended the refill blocks on the home shard instead (ptmalloc
+    /// ultimately waits too).
+    pub(crate) fn refill_batch(&self, start: usize, max: usize, out: &mut Vec<Box<T>>) -> usize {
+        let n = self.shards.len();
+        let mut all_contended = true;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            match self.shards[idx].try_take_batch(max, out) {
+                Ok(k) if k > 0 => return idx,
+                Ok(_) => all_contended = false, // unlocked but empty
+                Err(()) => {}
+            }
+        }
+        if all_contended {
+            self.shards[start].take_batch(max, out);
+        }
+        start
+    }
+}
+
+/// One thread's cache of parked objects for one pool.
+pub(crate) struct Magazine<T> {
+    depot: Weak<Depot<T>>,
+    items: Vec<Box<T>>,
+    /// Home shard for refills and flushes.
+    shard: usize,
+    /// Copy of [`Depot::trim_epoch`] from the last (in)validation.
+    epoch: u64,
+}
+
+impl<T> Drop for Magazine<T> {
+    fn drop(&mut self) {
+        // Thread exit (TLS teardown): hand cached objects back to the
+        // shards so they stay reachable by `trim` instead of leaking. If
+        // the pool itself is already gone, the objects simply drop.
+        if self.items.is_empty() {
+            return;
+        }
+        if let Some(depot) = self.depot.upgrade() {
+            depot.magazine_parked.fetch_sub(self.items.len(), Ordering::Relaxed);
+            let mut items = std::mem::take(&mut self.items);
+            depot.park_batch(self.shard, &mut items);
+        }
+    }
+}
+
+/// Run `f` on the calling thread's magazine for `depot`, creating it on
+/// first touch (home shard assigned round-robin).
+///
+/// `f` must not run user code (constructors, destructors) — the thread-local
+/// registry is borrowed for its duration, and a pooled type whose `Drop`
+/// touches another pool would otherwise re-enter the borrow.
+fn with_magazine<T: 'static, R>(depot: &Arc<Depot<T>>, f: impl FnOnce(&mut Magazine<T>) -> R) -> R {
+    let idx = depot.id as usize;
+    MAGAZINES.with(|slots| {
+        let mut slots = slots.borrow_mut();
+        if slots.len() <= idx {
+            slots.resize_with(idx + 1, || None);
+        }
+        let slot = &mut slots[idx];
+        if slot.is_none() {
+            let shard = depot.next_shard.fetch_add(1, Ordering::Relaxed) % depot.shards.len();
+            *slot = Some(Box::new(Magazine {
+                depot: Arc::downgrade(depot),
+                items: Vec::with_capacity(depot.magazine_cap),
+                shard,
+                epoch: depot.trim_epoch.load(Ordering::Relaxed),
+            }));
+        }
+        let mag = slot
+            .as_mut()
+            .expect("slot was just filled")
+            .downcast_mut::<Magazine<T>>()
+            .expect("pool ids are never reused, so the slot type matches");
+        f(mag)
+    })
+}
+
+/// Like [`with_magazine`] but without creating a missing magazine.
+fn with_magazine_opt<T: 'static, R>(
+    depot: &Arc<Depot<T>>,
+    f: impl FnOnce(&mut Magazine<T>) -> R,
+) -> Option<R> {
+    let idx = depot.id as usize;
+    MAGAZINES.with(|slots| {
+        let mut slots = slots.borrow_mut();
+        let mag = slots
+            .get_mut(idx)?
+            .as_mut()?
+            .downcast_mut::<Magazine<T>>()
+            .expect("pool ids are never reused, so the slot type matches");
+        Some(f(mag))
+    })
+}
+
+/// If a trim happened since this magazine last looked, surrender the cached
+/// objects (returned for the caller to drop outside the TLS borrow).
+fn invalidate_if_stale<T>(mag: &mut Magazine<T>, depot: &Depot<T>) -> Vec<Box<T>> {
+    let epoch = depot.trim_epoch.load(Ordering::Relaxed);
+    if mag.epoch == epoch {
+        return Vec::new();
+    }
+    mag.epoch = epoch;
+    if mag.items.is_empty() {
+        return Vec::new();
+    }
+    depot.magazine_parked.fetch_sub(mag.items.len(), Ordering::Relaxed);
+    mag.items.drain(..).collect()
+}
+
+/// Pop one cached object — the lock-free acquire hit path. `None` means the
+/// magazine is empty and the caller should refill from a shard.
+pub(crate) fn pop<T: 'static>(depot: &Arc<Depot<T>>) -> Option<Box<T>> {
+    let (obj, stale) = with_magazine(depot, |mag| {
+        let stale = invalidate_if_stale(mag, depot);
+        let obj = mag.items.pop();
+        if obj.is_some() {
+            depot.magazine_parked.fetch_sub(1, Ordering::Relaxed);
+        }
+        (obj, stale)
+    });
+    drop(stale); // outside the borrow: destructors may re-enter pool code
+    obj
+}
+
+/// What [`push`] asks the caller to do after the fast path.
+pub(crate) struct PushOutcome<T> {
+    /// Older half of a full magazine, to be parked in the shards.
+    pub overflow: Vec<Box<T>>,
+    /// Home shard to start parking at.
+    pub shard: usize,
+}
+
+/// Cache one released object — the lock-free release path. When the
+/// magazine is full, the older half is handed back for the caller to park
+/// in a shard (one lock per `cap/2` releases).
+pub(crate) fn push<T: 'static>(depot: &Arc<Depot<T>>, obj: Box<T>) -> Option<PushOutcome<T>> {
+    let (outcome, stale) = with_magazine(depot, |mag| {
+        let stale = invalidate_if_stale(mag, depot);
+        let cap = depot.magazine_cap;
+        let overflow: Vec<Box<T>> = if mag.items.len() >= cap {
+            // Keep the newest (cache-warm) half, flush the rest. `cap` is
+            // at least 1 here, so at least one slot frees up.
+            let keep = (cap - cap / 2).min(cap - 1);
+            let flush: Vec<Box<T>> = mag.items.drain(..mag.items.len() - keep).collect();
+            depot.magazine_parked.fetch_sub(flush.len(), Ordering::Relaxed);
+            flush
+        } else {
+            Vec::new()
+        };
+        mag.items.push(obj);
+        depot.magazine_parked.fetch_add(1, Ordering::Relaxed);
+        let outcome = (!overflow.is_empty()).then_some(PushOutcome { overflow, shard: mag.shard });
+        (outcome, stale)
+    });
+    drop(stale);
+    outcome
+}
+
+/// Store objects refilled from shard `shard` in the magazine, and make that
+/// shard the new home (the spill-updates-preference arena rule).
+pub(crate) fn stash<T: 'static>(depot: &Arc<Depot<T>>, shard: usize, items: Vec<Box<T>>) {
+    let stale = with_magazine(depot, |mag| {
+        let stale = invalidate_if_stale(mag, depot);
+        mag.shard = shard;
+        depot.magazine_parked.fetch_add(items.len(), Ordering::Relaxed);
+        mag.items.extend(items);
+        stale
+    });
+    drop(stale);
+}
+
+/// The calling thread's home shard for this pool, assigned round-robin on
+/// first touch — no hashing, no per-operation map lookup.
+pub(crate) fn home_shard<T: 'static>(depot: &Arc<Depot<T>>) -> usize {
+    with_magazine(depot, |mag| mag.shard)
+}
+
+/// Move the thread's home shard (after a contention spill).
+pub(crate) fn set_home_shard<T: 'static>(depot: &Arc<Depot<T>>, shard: usize) {
+    with_magazine(depot, |mag| mag.shard = shard);
+}
+
+/// Remove and return everything the calling thread has cached for this pool
+/// (trim/flush support). Does not create a magazine on threads that never
+/// touched the pool.
+pub(crate) fn drain_local<T: 'static>(depot: &Arc<Depot<T>>) -> Vec<Box<T>> {
+    with_magazine_opt(depot, |mag| {
+        let items: Vec<Box<T>> = mag.items.drain(..).collect();
+        depot.magazine_parked.fetch_sub(items.len(), Ordering::Relaxed);
+        items
+    })
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depot(shards: usize, cap: usize) -> Arc<Depot<u32>> {
+        Arc::new(Depot::new(shards, PoolConfig::default(), cap))
+    }
+
+    #[test]
+    fn pop_empty_then_push_then_pop() {
+        let d = depot(2, 4);
+        assert!(pop(&d).is_none());
+        assert!(push(&d, Box::new(7)).is_none());
+        assert_eq!(d.magazine_parked(), 1);
+        assert_eq!(pop(&d).map(|b| *b), Some(7));
+        assert_eq!(d.magazine_parked(), 0);
+    }
+
+    #[test]
+    fn push_overflow_returns_older_half() {
+        let d = depot(1, 4);
+        for i in 0..4 {
+            assert!(push(&d, Box::new(i)).is_none());
+        }
+        let out = push(&d, Box::new(99)).expect("5th push must overflow");
+        // Keep = 2 newest + the incoming object; flush the 2 oldest.
+        assert_eq!(out.overflow.iter().map(|b| **b).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(d.magazine_parked(), 3);
+    }
+
+    #[test]
+    fn cap_one_magazine_never_exceeds_one() {
+        let d = depot(1, 1);
+        assert!(push(&d, Box::new(1)).is_none());
+        let out = push(&d, Box::new(2)).expect("second push overflows");
+        assert_eq!(out.overflow.len(), 1);
+        assert_eq!(d.magazine_parked(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_drops_cache() {
+        let d = depot(1, 8);
+        for i in 0..3 {
+            push(&d, Box::new(i));
+        }
+        d.bump_trim_epoch();
+        assert!(pop(&d).is_none(), "post-trim cache must not serve");
+        assert_eq!(d.magazine_parked(), 0);
+    }
+
+    #[test]
+    fn round_robin_home_shards() {
+        // Four threads touching a 4-shard depot get four distinct homes.
+        let d = depot(4, 8);
+        let mut homes: Vec<usize> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || home_shard(&d)).join().unwrap()
+            })
+            .collect();
+        homes.sort_unstable();
+        assert_eq!(homes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn thread_exit_flushes_to_shards() {
+        let d = depot(2, 8);
+        let d2 = Arc::clone(&d);
+        std::thread::spawn(move || {
+            for i in 0..5 {
+                push(&d2, Box::new(i));
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(d.magazine_parked(), 0, "exited thread's cache must flush");
+        let shard_total: usize = d.shards.iter().map(ObjectPool::len).sum();
+        assert_eq!(shard_total, 5, "flushed objects land in the shards");
+    }
+
+    #[test]
+    fn drain_local_does_not_create_magazines() {
+        let d = depot(1, 8);
+        assert!(drain_local(&d).is_empty());
+        push(&d, Box::new(1));
+        assert_eq!(drain_local(&d).len(), 1);
+        assert_eq!(d.magazine_parked(), 0);
+    }
+}

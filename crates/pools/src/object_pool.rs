@@ -145,6 +145,97 @@ impl<T> ObjectPool<T> {
         }
     }
 
+    /// Move up to `max` parked objects into `out` under one lock, taking
+    /// from the top of the free list (the most recently released, cache-warm
+    /// end). Batch transfers count one lock acquisition and no per-object
+    /// hits — the magazine layer does its own hit accounting.
+    pub(crate) fn take_batch(&self, max: usize, out: &mut Vec<Box<T>>) -> usize {
+        let mut free = self.free.lock();
+        self.stats.record_lock();
+        let n = max.min(free.len());
+        let at = free.len() - n;
+        out.extend(free.drain(at..));
+        n
+    }
+
+    /// Non-blocking [`ObjectPool::take_batch`]. `Err(())` means the shard
+    /// lock is held (recorded as a failed lock attempt).
+    #[allow(clippy::result_unit_err)]
+    pub(crate) fn try_take_batch(&self, max: usize, out: &mut Vec<Box<T>>) -> Result<usize, ()> {
+        match self.free.try_lock() {
+            Some(mut free) => {
+                self.stats.record_lock();
+                let n = max.min(free.len());
+                let at = free.len() - n;
+                out.extend(free.drain(at..));
+                Ok(n)
+            }
+            None => {
+                self.stats.record_failed_lock();
+                Err(())
+            }
+        }
+    }
+
+    /// Park a whole batch under one lock. Objects over the population cap
+    /// are dropped (outside the lock — their destructors may be arbitrary
+    /// user code). Returns how many were parked.
+    pub(crate) fn put_batch(&self, items: &mut Vec<Box<T>>) -> usize {
+        let total = items.len();
+        let rejected = {
+            let mut free = self.free.lock();
+            self.stats.record_lock();
+            Self::push_until_cap(&self.config, &mut free, items)
+        };
+        let parked = total - rejected.len();
+        if !rejected.is_empty() {
+            self.stats.record_dropped_many(rejected.len() as u64);
+        }
+        drop(rejected);
+        parked
+    }
+
+    /// Non-blocking [`ObjectPool::put_batch`]. On contention the items stay
+    /// in `items` and the caller can spill to another shard.
+    #[allow(clippy::result_unit_err)]
+    pub(crate) fn try_put_batch(&self, items: &mut Vec<Box<T>>) -> Result<usize, ()> {
+        let total = items.len();
+        let rejected = match self.free.try_lock() {
+            Some(mut free) => {
+                self.stats.record_lock();
+                Self::push_until_cap(&self.config, &mut free, items)
+            }
+            None => {
+                self.stats.record_failed_lock();
+                return Err(());
+            }
+        };
+        let parked = total - rejected.len();
+        if !rejected.is_empty() {
+            self.stats.record_dropped_many(rejected.len() as u64);
+        }
+        drop(rejected);
+        Ok(parked)
+    }
+
+    /// Push items while the cap admits them; the remainder comes back for
+    /// the caller to drop after releasing the lock.
+    fn push_until_cap(
+        config: &PoolConfig,
+        free: &mut Vec<Box<T>>,
+        items: &mut Vec<Box<T>>,
+    ) -> Vec<Box<T>> {
+        let mut rejected = Vec::new();
+        for obj in items.drain(..) {
+            if config.accepts_object(free.len()) {
+                free.push(obj);
+            } else {
+                rejected.push(obj);
+            }
+        }
+        rejected
+    }
+
     /// Number of dead objects currently parked.
     pub fn len(&self) -> usize {
         self.free.lock().len()

@@ -32,7 +32,8 @@ impl<T: Send> Trimmable for crate::object_pool::ObjectPool<T> {
     }
 }
 
-impl<T: crate::structure_pool::Reusable + Send> Trimmable for crate::structure_pool::StructurePool<T>
+impl<T: crate::structure_pool::Reusable + Send + 'static> Trimmable
+    for crate::structure_pool::StructurePool<T>
 where
     T::Params: Sync,
 {
@@ -43,11 +44,11 @@ where
         self.len()
     }
     fn snapshot(&self) -> StatsSnapshot {
-        self.stats().snapshot()
+        self.stats()
     }
 }
 
-impl<T: Send> Trimmable for crate::sharded::ShardedPool<T> {
+impl<T: Send + 'static> Trimmable for crate::sharded::ShardedPool<T> {
     fn trim(&self) -> usize {
         self.trim()
     }
@@ -127,10 +128,7 @@ impl PoolRegistry {
     pub fn report(&self) -> Vec<String> {
         let entries: Vec<(String, Arc<dyn Trimmable>)> = {
             let pools = self.pools.lock();
-            pools
-                .iter()
-                .filter_map(|(n, w)| w.upgrade().map(|p| (n.clone(), p)))
-                .collect()
+            pools.iter().filter_map(|(n, w)| w.upgrade().map(|p| (n.clone(), p))).collect()
         };
         entries
             .iter()
@@ -224,5 +222,26 @@ mod tests {
         pool.free(s);
         assert_eq!(reg.total_parked(), 1);
         assert_eq!(reg.trim_all(), 1);
+    }
+
+    #[test]
+    fn sharded_magazines_are_reclaimable_after_thread_exit() {
+        use crate::sharded::ShardedPool;
+        let reg = PoolRegistry::new();
+        let pool: Arc<ShardedPool<u64>> = Arc::new(ShardedPool::new(2));
+        reg.register("sharded", &pool);
+        let p = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            for i in 0..6 {
+                p.release(Box::new(i));
+            }
+        })
+        .join()
+        .unwrap();
+        // The exited thread's magazine flushed back to the shards, so the
+        // registry sees every object and trim reclaims all of them.
+        assert_eq!(reg.total_parked(), 6);
+        assert_eq!(reg.trim_all(), 6);
+        assert_eq!(pool.len(), 0);
     }
 }

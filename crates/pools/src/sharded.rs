@@ -1,160 +1,217 @@
 //! Pool sharding: the ptmalloc-derived strategy Amplify uses to "spread the
 //! threads over a number of pools to avoid lock contention on a
-//! multiprocessor" (§3.2).
+//! multiprocessor" (§3.2), fronted by lock-free thread-local
+//! [magazines](crate::magazine).
 //!
-//! Each thread remembers a preferred shard per pool. Operations first
-//! `try_lock` the preferred shard; on contention the thread *spins* to the
-//! next shard and makes it the new preference — exactly ptmalloc's
-//! arena-selection rule, with failed lock attempts as the signal.
+//! Each thread gets a home shard assigned round-robin on first touch (a
+//! one-time cached handle — no per-operation thread-id hashing or map
+//! probe) and a small magazine of parked objects. Steady-state
+//! acquire/release never locks: it pops/pushes the magazine. A shard lock
+//! is taken only to refill an empty magazine or flush a full one, in
+//! batches of about half the magazine, and contention on that lock still
+//! *spins* the thread to the next shard exactly like ptmalloc's
+//! arena-selection rule.
+//!
+//! Constructing the pool with a magazine capacity of 0 (see
+//! [`ShardedPool::with_magazines`]) disables the cache and yields the bare
+//! try-lock-and-spill sharding — the baseline the Criterion benchmarks
+//! compare the fast path against.
 
 use crate::limits::PoolConfig;
+use crate::magazine::{self, Depot, DEFAULT_MAGAZINE_CAP};
 use crate::object_pool::ObjectPool;
 use crate::stats::StatsSnapshot;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    /// Per-thread preferred shard index, keyed by pool instance id.
-    static PREFERRED: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
-}
-
-/// A pool split into `n` independently locked shards.
+/// A pool split into `n` independently locked shards behind thread-local
+/// magazines.
 #[derive(Debug)]
 pub struct ShardedPool<T> {
-    id: u64,
-    shards: Vec<ObjectPool<T>>,
+    depot: Arc<Depot<T>>,
 }
 
 impl<T> ShardedPool<T> {
-    /// Create a pool with `shards` independent free lists (must be ≥ 1).
+    /// Create a pool with `shards` independent free lists (must be ≥ 1) and
+    /// the default magazine capacity.
     pub fn new(shards: usize) -> Self {
         Self::with_config(shards, PoolConfig::default())
     }
 
     /// Create a sharded pool with per-shard limits.
     pub fn with_config(shards: usize, config: PoolConfig) -> Self {
-        assert!(shards >= 1, "a sharded pool needs at least one shard");
-        ShardedPool {
-            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
-            shards: (0..shards).map(|_| ObjectPool::with_config(config)).collect(),
-        }
+        Self::with_magazines(shards, config, DEFAULT_MAGAZINE_CAP)
+    }
+
+    /// Create a sharded pool with an explicit per-thread magazine capacity.
+    /// `magazine_cap == 0` disables magazines: every operation goes straight
+    /// to the shards (the pre-magazine behaviour, kept for comparison).
+    pub fn with_magazines(shards: usize, config: PoolConfig, magazine_cap: usize) -> Self {
+        ShardedPool { depot: Arc::new(Depot::new(shards, config, magazine_cap)) }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.depot.shards.len()
     }
 
-    fn preferred_shard(&self) -> usize {
-        PREFERRED.with(|p| {
-            *p.borrow_mut().entry(self.id).or_insert_with(|| {
-                // Initial spread: hash the thread id over the shards.
-                let tid = std::thread::current().id();
-                let mut h = std::hash::DefaultHasher::new();
-                use std::hash::{Hash, Hasher};
-                tid.hash(&mut h);
-                (h.finish() as usize) % self.shards.len()
-            })
-        })
+    /// Objects a thread's magazine may cache (0 = magazines disabled).
+    pub fn magazine_capacity(&self) -> usize {
+        self.depot.magazine_cap
     }
 
-    fn set_preferred(&self, idx: usize) {
-        PREFERRED.with(|p| {
-            p.borrow_mut().insert(self.id, idx);
-        });
+    /// Total parked objects: shard free lists plus all thread magazines.
+    pub fn len(&self) -> usize {
+        self.depot.shards.iter().map(ObjectPool::len).sum::<usize>() + self.depot.magazine_parked()
     }
 
-    /// Acquire an object, spinning across shards on lock contention.
-    ///
-    /// Visits each shard at most once starting from the thread's preferred
-    /// shard; the first unlocked shard with a parked object wins. If every
-    /// unlocked shard is empty (or all shards are locked) a fresh object is
-    /// built.
+    /// True if no shard or magazine holds a parked object.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate statistics: per-shard counters plus the magazine fast
+    /// path's hit/fresh/release counts.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut agg = self.depot.stats.snapshot();
+        for s in self.depot.shards.iter() {
+            agg.merge(&s.stats().snapshot());
+        }
+        agg
+    }
+
+    /// Per-shard parked-object counts (for balance diagnostics; magazine
+    /// contents are not attributed to a shard).
+    pub fn shard_lengths(&self) -> Vec<usize> {
+        self.depot.shards.iter().map(ObjectPool::len).collect()
+    }
+}
+
+impl<T: 'static> ShardedPool<T> {
+    /// Acquire an object: magazine pop on the fast path, batch refill from
+    /// the first uncontended shard on a miss, fresh allocation when the
+    /// shards are empty too.
     pub fn acquire(&self, fresh: impl FnOnce() -> T) -> Box<T> {
-        let n = self.shards.len();
-        let start = self.preferred_shard();
+        self.acquire_with(fresh, |_| {})
+    }
+
+    /// Like [`ShardedPool::acquire`], but re-initializes reused objects
+    /// with `reinit` so callers always get a ready object.
+    pub fn acquire_with(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> Box<T> {
+        if self.depot.magazine_cap == 0 {
+            return self.acquire_direct(fresh, reinit);
+        }
+        if let Some(mut obj) = magazine::pop(&self.depot) {
+            self.depot.stats.record_hit();
+            reinit(&mut obj);
+            return obj;
+        }
+        // Magazine empty: pull a batch from the shards under one lock.
+        let target = (self.depot.magazine_cap / 2).max(1);
+        let start = magazine::home_shard(&self.depot);
+        let mut batch = Vec::with_capacity(target);
+        let used = self.depot.refill_batch(start, target, &mut batch);
+        if let Some(mut obj) = batch.pop() {
+            self.depot.stats.record_hit();
+            magazine::stash(&self.depot, used, batch);
+            reinit(&mut obj);
+            return obj;
+        }
+        if used != start {
+            magazine::set_home_shard(&self.depot, used);
+        }
+        self.depot.stats.record_fresh();
+        Box::new(fresh())
+    }
+
+    /// Release an object into the thread's magazine; a full magazine
+    /// flushes its older half to a shard (spilling on contention).
+    pub fn release(&self, obj: Box<T>) {
+        if self.depot.magazine_cap == 0 {
+            return self.release_direct(obj);
+        }
+        self.depot.stats.record_release();
+        if let Some(mut out) = magazine::push(&self.depot, obj) {
+            self.depot.park_batch(out.shard, &mut out.overflow);
+        }
+    }
+
+    /// Drop all parked objects: the calling thread's magazine, then every
+    /// shard. Objects cached by *other* threads are invalidated and drop
+    /// lazily on those threads' next pool operation (they are still counted
+    /// by [`ShardedPool::len`] until then, because they are still resident).
+    pub fn trim(&self) -> usize {
+        let local = magazine::drain_local(&self.depot);
+        let n_local = local.len();
+        drop(local);
+        self.depot.bump_trim_epoch();
+        n_local + self.depot.shards.iter().map(ObjectPool::trim).sum::<usize>()
+    }
+
+    /// Park the calling thread's magazine contents back into the shards
+    /// (without dropping them). Returns how many objects moved. Useful
+    /// before handing a pool's contents to another thread, and in tests.
+    pub fn flush_local_magazine(&self) -> usize {
+        let mut items = magazine::drain_local(&self.depot);
+        let n = items.len();
+        if n > 0 {
+            let shard = magazine::home_shard(&self.depot);
+            self.depot.park_batch(shard, &mut items);
+        }
+        n
+    }
+
+    /// The pre-magazine path: try-lock the home shard, spin to the next on
+    /// contention, block on the home shard when all are contended.
+    fn acquire_direct(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> Box<T> {
+        let n = self.depot.shards.len();
+        let start = magazine::home_shard(&self.depot);
         for off in 0..n {
             let idx = (start + off) % n;
-            match self.shards[idx].try_acquire() {
-                Ok(Some(obj)) => {
+            match self.depot.shards[idx].try_acquire() {
+                Ok(Some(mut obj)) => {
                     if off != 0 {
-                        self.set_preferred(idx);
+                        magazine::set_home_shard(&self.depot, idx);
                     }
+                    reinit(&mut obj);
                     return obj;
                 }
                 Ok(None) => {
                     // Unlocked but empty: allocate fresh from "this arena".
                     if off != 0 {
-                        self.set_preferred(idx);
+                        magazine::set_home_shard(&self.depot, idx);
                     }
-                    self.shards[idx].stats().record_fresh();
+                    self.depot.shards[idx].stats().record_fresh();
                     return Box::new(fresh());
                 }
                 Err(()) => continue, // contended: spin to the next shard
             }
         }
-        // All shards contended: fall back to a blocking acquire on the
-        // preferred shard (ptmalloc ultimately waits too).
-        self.shards[start].acquire(fresh)
+        self.depot.shards[start].acquire_with(fresh, reinit)
     }
 
-    /// Release an object to the thread's preferred shard, spilling to the
-    /// next shard on contention.
-    pub fn release(&self, mut obj: Box<T>) {
-        let n = self.shards.len();
-        let start = self.preferred_shard();
+    fn release_direct(&self, mut obj: Box<T>) {
+        let n = self.depot.shards.len();
+        let start = magazine::home_shard(&self.depot);
         for off in 0..n {
             let idx = (start + off) % n;
-            match self.shards[idx].try_release(obj) {
+            match self.depot.shards[idx].try_release(obj) {
                 Ok(()) => {
                     if off != 0 {
-                        self.set_preferred(idx);
+                        magazine::set_home_shard(&self.depot, idx);
                     }
                     return;
                 }
                 Err(back) => obj = back,
             }
         }
-        self.shards[start].release(obj);
-    }
-
-    /// Total parked objects across shards.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(ObjectPool::len).sum()
-    }
-
-    /// True if no shard holds a parked object.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Drop all parked objects in all shards.
-    pub fn trim(&self) -> usize {
-        self.shards.iter().map(ObjectPool::trim).sum()
-    }
-
-    /// Aggregate statistics across shards.
-    pub fn stats(&self) -> StatsSnapshot {
-        let mut agg = StatsSnapshot::default();
-        for s in &self.shards {
-            agg.merge(&s.stats().snapshot());
-        }
-        agg
-    }
-
-    /// Per-shard parked-object counts (for balance diagnostics).
-    pub fn shard_lengths(&self) -> Vec<usize> {
-        self.shards.iter().map(ObjectPool::len).collect()
+        self.depot.shards[start].release(obj);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::{Arc, Barrier};
 
     #[test]
     fn single_shard_behaves_like_object_pool() {
@@ -178,7 +235,7 @@ mod tests {
         let a = pool.acquire(|| 1);
         pool.release(a);
         let b = pool.acquire(|| 2);
-        // Uncontended: release and acquire hit the same shard → reuse.
+        // Uncontended: the release is cached and the acquire reuses it.
         assert_eq!(*b, 1);
     }
 
@@ -200,7 +257,7 @@ mod tests {
         }
         let stats = pool.stats();
         assert_eq!(stats.pool_hits + stats.fresh_allocs, 8 * 200);
-        // All objects came back.
+        // All objects came back (exited threads flush their magazines).
         assert_eq!(pool.len() as u64, stats.fresh_allocs);
     }
 
@@ -224,5 +281,64 @@ mod tests {
         assert_eq!(p2.len(), 1);
         assert_eq!(*p1.acquire(|| 9), 1);
         assert_eq!(*p2.acquire(|| 9), 2);
+    }
+
+    #[test]
+    fn magazine_overflow_flushes_to_shards() {
+        let pool: ShardedPool<u32> = ShardedPool::with_magazines(2, PoolConfig::default(), 4);
+        for i in 0..10 {
+            pool.release(Box::new(i));
+        }
+        assert_eq!(pool.len(), 10, "nothing lost across overflow flushes");
+        let in_shards: usize = pool.shard_lengths().iter().sum();
+        assert!(in_shards > 0, "overflow must land in a shard free list");
+        assert!(pool.len() - in_shards <= pool.magazine_capacity());
+    }
+
+    #[test]
+    fn flush_local_magazine_moves_objects_without_dropping() {
+        let pool: ShardedPool<u32> = ShardedPool::new(2);
+        for i in 0..5 {
+            pool.release(Box::new(i));
+        }
+        assert_eq!(pool.shard_lengths().iter().sum::<usize>(), 0);
+        assert_eq!(pool.flush_local_magazine(), 5);
+        assert_eq!(pool.shard_lengths().iter().sum::<usize>(), 5);
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn direct_mode_still_pools() {
+        let pool: ShardedPool<u32> = ShardedPool::with_magazines(4, PoolConfig::default(), 0);
+        let a = pool.acquire(|| 1);
+        pool.release(a);
+        assert_eq!(pool.shard_lengths().iter().sum::<usize>(), 1);
+        let b = pool.acquire(|| 2);
+        assert_eq!(*b, 1, "direct mode reuses via the home shard");
+        assert_eq!(pool.stats().pool_hits, 1);
+    }
+
+    #[test]
+    fn trim_invalidates_remote_magazines_lazily() {
+        let pool: Arc<ShardedPool<u32>> = Arc::new(ShardedPool::new(2));
+        let barrier = Arc::new(Barrier::new(2));
+        let (p, b) = (Arc::clone(&pool), Arc::clone(&barrier));
+        let t = std::thread::spawn(move || {
+            for i in 0..5 {
+                p.release(Box::new(i));
+            }
+            b.wait(); // A: five objects cached in this thread's magazine
+            b.wait(); // B: main has trimmed
+            let obj = p.acquire(|| 99);
+            assert_eq!(*obj, 99, "a stale cache must not serve pre-trim objects");
+        });
+        barrier.wait(); // A
+        assert_eq!(pool.len(), 5);
+        // Remote caches can't be drained from here; trim reports what it
+        // actually reclaimed and invalidates the rest.
+        assert_eq!(pool.trim(), 0);
+        barrier.wait(); // B
+        t.join().unwrap();
+        assert_eq!(pool.len(), 0, "stale magazine drops its objects on next use");
     }
 }

@@ -45,6 +45,10 @@ impl PoolStats {
         self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_dropped_many(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_failed_lock(&self) {
         self.failed_locks.fetch_add(1, Ordering::Relaxed);
     }
@@ -124,6 +128,51 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Allocations served by reuse (method form, mirroring [`PoolStats`]).
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Allocations that fell through to the underlying allocator.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Objects returned to the pool.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Objects the pool refused to keep and dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// try-lock attempts that found the lock held.
+    pub fn failed_locks(&self) -> u64 {
+        self.failed_locks
+    }
+
+    /// Successful lock acquisitions.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions
+    }
+
+    /// Total allocation requests (hits + fresh).
+    pub fn total_allocs(&self) -> u64 {
+        self.pool_hits + self.fresh_allocs
+    }
+
+    /// Fraction of allocations served by reuse, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_allocs();
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
     /// Merge another snapshot into this one (for aggregating shards).
     pub fn merge(&mut self, other: &StatsSnapshot) {
         self.pool_hits += other.pool_hits;

@@ -11,7 +11,8 @@
 
 use crate::limits::PoolConfig;
 use crate::object_pool::ObjectPool;
-use crate::stats::PoolStats;
+use crate::sharded::ShardedPool;
+use crate::stats::StatsSnapshot;
 
 /// Implemented by types whose instances can be parked and revived with
 /// their internal structure intact.
@@ -33,10 +34,21 @@ pub trait Reusable {
     fn recycle(&mut self) {}
 }
 
+/// The free-list strategy behind a [`StructurePool`].
+#[derive(Debug)]
+enum Backend<T: Reusable> {
+    /// One shared LIFO free list (the single-threaded/default layout).
+    Plain(ObjectPool<T>),
+    /// Sharded free lists behind thread-local magazines — the layout
+    /// Amplify's threaded builds use (§3.2 plus the thread-cache fast
+    /// path).
+    Sharded(ShardedPool<T>),
+}
+
 /// A thread-safe pool of whole structures.
 #[derive(Debug)]
 pub struct StructurePool<T: Reusable> {
-    inner: ObjectPool<T>,
+    inner: Backend<T>,
 }
 
 impl<T: Reusable> Default for StructurePool<T> {
@@ -48,45 +60,82 @@ impl<T: Reusable> Default for StructurePool<T> {
 impl<T: Reusable> StructurePool<T> {
     /// An empty, unbounded structure pool.
     pub fn new() -> Self {
-        StructurePool { inner: ObjectPool::new() }
+        StructurePool { inner: Backend::Plain(ObjectPool::new()) }
     }
 
     /// An empty structure pool with limits.
     pub fn with_config(config: PoolConfig) -> Self {
-        StructurePool { inner: ObjectPool::with_config(config) }
+        StructurePool { inner: Backend::Plain(ObjectPool::with_config(config)) }
     }
 
+    /// An empty structure pool sharded over `shards` free lists with
+    /// thread-local magazines in front — the configuration for structures
+    /// allocated and freed concurrently from many threads.
+    pub fn new_sharded(shards: usize) -> Self
+    where
+        T: 'static,
+    {
+        StructurePool { inner: Backend::Sharded(ShardedPool::new(shards)) }
+    }
+
+    /// A sharded structure pool with per-shard limits.
+    pub fn with_sharded_config(shards: usize, config: PoolConfig) -> Self
+    where
+        T: 'static,
+    {
+        StructurePool { inner: Backend::Sharded(ShardedPool::with_config(shards, config)) }
+    }
+}
+
+impl<T: Reusable + 'static> StructurePool<T> {
     /// Allocate a structure: one pool access regardless of how many
     /// sub-objects the structure contains.
     pub fn alloc(&self, params: &T::Params) -> Box<T> {
-        self.inner.acquire_with(|| T::fresh(params), |t| t.reinit(params))
+        match &self.inner {
+            Backend::Plain(p) => p.acquire_with(|| T::fresh(params), |t| t.reinit(params)),
+            Backend::Sharded(s) => s.acquire_with(|| T::fresh(params), |t| t.reinit(params)),
+        }
     }
 
     /// Free a structure: run `recycle` (the destructor chain) and park the
     /// whole thing, links intact.
     pub fn free(&self, mut structure: Box<T>) {
         structure.recycle();
-        self.inner.release(structure);
+        match &self.inner {
+            Backend::Plain(p) => p.release(structure),
+            Backend::Sharded(s) => s.release(structure),
+        }
     }
 
-    /// Number of parked structures.
+    /// Number of parked structures (including magazine contents when
+    /// sharded).
     pub fn len(&self) -> usize {
-        self.inner.len()
+        match &self.inner {
+            Backend::Plain(p) => p.len(),
+            Backend::Sharded(s) => s.len(),
+        }
     }
 
     /// True if no structures are parked.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.len() == 0
     }
 
     /// Drop all parked structures.
     pub fn trim(&self) -> usize {
-        self.inner.trim()
+        match &self.inner {
+            Backend::Plain(p) => p.trim(),
+            Backend::Sharded(s) => s.trim(),
+        }
     }
 
-    /// Pool statistics.
-    pub fn stats(&self) -> &PoolStats {
-        self.inner.stats()
+    /// Pool statistics (aggregated across shards and magazines when
+    /// sharded).
+    pub fn stats(&self) -> StatsSnapshot {
+        match &self.inner {
+            Backend::Plain(p) => p.stats().snapshot(),
+            Backend::Sharded(s) => s.stats(),
+        }
     }
 }
 
@@ -98,6 +147,8 @@ mod tests {
     /// heap-allocated parts.
     #[derive(Debug)]
     struct Car {
+        // Boxed on purpose: tests assert wheel *addresses* survive reuse.
+        #[allow(clippy::vec_box)]
         wheels: Vec<Box<Wheel>>,
         engine: Option<Box<Engine>>,
         doors: u32,
@@ -204,6 +255,21 @@ mod tests {
         pool.free(b);
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.stats().dropped(), 1);
+    }
+
+    #[test]
+    fn sharded_backend_reuses_whole_structures() {
+        let pool: StructurePool<Car> = StructurePool::new_sharded(2);
+        let p = CarParams { wheels: 4, engine: "V8", doors: 5 };
+        let car = pool.alloc(&p);
+        pool.free(car);
+        let car2 = pool.alloc(&p);
+        assert_eq!(pool.stats().pool_hits(), 1);
+        assert_eq!(car2.wheels.len(), 4);
+        pool.free(car2);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.trim(), 1);
+        assert!(pool.is_empty());
     }
 
     #[test]

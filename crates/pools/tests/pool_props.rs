@@ -10,10 +10,7 @@ enum Op {
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![Just(Op::Acquire), Just(Op::Release)],
-        1..200,
-    )
+    proptest::collection::vec(prop_oneof![Just(Op::Acquire), Just(Op::Release)], 1..200)
 }
 
 proptest! {

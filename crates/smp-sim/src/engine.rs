@@ -141,18 +141,32 @@ pub struct Sim {
     failed_locks: u64,
     ctx_switches: u64,
     done_count: usize,
+    /// Scratch buffer the model appends micro-ops into; drained into the
+    /// issuing thread's pending queue after every expansion. One persistent
+    /// allocation instead of one per application op.
+    ops_buf: Vec<MicroOp>,
+    /// Recycled node-address buffers: structures pass their `Vec<u64>` back
+    /// here on free, the next allocation reuses it — the paper's own
+    /// parked-structure trick applied to the simulator's bookkeeping.
+    addr_pool: Vec<Vec<u64>>,
 }
 
 impl Sim {
     /// Create a simulation with one program per thread.
-    pub fn new(cfg: SimConfig, model: Box<dyn AllocModel>, programs: Vec<Box<dyn Program>>) -> Self {
+    pub fn new(
+        cfg: SimConfig,
+        model: Box<dyn AllocModel>,
+        programs: Vec<Box<dyn Program>>,
+    ) -> Self {
         assert!(cfg.cpus >= 1 && cfg.cpus <= 64, "1..=64 CPUs supported");
         assert!(!programs.is_empty(), "need at least one thread");
         let threads = programs
             .into_iter()
             .map(|p| ThreadCtx {
                 program: p,
-                pending: VecDeque::new(),
+                // Sized for a deep structure's expansion so the queue does
+                // not regrow during the measured run.
+                pending: VecDeque::with_capacity(256),
                 structs: HashMap::new(),
                 arrays: HashMap::new(),
                 state: TState::Ready,
@@ -182,6 +196,8 @@ impl Sim {
             failed_locks: 0,
             ctx_switches: 0,
             done_count: 0,
+            ops_buf: Vec::with_capacity(256),
+            addr_pool: Vec::new(),
         }
     }
 
@@ -202,7 +218,9 @@ impl Sim {
             if self.cpus[c].running.is_some() {
                 continue;
             }
-            let Some(tid) = self.ready.pop_front() else { break };
+            let Some(tid) = self.ready.pop_front() else {
+                break;
+            };
             let t = &mut self.threads[tid];
             debug_assert_eq!(t.state, TState::Ready);
             t.state = TState::Running;
@@ -367,10 +385,17 @@ impl Sim {
             match app {
                 AppOp::Compute(d) => return Some(MicroOp::Work(d)),
                 AppOp::AllocStruct { shape, tag } => {
-                    let res = self.model.alloc_structure(&mut view, tid, &shape);
+                    let mut addrs = self.addr_pool.pop().unwrap_or_default();
+                    let handle = self.model.alloc_structure(
+                        &mut view,
+                        tid,
+                        &shape,
+                        &mut self.ops_buf,
+                        &mut addrs,
+                    );
                     let t = &mut self.threads[tid];
-                    t.structs.insert(tag, (res.handle, res.node_addrs, shape.node_size));
-                    t.pending.extend(res.ops);
+                    t.structs.insert(tag, (handle, addrs, shape.node_size));
+                    t.pending.extend(self.ops_buf.drain(..));
                 }
                 AppOp::TouchNodes { tag, write, work_per_node } => {
                     let t = &mut self.threads[tid];
@@ -396,16 +421,28 @@ impl Sim {
                 }
                 AppOp::FreeStruct { tag } => {
                     let entry = self.threads[tid].structs.remove(&tag);
-                    if let Some((handle, _, _)) = entry {
-                        let ops = self.model.free_structure(&mut view, tid, handle);
-                        self.threads[tid].pending.extend(ops);
+                    if let Some((handle, mut addrs, _)) = entry {
+                        self.model.free_structure(&mut view, tid, handle, &mut self.ops_buf);
+                        self.threads[tid].pending.extend(self.ops_buf.drain(..));
+                        addrs.clear();
+                        self.addr_pool.push(addrs);
                     }
                 }
                 AppOp::AllocArray { slot, size, tag } => {
-                    let res = self.model.alloc_array(&mut view, tid, slot, size);
+                    let mut scratch = self.addr_pool.pop().unwrap_or_default();
+                    let (handle, addr) = self.model.alloc_array(
+                        &mut view,
+                        tid,
+                        slot,
+                        size,
+                        &mut self.ops_buf,
+                        &mut scratch,
+                    );
+                    scratch.clear();
+                    self.addr_pool.push(scratch);
                     let t = &mut self.threads[tid];
-                    t.arrays.insert(tag, (slot, res.handle, res.addr));
-                    t.pending.extend(res.ops);
+                    t.arrays.insert(tag, (slot, handle, addr));
+                    t.pending.extend(self.ops_buf.drain(..));
                 }
                 AppOp::TouchArray { tag, size, write, work_total } => {
                     let t = &mut self.threads[tid];
@@ -426,8 +463,8 @@ impl Sim {
                 AppOp::FreeArray { tag } => {
                     let entry = self.threads[tid].arrays.remove(&tag);
                     if let Some((slot, handle, _)) = entry {
-                        let ops = self.model.free_array(&mut view, tid, slot, handle);
-                        self.threads[tid].pending.extend(ops);
+                        self.model.free_array(&mut view, tid, slot, handle, &mut self.ops_buf);
+                        self.threads[tid].pending.extend(self.ops_buf.drain(..));
                     }
                 }
                 AppOp::End => return None,

@@ -40,7 +40,9 @@ impl StructShape {
     }
 }
 
-/// Result of expanding a structure allocation.
+/// Owned result of expanding a structure allocation (the
+/// [`AllocModelExt`] convenience form; the engine itself uses the
+/// buffer-based trait methods to avoid per-event allocations).
 #[derive(Debug, Clone)]
 pub struct StructAlloc {
     /// The timed operations to execute.
@@ -52,7 +54,8 @@ pub struct StructAlloc {
     pub node_addrs: Vec<u64>,
 }
 
-/// Result of expanding a raw array allocation (BGw data-type arrays).
+/// Owned result of expanding a raw array allocation (BGw data-type
+/// arrays).
 #[derive(Debug, Clone)]
 pub struct ArrayAlloc {
     pub ops: Vec<MicroOp>,
@@ -72,52 +75,72 @@ pub trait SimView {
 }
 
 /// A memory-management strategy under simulation.
+///
+/// The expansion methods **append** to caller-provided buffers instead of
+/// returning fresh `Vec`s: the engine recycles those buffers across
+/// events, so a steady-state simulation step performs no heap allocation
+/// for micro-op plumbing. Buffers may arrive non-empty (layered models
+/// pass the same buffers through to their base model) — only ever append.
 pub trait AllocModel: Send {
     /// Display name for benchmark output.
     fn name(&self) -> &'static str;
 
-    /// Expand "allocate one structure of `shape`" for `thread`.
+    /// Expand "allocate one structure of `shape`" for `thread`: append
+    /// the timed operations to `ops` and the structure's node addresses
+    /// (which the application layer touches during init/destroy) to
+    /// `addrs`. Returns the opaque handle passed back on free.
     fn alloc_structure(
         &mut self,
         view: &mut dyn SimView,
         thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc;
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64;
 
-    /// Expand "free the structure previously returned with `handle`".
+    /// Expand "free the structure previously returned with `handle`",
+    /// appending the timed operations to `ops`.
     fn free_structure(
         &mut self,
         view: &mut dyn SimView,
         thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp>;
+        ops: &mut Vec<MicroOp>,
+    );
 
     /// Expand "allocate a `size`-byte data array in shadow slot `slot`"
-    /// (BGw extension). Default: a 1-node structure of class
-    /// `ARRAY_CLASS` — i.e. a plain malloc.
+    /// (BGw extension), appending timed operations to `ops`; `addrs` is
+    /// scratch space for delegation. Returns `(handle, base_address)`.
+    /// Default: a 1-node structure of class `ARRAY_CLASS` — i.e. a plain
+    /// malloc.
     fn alloc_array(
         &mut self,
         view: &mut dyn SimView,
         thread: usize,
         slot: u64,
         size: u32,
-    ) -> ArrayAlloc {
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> (u64, u64) {
         let _ = slot;
         let shape = StructShape { class_id: ARRAY_CLASS, nodes: 1, node_size: size };
-        let s = self.alloc_structure(view, thread, &shape);
-        ArrayAlloc { addr: s.node_addrs[0], ops: s.ops, handle: s.handle }
+        let mark = addrs.len();
+        let handle = self.alloc_structure(view, thread, &shape, ops, addrs);
+        (handle, addrs[mark])
     }
 
-    /// Expand "free the data array `handle` from shadow slot `slot`".
+    /// Expand "free the data array `handle` from shadow slot `slot`",
+    /// appending the timed operations to `ops`.
     fn free_array(
         &mut self,
         view: &mut dyn SimView,
         thread: usize,
         slot: u64,
         handle: u64,
-    ) -> Vec<MicroOp> {
+        ops: &mut Vec<MicroOp>,
+    ) {
         let _ = slot;
-        self.free_structure(view, thread, handle)
+        self.free_structure(view, thread, handle, ops);
     }
 
     /// Model-specific counters for reports (pool hits, arena switches, ...).
@@ -125,6 +148,65 @@ pub trait AllocModel: Send {
         Vec::new()
     }
 }
+
+/// Owned-result convenience wrappers over the buffer-based [`AllocModel`]
+/// methods — handy in tests and one-off callers where the per-call `Vec`
+/// cost does not matter.
+pub trait AllocModelExt: AllocModel {
+    /// [`AllocModel::alloc_structure`] returning owned buffers.
+    fn alloc_structure_owned(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        shape: &StructShape,
+    ) -> StructAlloc {
+        let mut ops = Vec::new();
+        let mut node_addrs = Vec::new();
+        let handle = self.alloc_structure(view, thread, shape, &mut ops, &mut node_addrs);
+        StructAlloc { ops, handle, node_addrs }
+    }
+
+    /// [`AllocModel::free_structure`] returning owned ops.
+    fn free_structure_owned(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        handle: u64,
+    ) -> Vec<MicroOp> {
+        let mut ops = Vec::new();
+        self.free_structure(view, thread, handle, &mut ops);
+        ops
+    }
+
+    /// [`AllocModel::alloc_array`] returning owned ops.
+    fn alloc_array_owned(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        slot: u64,
+        size: u32,
+    ) -> ArrayAlloc {
+        let mut ops = Vec::new();
+        let mut scratch = Vec::new();
+        let (handle, addr) = self.alloc_array(view, thread, slot, size, &mut ops, &mut scratch);
+        ArrayAlloc { ops, handle, addr }
+    }
+
+    /// [`AllocModel::free_array`] returning owned ops.
+    fn free_array_owned(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        slot: u64,
+        handle: u64,
+    ) -> Vec<MicroOp> {
+        let mut ops = Vec::new();
+        self.free_array(view, thread, slot, handle, &mut ops);
+        ops
+    }
+}
+
+impl<M: AllocModel + ?Sized> AllocModelExt for M {}
 
 /// Pseudo class id used for raw data arrays.
 pub const ARRAY_CLASS: u32 = u32::MAX;

@@ -7,9 +7,7 @@
 //! addresses, so reuse (and the resulting cache behaviour) emerges from the
 //! workload's temporal locality rather than from an assumed hit rate.
 
-use crate::model::{
-    AllocModel, ArrayAlloc, MicroOp, SimView, StructAlloc, StructShape, ARRAY_CLASS,
-};
+use crate::model::{AllocModel, MicroOp, SimView, StructShape, ARRAY_CLASS};
 use crate::models::common::{meta_addr, HandleGen};
 use crate::params::CostParams;
 use std::collections::HashMap;
@@ -234,9 +232,9 @@ impl AmplifyModel {
         shape: &StructShape,
         ops: &mut Vec<MicroOp>,
     ) -> Parked {
-        let r = self.base.alloc_structure(view, thread, shape);
-        ops.extend(r.ops);
-        Parked { node_size: shape.node_size, base_handles: vec![r.handle], node_addrs: r.node_addrs }
+        let mut node_addrs = Vec::with_capacity(shape.nodes as usize);
+        let handle = self.base.alloc_structure(view, thread, shape, ops, &mut node_addrs);
+        Parked { node_size: shape.node_size, base_handles: vec![handle], node_addrs }
     }
 
     fn base_release(
@@ -247,7 +245,7 @@ impl AmplifyModel {
         ops: &mut Vec<MicroOp>,
     ) {
         for h in parked.base_handles {
-            ops.extend(self.base.free_structure(view, thread, h));
+            self.base.free_structure(view, thread, h, ops);
         }
     }
 }
@@ -262,27 +260,28 @@ impl AllocModel for AmplifyModel {
         view: &mut dyn SimView,
         thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc {
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64 {
         // Library code was not pre-processed — and in the arrays-only
         // variant no object class is: straight to the base allocator.
         if shape.class_id == LIBRARY_CLASS || !self.cfg.amplify_objects {
             if shape.class_id == LIBRARY_CLASS {
                 self.lib_allocs += 1;
             }
-            let r = self.base.alloc_structure(view, thread, shape);
+            let base_handle = self.base.alloc_structure(view, thread, shape, ops, addrs);
             let handle = self.handles.next();
-            self.live.insert(handle, Record::Library { base_handle: r.handle });
-            return StructAlloc { ops: r.ops, handle, node_addrs: r.node_addrs };
+            self.live.insert(handle, Record::Library { base_handle });
+            return handle;
         }
 
-        let mut ops = Vec::new();
-        let shard = self.select_shard(view, thread, shape.class_id, &mut ops);
-        self.pool_section(&mut ops, shape.class_id, shard);
+        let shard = self.select_shard(view, thread, shape.class_id, ops);
+        self.pool_section(ops, shape.class_id, shard);
         let popped = self.pools.entry((shape.class_id, shard)).or_default().pop();
 
         let parked = match popped {
-            Some(p) if p.node_size == shape.node_size
-                && p.node_addrs.len() >= shape.nodes as usize =>
+            Some(p)
+                if p.node_size == shape.node_size && p.node_addrs.len() >= shape.nodes as usize =>
             {
                 // Temporal-locality hit: the whole structure is revived in
                 // one pool operation. Surplus nodes stay attached (the
@@ -301,7 +300,7 @@ impl AllocModel for AmplifyModel {
                     nodes: missing as u32,
                     node_size: shape.node_size,
                 };
-                let extra = self.base_fresh(view, thread, &delta, &mut ops);
+                let extra = self.base_fresh(view, thread, &delta, ops);
                 p.base_handles.extend(extra.base_handles);
                 p.node_addrs.extend(extra.node_addrs);
                 p
@@ -310,21 +309,21 @@ impl AllocModel for AmplifyModel {
                 // Node size mismatch (different instantiation of the class):
                 // return the parked structure to the heap and start over.
                 self.misses += 1;
-                self.base_release(view, thread, p, &mut ops);
-                self.base_fresh(view, thread, shape, &mut ops)
+                self.base_release(view, thread, p, ops);
+                self.base_fresh(view, thread, shape, ops)
             }
             None => {
                 // Pool empty: the normal dynamic memory manager serves the
                 // request (§3.2).
                 self.misses += 1;
-                self.base_fresh(view, thread, shape, &mut ops)
+                self.base_fresh(view, thread, shape, ops)
             }
         };
 
-        let node_addrs = parked.node_addrs[..shape.nodes as usize].to_vec();
+        addrs.extend_from_slice(&parked.node_addrs[..shape.nodes as usize]);
         let handle = self.handles.next();
         self.live.insert(handle, Record::Structure { class: shape.class_id, parked });
-        StructAlloc { ops, handle, node_addrs }
+        handle
     }
 
     fn free_structure(
@@ -332,26 +331,27 @@ impl AllocModel for AmplifyModel {
         view: &mut dyn SimView,
         thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp> {
+        ops: &mut Vec<MicroOp>,
+    ) {
         match self.live.remove(&handle).expect("free of unknown handle") {
-            Record::Library { base_handle } => self.base.free_structure(view, thread, base_handle),
+            Record::Library { base_handle } => {
+                self.base.free_structure(view, thread, base_handle, ops)
+            }
             Record::Structure { class, parked } => {
-                let mut ops = Vec::new();
-                let shard = self.select_shard(view, thread, class, &mut ops);
-                self.pool_section(&mut ops, class, shard);
+                let shard = self.select_shard(view, thread, class, ops);
+                self.pool_section(ops, class, shard);
                 let pool = self.pools.entry((class, shard)).or_default();
                 let at_cap = self.cfg.max_per_pool.is_some_and(|max| pool.len() >= max);
                 if at_cap {
                     self.dropped += 1;
-                    self.base_release(view, thread, parked, &mut ops);
+                    self.base_release(view, thread, parked, ops);
                 } else {
                     pool.push(parked);
                 }
-                ops
             }
             Record::Array { base_handle, .. } => {
                 // A structure-free of an array handle: treat as real free.
-                self.base.free_structure(view, thread, base_handle)
+                self.base.free_structure(view, thread, base_handle, ops)
             }
         }
     }
@@ -362,8 +362,9 @@ impl AllocModel for AmplifyModel {
         thread: usize,
         slot: u64,
         size: u32,
-    ) -> ArrayAlloc {
-        let mut ops = Vec::new();
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> (u64, u64) {
         if let Some(parked) = self.shadows.remove(&(thread, slot)) {
             let fits = size <= parked.cap;
             let rule = !self.cfg.half_size_rule || size >= parked.cap / 2;
@@ -375,21 +376,25 @@ impl AllocModel for AmplifyModel {
                 let handle = self.handles.next();
                 self.live.insert(
                     handle,
-                    Record::Array { base_handle: parked.base_handle, addr: parked.addr, cap: parked.cap },
+                    Record::Array {
+                        base_handle: parked.base_handle,
+                        addr: parked.addr,
+                        cap: parked.cap,
+                    },
                 );
-                return ArrayAlloc { ops, handle, addr: parked.addr };
+                return (handle, parked.addr);
             }
             // Shadow unusable: really free it, then allocate fresh.
-            ops.extend(self.base.free_structure(view, thread, parked.base_handle));
+            self.base.free_structure(view, thread, parked.base_handle, ops);
         }
         self.shadow_misses += 1;
         let shape = StructShape { class_id: ARRAY_CLASS, nodes: 1, node_size: size };
-        let r = self.base.alloc_structure(view, thread, &shape);
-        ops.extend(r.ops);
-        let addr = r.node_addrs[0];
+        let mark = addrs.len();
+        let base_handle = self.base.alloc_structure(view, thread, &shape, ops, addrs);
+        let addr = addrs[mark];
         let handle = self.handles.next();
-        self.live.insert(handle, Record::Array { base_handle: r.handle, addr, cap: size });
-        ArrayAlloc { ops, handle, addr }
+        self.live.insert(handle, Record::Array { base_handle, addr, cap: size });
+        (handle, addr)
     }
 
     fn free_array(
@@ -398,10 +403,11 @@ impl AllocModel for AmplifyModel {
         thread: usize,
         slot: u64,
         handle: u64,
-    ) -> Vec<MicroOp> {
+        ops: &mut Vec<MicroOp>,
+    ) {
         match self.live.remove(&handle).expect("free of unknown array handle") {
             Record::Array { base_handle, addr, cap } => {
-                let mut ops = vec![MicroOp::Work(self.params.pool_op_ns / 2)];
+                ops.push(MicroOp::Work(self.params.pool_op_ns / 2));
                 let cap_ok = self.cfg.max_shadow_bytes.is_none_or(|max| cap <= max);
                 if cap_ok {
                     // `bufferShadow = buffer`: park it. A displaced previous
@@ -409,31 +415,27 @@ impl AllocModel for AmplifyModel {
                     if let Some(old) =
                         self.shadows.insert((thread, slot), ParkedArray { base_handle, addr, cap })
                     {
-                        ops.extend(self.base.free_structure(view, thread, old.base_handle));
+                        self.base.free_structure(view, thread, old.base_handle, ops);
                     }
                 } else {
                     // Oversized: delete as normal (§5.2's maximum size for
                     // shadowed memory).
                     self.dropped += 1;
-                    ops.extend(self.base.free_structure(view, thread, base_handle));
+                    self.base.free_structure(view, thread, base_handle, ops);
                 }
-                ops
             }
             other => {
                 // Tolerate a structure handle routed here.
                 self.live.insert(handle, other);
-                self.free_structure(view, thread, handle)
+                self.free_structure(view, thread, handle, ops);
             }
         }
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
         let parked_structures: u64 = self.pools.values().map(|p| p.len() as u64).sum();
-        let parked_nodes: u64 = self
-            .pools
-            .values()
-            .flat_map(|p| p.iter().map(|s| s.node_addrs.len() as u64))
-            .sum();
+        let parked_nodes: u64 =
+            self.pools.values().flat_map(|p| p.iter().map(|s| s.node_addrs.len() as u64)).sum();
         let mut v = vec![
             ("pool_hits", self.pool_hits),
             ("partial_hits", self.partial_hits),
@@ -456,6 +458,7 @@ impl AllocModel for AmplifyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AllocModelExt;
     use crate::models::serial::SerialModel;
 
     struct NullView;
@@ -478,11 +481,11 @@ mod tests {
     fn miss_then_hit_reuses_node_addresses() {
         let mut m = model(2);
         let shape = StructShape::binary_tree(3, 28);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(m.misses, 1);
         let addrs = a.node_addrs.clone();
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(m.pool_hits, 1);
         assert_eq!(b.node_addrs, addrs, "temporal locality: same structure back");
         // The hit path is one pool section — exactly one lock round-trip.
@@ -493,12 +496,12 @@ mod tests {
     fn single_thread_elides_locks() {
         let mut m = model(1);
         let shape = StructShape::binary_tree(1, 28);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
         // Fresh path still uses the base allocator's lock (3 nodes), but
         // the pool section itself adds none.
         let first_locks = lock_ops(&a.ops);
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(lock_ops(&b.ops), 0, "hit path is completely lock-free");
         assert_eq!(first_locks, 3, "cold path delegates to serial malloc per node");
     }
@@ -508,15 +511,15 @@ mod tests {
         let mut m = model(2);
         let big = StructShape::binary_tree(3, 28); // 15 nodes
         let small = StructShape::binary_tree(1, 28); // 3 nodes
-        let a = m.alloc_structure(&mut NullView, 0, &big);
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &small);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &big);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &small);
         assert_eq!(m.pool_hits, 1);
         assert_eq!(b.node_addrs.len(), 3);
         assert_eq!(m.waste_nodes, 12);
         // Freeing the small structure parks all 15 nodes again.
-        m.free_structure(&mut NullView, 0, b.handle);
-        let c = m.alloc_structure(&mut NullView, 0, &big);
+        m.free_structure_owned(&mut NullView, 0, b.handle);
+        let c = m.alloc_structure_owned(&mut NullView, 0, &big);
         assert_eq!(c.node_addrs.len(), 15);
         assert_eq!(m.pool_hits, 2);
     }
@@ -526,9 +529,9 @@ mod tests {
         let mut m = model(2);
         let small = StructShape::binary_tree(1, 28);
         let big = StructShape::binary_tree(3, 28);
-        let a = m.alloc_structure(&mut NullView, 0, &small);
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &big);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &small);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &big);
         assert_eq!(m.partial_hits, 1);
         assert_eq!(b.node_addrs.len(), 15);
     }
@@ -539,10 +542,10 @@ mod tests {
         cfg.max_per_pool = Some(1);
         let mut m = AmplifyModel::new(cfg, Box::new(SerialModel::new()));
         let shape = StructShape::binary_tree(1, 28);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
-        m.free_structure(&mut NullView, 0, a.handle);
-        m.free_structure(&mut NullView, 0, b.handle);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        m.free_structure_owned(&mut NullView, 0, b.handle);
         assert_eq!(m.dropped, 1);
     }
 
@@ -550,9 +553,9 @@ mod tests {
     fn library_allocations_bypass_pools() {
         let mut m = model(2);
         let shape = StructShape { class_id: LIBRARY_CLASS, nodes: 2, node_size: 32 };
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        m.free_structure(&mut NullView, 0, a.handle);
-        let _b = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let _b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(m.pool_hits, 0);
         assert_eq!(m.lib_allocs, 2);
     }
@@ -560,15 +563,15 @@ mod tests {
     #[test]
     fn shadow_array_half_size_rule() {
         let mut m = model(2);
-        let a = m.alloc_array(&mut NullView, 0, 7, 1000);
-        m.free_array(&mut NullView, 0, 7, a.handle);
+        let a = m.alloc_array_owned(&mut NullView, 0, 7, 1000);
+        m.free_array_owned(&mut NullView, 0, 7, a.handle);
         // Within [cap/2, cap]: reuse.
-        let b = m.alloc_array(&mut NullView, 0, 7, 600);
+        let b = m.alloc_array_owned(&mut NullView, 0, 7, 600);
         assert_eq!(m.shadow_hits, 1);
         assert_eq!(b.addr, a.addr);
-        m.free_array(&mut NullView, 0, 7, b.handle);
+        m.free_array_owned(&mut NullView, 0, 7, b.handle);
         // Below half: fresh allocation.
-        let c = m.alloc_array(&mut NullView, 0, 7, 100);
+        let c = m.alloc_array_owned(&mut NullView, 0, 7, 100);
         assert_eq!(m.shadow_hits, 1);
         assert_eq!(m.shadow_misses, 2, "initial allocation + below-half request");
         let _ = c;
@@ -579,9 +582,9 @@ mod tests {
         let mut cfg = AmplifyConfig::synthetic(2, 1);
         cfg.max_shadow_bytes = Some(512);
         let mut m = AmplifyModel::new(cfg, Box::new(SerialModel::new()));
-        let a = m.alloc_array(&mut NullView, 0, 1, 4096);
-        m.free_array(&mut NullView, 0, 1, a.handle);
-        let b = m.alloc_array(&mut NullView, 0, 1, 4096);
+        let a = m.alloc_array_owned(&mut NullView, 0, 1, 4096);
+        m.free_array_owned(&mut NullView, 0, 1, a.handle);
+        let b = m.alloc_array_owned(&mut NullView, 0, 1, 4096);
         assert_eq!(m.shadow_hits, 0, "oversized blocks are never shadowed");
         assert_eq!(m.dropped, 1);
         let _ = b;

@@ -9,7 +9,7 @@
 //! overhead).
 
 use crate::addr::AddrSpace;
-use crate::model::{AllocModel, MicroOp, SimView, StructAlloc, StructShape};
+use crate::model::{AllocModel, MicroOp, SimView, StructShape};
 use crate::models::common::{meta_addr, HandleGen};
 use crate::params::CostParams;
 use std::collections::HashMap;
@@ -75,12 +75,9 @@ impl HandmadeModel {
     /// Allocate a fresh structure from the thread's private arena: the
     /// allocation work is charged, but there is no lock and no sharing.
     fn fresh(&mut self, thread: usize, shape: &StructShape, ops: &mut Vec<MicroOp>) -> Parked {
-        let space = self
-            .spaces
-            .entry(thread)
-            .or_insert_with(|| AddrSpace::new(4000 + thread as u32));
-        let node_addrs: Vec<u64> =
-            (0..shape.nodes).map(|_| space.alloc(shape.node_size)).collect();
+        let space =
+            self.spaces.entry(thread).or_insert_with(|| AddrSpace::new(4000 + thread as u32));
+        let node_addrs: Vec<u64> = (0..shape.nodes).map(|_| space.alloc(shape.node_size)).collect();
         ops.push(MicroOp::Work(self.params.malloc_serial_ns * shape.nodes as u64));
         Parked { node_size: shape.node_size, node_addrs }
     }
@@ -96,16 +93,15 @@ impl AllocModel for HandmadeModel {
         _view: &mut dyn SimView,
         thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc {
-        let mut ops = vec![
-            MicroOp::Work(self.params.pool_op_ns),
-            MicroOp::Touch { addr: Self::pool_meta(thread), write: true },
-        ];
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64 {
+        ops.push(MicroOp::Work(self.params.pool_op_ns));
+        ops.push(MicroOp::Touch { addr: Self::pool_meta(thread), write: true });
         let popped = self.pools.entry((shape.class_id, thread)).or_default().pop();
         let parked = match popped {
             Some(p)
-                if p.node_size == shape.node_size
-                    && p.node_addrs.len() >= shape.nodes as usize =>
+                if p.node_size == shape.node_size && p.node_addrs.len() >= shape.nodes as usize =>
             {
                 self.pool_hits += 1;
                 p
@@ -120,19 +116,19 @@ impl AllocModel for HandmadeModel {
                     nodes: missing as u32,
                     node_size: shape.node_size,
                 };
-                let extra = self.fresh(thread, &delta, &mut ops);
+                let extra = self.fresh(thread, &delta, ops);
                 p.node_addrs.extend(extra.node_addrs);
                 p
             }
             _ => {
                 self.misses += 1;
-                self.fresh(thread, shape, &mut ops)
+                self.fresh(thread, shape, ops)
             }
         };
-        let node_addrs = parked.node_addrs[..shape.nodes as usize].to_vec();
+        addrs.extend_from_slice(&parked.node_addrs[..shape.nodes as usize]);
         let handle = self.handles.next();
         self.live.insert(handle, (shape.class_id, parked));
-        StructAlloc { ops, handle, node_addrs }
+        handle
     }
 
     fn free_structure(
@@ -140,13 +136,12 @@ impl AllocModel for HandmadeModel {
         _view: &mut dyn SimView,
         thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp> {
+        ops: &mut Vec<MicroOp>,
+    ) {
         let (class, parked) = self.live.remove(&handle).expect("free of unknown handle");
         self.pools.entry((class, thread)).or_default().push(parked);
-        vec![
-            MicroOp::Work(self.params.pool_op_ns),
-            MicroOp::Touch { addr: Self::pool_meta(thread), write: true },
-        ]
+        ops.push(MicroOp::Work(self.params.pool_op_ns));
+        ops.push(MicroOp::Touch { addr: Self::pool_meta(thread), write: true });
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -161,6 +156,7 @@ impl AllocModel for HandmadeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AllocModelExt;
 
     struct NullView;
     impl SimView for NullView {
@@ -174,9 +170,9 @@ mod tests {
     fn hit_path_has_no_locks_at_all() {
         let mut m = HandmadeModel::new();
         let shape = StructShape::binary_tree(3, 20);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert!(b.ops.iter().all(|o| !matches!(o, MicroOp::Acquire(_))));
         assert_eq!(m.pool_hits, 1);
     }
@@ -185,10 +181,10 @@ mod tests {
     fn pools_are_private_per_thread() {
         let mut m = HandmadeModel::new();
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        m.free_structure(&mut NullView, 0, a.handle);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
         // Thread 1 cannot reuse thread 0's structure.
-        let _b = m.alloc_structure(&mut NullView, 1, &shape);
+        let _b = m.alloc_structure_owned(&mut NullView, 1, &shape);
         assert_eq!(m.pool_hits, 0);
         assert_eq!(m.misses, 2);
     }
@@ -199,9 +195,9 @@ mod tests {
         // unlock) — the gap Figure 10 shows.
         let mut m = HandmadeModel::new();
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(b.ops.len(), 2);
     }
 }

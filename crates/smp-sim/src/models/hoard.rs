@@ -3,7 +3,7 @@
 //! Hoard stops scaling once threads outnumber processors: two threads whose
 //! ids collide modulo the heap count always share a lock.
 
-use crate::model::{AllocModel, MicroOp, SimView, StructAlloc, StructShape};
+use crate::model::{AllocModel, MicroOp, SimView, StructShape};
 use crate::models::common::{HandleGen, HeapCore};
 use crate::params::CostParams;
 use std::collections::HashMap;
@@ -14,6 +14,8 @@ pub struct HoardModel {
     heaps: Vec<HeapCore>,
     handles: HandleGen,
     live: HashMap<u64, Vec<(usize, u64, u32)>>,
+    /// Recycled block lists (freed structures donate their `Vec`).
+    spare: Vec<Vec<(usize, u64, u32)>>,
     params: CostParams,
     mallocs: u64,
     frees: u64,
@@ -33,6 +35,7 @@ impl HoardModel {
             heaps: (0..processors).map(|i| HeapCore::new(i, i, i as u32 + 1)).collect(),
             handles: HandleGen::default(),
             live: HashMap::new(),
+            spare: Vec::new(),
             params,
             mallocs: 0,
             frees: 0,
@@ -56,21 +59,21 @@ impl AllocModel for HoardModel {
         _view: &mut dyn SimView,
         thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc {
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64 {
         let heap = self.heap_for(thread);
-        let mut ops = Vec::with_capacity(shape.nodes as usize * 4);
-        let mut node_addrs = Vec::with_capacity(shape.nodes as usize);
-        let mut blocks = Vec::with_capacity(shape.nodes as usize);
+        let mut blocks = self.spare.pop().unwrap_or_default();
         for _ in 0..shape.nodes {
             let addr =
-                self.heaps[heap].malloc_ops(&mut ops, shape.node_size, self.params.malloc_arena_ns);
-            node_addrs.push(addr);
+                self.heaps[heap].malloc_ops(ops, shape.node_size, self.params.malloc_arena_ns);
+            addrs.push(addr);
             blocks.push((heap, addr, shape.node_size));
             self.mallocs += 1;
         }
         let handle = self.handles.next();
         self.live.insert(handle, blocks);
-        StructAlloc { ops, handle, node_addrs }
+        handle
     }
 
     fn free_structure(
@@ -78,18 +81,19 @@ impl AllocModel for HoardModel {
         _view: &mut dyn SimView,
         thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp> {
-        let blocks = self.live.remove(&handle).expect("free of unknown handle");
+        ops: &mut Vec<MicroOp>,
+    ) {
+        let mut blocks = self.live.remove(&handle).expect("free of unknown handle");
         let my_heap = self.heap_for(thread);
-        let mut ops = Vec::with_capacity(blocks.len() * 4);
-        for (heap, addr, size) in blocks {
+        for &(heap, addr, size) in &blocks {
             if heap != my_heap {
                 self.remote_frees += 1;
             }
-            self.heaps[heap].free_ops(&mut ops, addr, size, self.params.free_arena_ns);
+            self.heaps[heap].free_ops(ops, addr, size, self.params.free_arena_ns);
             self.frees += 1;
         }
-        ops
+        blocks.clear();
+        self.spare.push(blocks);
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -105,6 +109,7 @@ impl AllocModel for HoardModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AllocModelExt;
 
     struct NullView;
     impl SimView for NullView {
@@ -126,8 +131,8 @@ mod tests {
     fn colliding_threads_share_lock() {
         let mut m = HoardModel::new(2);
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        let b = m.alloc_structure(&mut NullView, 2, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        let b = m.alloc_structure_owned(&mut NullView, 2, &shape);
         let lock_of = |ops: &[MicroOp]| {
             ops.iter()
                 .find_map(|o| match o {
@@ -143,9 +148,9 @@ mod tests {
     fn cross_heap_free_is_counted_remote() {
         let mut m = HoardModel::new(2);
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
         // Thread 1 (heap 1) frees thread 0's structure (heap 0).
-        m.free_structure(&mut NullView, 1, a.handle);
+        m.free_structure_owned(&mut NullView, 1, a.handle);
         assert_eq!(m.remote_frees, 3, "all 3 nodes were remote");
     }
 }

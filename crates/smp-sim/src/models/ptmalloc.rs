@@ -1,7 +1,7 @@
 //! The ptmalloc model: multiple arenas; a thread sticks to an arena until a
 //! try-lock probe finds it busy, then spins to the next one (§6).
 
-use crate::model::{AllocModel, MicroOp, SimView, StructAlloc, StructShape};
+use crate::model::{AllocModel, MicroOp, SimView, StructShape};
 use crate::models::common::{HandleGen, HeapCore};
 use crate::params::CostParams;
 use std::collections::HashMap;
@@ -15,6 +15,8 @@ pub struct PtmallocModel {
     handles: HandleGen,
     /// handle → blocks as (arena, addr, size).
     live: HashMap<u64, Vec<(usize, u64, u32)>>,
+    /// Recycled block lists (freed structures donate their `Vec`).
+    spare: Vec<Vec<(usize, u64, u32)>>,
     params: CostParams,
     arena_switches: u64,
     mallocs: u64,
@@ -36,6 +38,7 @@ impl PtmallocModel {
             current: HashMap::new(),
             handles: HandleGen::default(),
             live: HashMap::new(),
+            spare: Vec::new(),
             params,
             arena_switches: 0,
             mallocs: 0,
@@ -43,13 +46,17 @@ impl PtmallocModel {
         }
     }
 
-    /// Pick the arena for `thread`, spinning past locked arenas. Returns
-    /// `(arena_index, probe_ops)`. As in real ptmalloc, every thread starts
-    /// on the main arena and only spreads out when it observes contention.
-    fn select_arena(&mut self, view: &mut dyn SimView, thread: usize) -> (usize, Vec<MicroOp>) {
+    /// Pick the arena for `thread`, spinning past locked arenas, appending
+    /// probe ops to `ops`. As in real ptmalloc, every thread starts on the
+    /// main arena and only spreads out when it observes contention.
+    fn select_arena(
+        &mut self,
+        view: &mut dyn SimView,
+        thread: usize,
+        ops: &mut Vec<MicroOp>,
+    ) -> usize {
         let n = self.arenas.len();
         let start = *self.current.entry(thread).or_insert(0);
-        let mut ops = Vec::new();
         for off in 0..n {
             let idx = (start + off) % n;
             if view.lock_held(self.arenas[idx].lock) {
@@ -62,10 +69,10 @@ impl PtmallocModel {
                 self.current.insert(thread, idx);
                 self.arena_switches += 1;
             }
-            return (idx, ops);
+            return idx;
         }
         // Everything looked busy: stay with the current arena and wait.
-        (start, ops)
+        start
     }
 }
 
@@ -79,23 +86,21 @@ impl AllocModel for PtmallocModel {
         view: &mut dyn SimView,
         thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc {
-        let (arena, mut ops) = self.select_arena(view, thread);
-        let mut node_addrs = Vec::with_capacity(shape.nodes as usize);
-        let mut blocks = Vec::with_capacity(shape.nodes as usize);
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64 {
+        let arena = self.select_arena(view, thread, ops);
+        let mut blocks = self.spare.pop().unwrap_or_default();
         for _ in 0..shape.nodes {
-            let addr = self.arenas[arena].malloc_ops(
-                &mut ops,
-                shape.node_size,
-                self.params.malloc_arena_ns,
-            );
-            node_addrs.push(addr);
+            let addr =
+                self.arenas[arena].malloc_ops(ops, shape.node_size, self.params.malloc_arena_ns);
+            addrs.push(addr);
             blocks.push((arena, addr, shape.node_size));
             self.mallocs += 1;
         }
         let handle = self.handles.next();
         self.live.insert(handle, blocks);
-        StructAlloc { ops, handle, node_addrs }
+        handle
     }
 
     fn free_structure(
@@ -103,15 +108,16 @@ impl AllocModel for PtmallocModel {
         _view: &mut dyn SimView,
         _thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp> {
-        let blocks = self.live.remove(&handle).expect("free of unknown handle");
-        let mut ops = Vec::with_capacity(blocks.len() * 4);
-        for (arena, addr, size) in blocks {
+        ops: &mut Vec<MicroOp>,
+    ) {
+        let mut blocks = self.live.remove(&handle).expect("free of unknown handle");
+        for &(arena, addr, size) in &blocks {
             // Frees are pinned to the owning arena.
-            self.arenas[arena].free_ops(&mut ops, addr, size, self.params.free_arena_ns);
+            self.arenas[arena].free_ops(ops, addr, size, self.params.free_arena_ns);
             self.frees += 1;
         }
-        ops
+        blocks.clear();
+        self.spare.push(blocks);
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -127,6 +133,7 @@ impl AllocModel for PtmallocModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AllocModelExt;
 
     struct FakeView {
         held: Vec<usize>,
@@ -149,8 +156,8 @@ mod tests {
         let mut m = PtmallocModel::new(4);
         let mut v = FakeView { held: vec![], failed: 0 };
         let shape = StructShape::binary_tree(1, 20);
-        let a0 = m.alloc_structure(&mut v, 0, &shape);
-        let a1 = m.alloc_structure(&mut v, 1, &shape);
+        let a0 = m.alloc_structure_owned(&mut v, 0, &shape);
+        let a1 = m.alloc_structure_owned(&mut v, 1, &shape);
         assert_eq!(a0.node_addrs[0] >> 32, a1.node_addrs[0] >> 32);
     }
 
@@ -160,14 +167,14 @@ mod tests {
         // Thread 0's home arena (index 0, lock 0) is busy.
         let mut v = FakeView { held: vec![0], failed: 0 };
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut v, 0, &shape);
+        let a = m.alloc_structure_owned(&mut v, 0, &shape);
         assert_eq!(v.failed, 1);
         assert_eq!(m.arena_switches, 1);
         // A probe Work op precedes the usual malloc ops.
         assert!(matches!(a.ops[0], MicroOp::Work(_)));
         // Thread 0 now sticks to the new arena even after lock 0 frees.
         v.held.clear();
-        let b = m.alloc_structure(&mut v, 0, &shape);
+        let b = m.alloc_structure_owned(&mut v, 0, &shape);
         assert_eq!(b.node_addrs[0] >> 32, a.node_addrs[0] >> 32);
     }
 
@@ -176,9 +183,9 @@ mod tests {
         let mut m = PtmallocModel::new(2);
         let mut v = FakeView { held: vec![], failed: 0 };
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut v, 0, &shape);
+        let a = m.alloc_structure_owned(&mut v, 0, &shape);
         let home_lock = m.current[&0];
-        let ops = m.free_structure(&mut v, 0, a.handle);
+        let ops = m.free_structure_owned(&mut v, 0, a.handle);
         for op in &ops {
             if let MicroOp::Acquire(l) = op {
                 assert_eq!(*l, home_lock);
@@ -191,7 +198,7 @@ mod tests {
         let mut m = PtmallocModel::new(2);
         let mut v = FakeView { held: vec![0, 1], failed: 0 };
         let shape = StructShape::binary_tree(1, 20);
-        let _a = m.alloc_structure(&mut v, 0, &shape);
+        let _a = m.alloc_structure_owned(&mut v, 0, &shape);
         assert_eq!(v.failed, 2, "both probes failed");
     }
 }

@@ -1,7 +1,7 @@
 //! The serial allocator model: one heap, one global lock — the Solaris 2.6
 //! default `malloc` used as the paper's speedup baseline.
 
-use crate::model::{AllocModel, MicroOp, SimView, StructAlloc, StructShape};
+use crate::model::{AllocModel, MicroOp, SimView, StructShape};
 use crate::models::common::{HandleGen, HeapCore};
 use crate::params::CostParams;
 use std::collections::HashMap;
@@ -13,6 +13,8 @@ pub struct SerialModel {
     heap: HeapCore,
     handles: HandleGen,
     live: HashMap<u64, Vec<(u64, u32)>>,
+    /// Recycled block lists (freed structures donate their `Vec`).
+    spare: Vec<Vec<(u64, u32)>>,
     params: CostParams,
     mallocs: u64,
     frees: u64,
@@ -36,6 +38,7 @@ impl SerialModel {
             heap: HeapCore::new(0, 0, 0),
             handles: HandleGen::default(),
             live: HashMap::new(),
+            spare: Vec::new(),
             params,
             mallocs: 0,
             frees: 0,
@@ -53,20 +56,19 @@ impl AllocModel for SerialModel {
         _view: &mut dyn SimView,
         _thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc {
-        let mut ops = Vec::with_capacity(shape.nodes as usize * 4);
-        let mut node_addrs = Vec::with_capacity(shape.nodes as usize);
-        let mut blocks = Vec::with_capacity(shape.nodes as usize);
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64 {
+        let mut blocks = self.spare.pop().unwrap_or_default();
         for _ in 0..shape.nodes {
-            let addr =
-                self.heap.malloc_ops(&mut ops, shape.node_size, self.params.malloc_serial_ns);
-            node_addrs.push(addr);
+            let addr = self.heap.malloc_ops(ops, shape.node_size, self.params.malloc_serial_ns);
+            addrs.push(addr);
             blocks.push((addr, shape.node_size));
             self.mallocs += 1;
         }
         let handle = self.handles.next();
         self.live.insert(handle, blocks);
-        StructAlloc { ops, handle, node_addrs }
+        handle
     }
 
     fn free_structure(
@@ -74,14 +76,15 @@ impl AllocModel for SerialModel {
         _view: &mut dyn SimView,
         _thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp> {
-        let blocks = self.live.remove(&handle).expect("free of unknown handle");
-        let mut ops = Vec::with_capacity(blocks.len() * 4);
-        for (addr, size) in blocks {
-            self.heap.free_ops(&mut ops, addr, size, self.params.free_serial_ns);
+        ops: &mut Vec<MicroOp>,
+    ) {
+        let mut blocks = self.live.remove(&handle).expect("free of unknown handle");
+        for &(addr, size) in &blocks {
+            self.heap.free_ops(ops, addr, size, self.params.free_serial_ns);
             self.frees += 1;
         }
-        ops
+        blocks.clear();
+        self.spare.push(blocks);
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -96,7 +99,7 @@ impl AllocModel for SerialModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::SimView;
+    use crate::model::{AllocModelExt, SimView};
 
     struct NullView;
     impl SimView for NullView {
@@ -110,11 +113,11 @@ mod tests {
     fn structure_expansion_is_one_malloc_per_node() {
         let mut m = SerialModel::new();
         let shape = StructShape::binary_tree(3, 20); // 15 nodes
-        let res = m.alloc_structure(&mut NullView, 0, &shape);
+        let res = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(res.node_addrs.len(), 15);
         // 4 micro-ops per malloc.
         assert_eq!(res.ops.len(), 60);
-        let frees = m.free_structure(&mut NullView, 0, res.handle);
+        let frees = m.free_structure_owned(&mut NullView, 0, res.handle);
         assert_eq!(frees.len(), 60);
         assert_eq!(
             m.counters(),
@@ -126,10 +129,10 @@ mod tests {
     fn addresses_reused_after_free() {
         let mut m = SerialModel::new();
         let shape = StructShape::binary_tree(1, 20);
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
         let addrs_a = a.node_addrs.clone();
-        m.free_structure(&mut NullView, 0, a.handle);
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         // Freelist reuse: same addresses come back (LIFO order).
         let mut x = addrs_a;
         let mut y = b.node_addrs.clone();
@@ -142,8 +145,8 @@ mod tests {
     #[should_panic(expected = "unknown handle")]
     fn double_free_panics() {
         let mut m = SerialModel::new();
-        let a = m.alloc_structure(&mut NullView, 0, &StructShape::binary_tree(1, 20));
-        m.free_structure(&mut NullView, 0, a.handle);
-        m.free_structure(&mut NullView, 0, a.handle);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &StructShape::binary_tree(1, 20));
+        m.free_structure_owned(&mut NullView, 0, a.handle);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
     }
 }

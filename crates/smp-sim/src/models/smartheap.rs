@@ -5,7 +5,7 @@
 //! operations lock-free, so the allocator scales, at a higher per-op cost
 //! than a structure pool.
 
-use crate::model::{AllocModel, MicroOp, SimView, StructAlloc, StructShape};
+use crate::model::{AllocModel, MicroOp, SimView, StructShape};
 use crate::models::common::{meta_addr, HandleGen, HeapCore};
 use crate::params::CostParams;
 use std::collections::HashMap;
@@ -23,6 +23,8 @@ pub struct SmartHeapModel {
     cache: HashMap<(usize, u32), Vec<u64>>,
     handles: HandleGen,
     live: HashMap<u64, Vec<(u64, u32)>>,
+    /// Recycled block lists (freed structures donate their `Vec`).
+    spare: Vec<Vec<(u64, u32)>>,
     params: CostParams,
     cache_hits: u64,
     refills: u64,
@@ -48,6 +50,7 @@ impl SmartHeapModel {
             cache: HashMap::new(),
             handles: HandleGen::default(),
             live: HashMap::new(),
+            spare: Vec::new(),
             params,
             cache_hits: 0,
             refills: 0,
@@ -76,7 +79,8 @@ impl SmartHeapModel {
         ops.push(MicroOp::Work(self.params.malloc_arena_ns * REFILL_BATCH as u64 / 2));
         ops.push(MicroOp::Touch { addr: self.shared.meta, write: true });
         ops.push(MicroOp::Release(self.shared.lock));
-        let mut batch: Vec<u64> = (0..REFILL_BATCH).map(|_| self.shared.space.alloc(size)).collect();
+        let mut batch: Vec<u64> =
+            (0..REFILL_BATCH).map(|_| self.shared.space.alloc(size)).collect();
         let addr = batch.pop().unwrap();
         self.cache.get_mut(&key).unwrap().extend(batch);
         ops.push(MicroOp::Work(self.params.pool_op_ns));
@@ -115,18 +119,18 @@ impl AllocModel for SmartHeapModel {
         _view: &mut dyn SimView,
         thread: usize,
         shape: &StructShape,
-    ) -> StructAlloc {
-        let mut ops = Vec::new();
-        let mut node_addrs = Vec::with_capacity(shape.nodes as usize);
-        let mut blocks = Vec::with_capacity(shape.nodes as usize);
+        ops: &mut Vec<MicroOp>,
+        addrs: &mut Vec<u64>,
+    ) -> u64 {
+        let mut blocks = self.spare.pop().unwrap_or_default();
         for _ in 0..shape.nodes {
-            let addr = self.alloc_one(&mut ops, thread, shape.node_size);
-            node_addrs.push(addr);
+            let addr = self.alloc_one(ops, thread, shape.node_size);
+            addrs.push(addr);
             blocks.push((addr, shape.node_size));
         }
         let handle = self.handles.next();
         self.live.insert(handle, blocks);
-        StructAlloc { ops, handle, node_addrs }
+        handle
     }
 
     fn free_structure(
@@ -134,13 +138,14 @@ impl AllocModel for SmartHeapModel {
         _view: &mut dyn SimView,
         thread: usize,
         handle: u64,
-    ) -> Vec<MicroOp> {
-        let blocks = self.live.remove(&handle).expect("free of unknown handle");
-        let mut ops = Vec::new();
-        for (addr, size) in blocks {
-            self.free_one(&mut ops, thread, addr, size);
+        ops: &mut Vec<MicroOp>,
+    ) {
+        let mut blocks = self.live.remove(&handle).expect("free of unknown handle");
+        for &(addr, size) in &blocks {
+            self.free_one(ops, thread, addr, size);
         }
-        ops
+        blocks.clear();
+        self.spare.push(blocks);
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -156,6 +161,7 @@ impl AllocModel for SmartHeapModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AllocModelExt;
 
     struct NullView;
     impl SimView for NullView {
@@ -173,7 +179,7 @@ mod tests {
     fn refill_amortizes_locking() {
         let mut m = SmartHeapModel::new();
         let shape = StructShape { class_id: 0, nodes: 8, node_size: 20 };
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
         // First 8 allocations: exactly one refill lock round-trip.
         assert_eq!(count_locks(&a.ops), 1);
         assert_eq!(m.refills, 1);
@@ -184,10 +190,10 @@ mod tests {
     fn steady_state_is_lock_free() {
         let mut m = SmartHeapModel::new();
         let shape = StructShape { class_id: 0, nodes: 4, node_size: 20 };
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        let f = m.free_structure(&mut NullView, 0, a.handle);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        let f = m.free_structure_owned(&mut NullView, 0, a.handle);
         assert_eq!(count_locks(&f), 0, "frees go to the thread cache");
-        let b = m.alloc_structure(&mut NullView, 0, &shape);
+        let b = m.alloc_structure_owned(&mut NullView, 0, &shape);
         assert_eq!(count_locks(&b.ops), 0, "second alloc served from cache");
     }
 
@@ -195,11 +201,10 @@ mod tests {
     fn flush_returns_blocks_to_shared_arena() {
         let mut m = SmartHeapModel::new();
         let shape = StructShape { class_id: 0, nodes: 1, node_size: 20 };
-        let handles: Vec<u64> = (0..80)
-            .map(|_| m.alloc_structure(&mut NullView, 0, &shape).handle)
-            .collect();
+        let handles: Vec<u64> =
+            (0..80).map(|_| m.alloc_structure_owned(&mut NullView, 0, &shape).handle).collect();
         for h in handles {
-            m.free_structure(&mut NullView, 0, h);
+            m.free_structure_owned(&mut NullView, 0, h);
         }
         assert!(m.flushes >= 1, "cache overflow must flush");
     }
@@ -208,11 +213,11 @@ mod tests {
     fn distinct_threads_use_distinct_caches() {
         let mut m = SmartHeapModel::new();
         let shape = StructShape { class_id: 0, nodes: 1, node_size: 20 };
-        let a = m.alloc_structure(&mut NullView, 0, &shape);
-        m.free_structure(&mut NullView, 0, a.handle);
+        let a = m.alloc_structure_owned(&mut NullView, 0, &shape);
+        m.free_structure_owned(&mut NullView, 0, a.handle);
         // Thread 1 cannot see thread 0's cached block; it refills.
         let refills_before = m.refills;
-        let _b = m.alloc_structure(&mut NullView, 1, &shape);
+        let _b = m.alloc_structure_owned(&mut NullView, 1, &shape);
         assert_eq!(m.refills, refills_before + 1);
     }
 }

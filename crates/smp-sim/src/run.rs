@@ -118,12 +118,8 @@ pub fn run_tree(kind: ModelKind, threads: usize, exp: &TreeExperiment) -> RunMet
         })
         .collect();
     let model = kind.build(threads, exp.cpus, exp.params);
-    Sim::new(
-        SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 },
-        model,
-        programs,
-    )
-    .run()
+    Sim::new(SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 }, model, programs)
+        .run()
 }
 
 /// Run the tree workload with a caller-built model (for ablations that
@@ -143,12 +139,8 @@ pub fn run_tree_with_model(
             Box::new(TreeProgram::new(shape, per_thread + extra, &exp.params)) as Box<dyn Program>
         })
         .collect();
-    Sim::new(
-        SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 },
-        model,
-        programs,
-    )
-    .run()
+    Sim::new(SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 }, model, programs)
+        .run()
 }
 
 /// Run a *partial-locality* tree workload: `alt_permille`/1000 of the
@@ -178,12 +170,8 @@ pub fn run_tree_with_locality(
         })
         .collect();
     let model = kind.build(threads, exp.cpus, exp.params);
-    Sim::new(
-        SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 },
-        model,
-        programs,
-    )
-    .run()
+    Sim::new(SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 }, model, programs)
+        .run()
 }
 
 /// Speedup as the paper defines it: execution time with one thread under
@@ -200,10 +188,7 @@ pub fn speedup_curve(
     exp: &TreeExperiment,
     baseline_wall_ns: u64,
 ) -> Vec<(usize, f64)> {
-    thread_counts
-        .iter()
-        .map(|&t| (t, speedup(baseline_wall_ns, &run_tree(kind, t, exp))))
-        .collect()
+    thread_counts.iter().map(|&t| (t, speedup(baseline_wall_ns, &run_tree(kind, t, exp)))).collect()
 }
 
 /// The baseline run: 1 thread with the serial allocator.
@@ -283,12 +268,8 @@ mod tests {
     fn amplify_scales_on_deep_trees() {
         // Needs enough iterations that the cold start (8 threads' first
         // structures funnelling through the serial base malloc) amortizes.
-        let exp = TreeExperiment {
-            depth: 5,
-            total_trees: 4000,
-            cpus: 8,
-            params: CostParams::default(),
-        };
+        let exp =
+            TreeExperiment { depth: 5, total_trees: 4000, cpus: 8, params: CostParams::default() };
         let t1 = run_tree(ModelKind::Amplify, 1, &exp).wall_ns;
         let t8 = run_tree(ModelKind::Amplify, 8, &exp).wall_ns;
         let scaleup = t1 as f64 / t8 as f64;
@@ -300,12 +281,8 @@ mod tests {
         // The Figure 7 vs Figure 9 contrast: false sharing between
         // neighbouring threads' small structures limits test case 1.
         let scaleup = |depth| {
-            let exp = TreeExperiment {
-                depth,
-                total_trees: 4000,
-                cpus: 8,
-                params: CostParams::default(),
-            };
+            let exp =
+                TreeExperiment { depth, total_trees: 4000, cpus: 8, params: CostParams::default() };
             let t1 = run_tree(ModelKind::Amplify, 1, &exp).wall_ns;
             let t8 = run_tree(ModelKind::Amplify, 8, &exp).wall_ns;
             t1 as f64 / t8 as f64

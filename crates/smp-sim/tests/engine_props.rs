@@ -108,9 +108,8 @@ impl Program for Spinner {
 /// of the work is starved (FIFO handoff).
 #[test]
 fn fifo_locks_prevent_starvation() {
-    let programs: Vec<Box<dyn Program>> = (0..6)
-        .map(|_| Box::new(Spinner { remaining: 50 }) as Box<dyn Program>)
-        .collect();
+    let programs: Vec<Box<dyn Program>> =
+        (0..6).map(|_| Box::new(Spinner { remaining: 50 }) as Box<dyn Program>).collect();
     let m = Sim::new(SimConfig::new(4), Box::new(SerialModel::new()), programs).run();
     // 6 threads x 50 structures x 3 nodes all completed.
     assert_eq!(m.counter("mallocs"), Some(900));

@@ -67,10 +67,7 @@ fn hoard_stops_scaling_past_processor_count() {
     let e = exp(3);
     let at8 = run_tree(ModelKind::Hoard, 8, &e).wall_ns;
     let at16 = run_tree(ModelKind::Hoard, 16, &e).wall_ns;
-    assert!(
-        at16 as f64 > at8 as f64 * 1.15,
-        "hoard kept scaling: 8t={at8} 16t={at16}"
-    );
+    assert!(at16 as f64 > at8 as f64 * 1.15, "hoard kept scaling: 8t={at8} 16t={at16}");
 }
 
 /// §5.1 / §7: Amplify is "up to six times more efficient" than the best

@@ -100,11 +100,7 @@ impl BgwPipeline {
         let n = raw.len();
 
         // The decode buffer: `buffer = new char[n]` in the original.
-        let mut decode = if self.shadowing {
-            self.decode_buf.acquire(n)
-        } else {
-            vec![0u8; n]
-        };
+        let mut decode = if self.shadowing { self.decode_buf.acquire(n) } else { vec![0u8; n] };
         decode.copy_from_slice(raw);
 
         // Transform (parse + normalize).
@@ -116,11 +112,8 @@ impl BgwPipeline {
 
         // The encode buffer, roughly half the size.
         let out_len = n / 2 + (checksum % 32) as usize;
-        let mut encode = if self.shadowing {
-            self.encode_buf.acquire(out_len)
-        } else {
-            vec![0u8; out_len]
-        };
+        let mut encode =
+            if self.shadowing { self.encode_buf.acquire(out_len) } else { vec![0u8; out_len] };
         for (i, b) in encode.iter_mut().enumerate() {
             *b = decode[i % n].wrapping_add(i as u8);
         }

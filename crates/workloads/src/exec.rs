@@ -83,8 +83,7 @@ pub fn run_tree_pooled(workload: &TreeWorkload) -> TreeRunResult {
                 s.spawn(move || {
                     let mut sum = 0u64;
                     for i in 0..w.iterations {
-                        let tree = pool
-                            .alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i });
+                        let tree = pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i });
                         sum = sum.wrapping_add(tree.checksum());
                         pool.free(tree);
                     }
@@ -104,14 +103,13 @@ pub fn run_tree_pooled(workload: &TreeWorkload) -> TreeRunResult {
     }
 }
 
-/// Run the tree workload on a [`pools::ShardedPool`] — the ptmalloc-style
-/// spreading Amplify uses in threaded builds (§3.2). Returns the same
-/// result shape as [`run_tree_pooled`], with hit counts aggregated across
-/// shards.
+/// Run the tree workload on a sharded [`StructurePool`] — ptmalloc-style
+/// spreading (§3.2) behind lock-free thread-local magazines, the layout
+/// Amplify uses in threaded builds. Returns the same result shape as
+/// [`run_tree_pooled`], with hit counts aggregated across shards and
+/// magazines.
 pub fn run_tree_sharded(workload: &TreeWorkload, shards: usize) -> TreeRunResult {
-    use pools::structure_pool::Reusable;
-    use pools::ShardedPool;
-    let pool: Arc<ShardedPool<PoolTree>> = Arc::new(ShardedPool::new(shards));
+    let pool: Arc<StructurePool<PoolTree>> = Arc::new(StructurePool::new_sharded(shards));
     let start = Instant::now();
     let mut checksums = vec![0u64; workload.threads as usize];
     std::thread::scope(|s| {
@@ -122,12 +120,9 @@ pub fn run_tree_sharded(workload: &TreeWorkload, shards: usize) -> TreeRunResult
                 s.spawn(move || {
                     let mut sum = 0u64;
                     for i in 0..w.iterations {
-                        let params = TreeParams { depth: w.depth, seed: t * 1000 + i };
-                        let mut tree = pool.acquire(|| PoolTree::fresh(&params));
-                        tree.reinit(&params);
+                        let tree = pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i });
                         sum = sum.wrapping_add(tree.checksum());
-                        tree.recycle();
-                        pool.release(tree);
+                        pool.free(tree);
                     }
                     sum
                 })

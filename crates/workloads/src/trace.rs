@@ -100,10 +100,7 @@ mod tests {
     #[test]
     fn validation_catches_double_alloc() {
         let t = Trace {
-            ops: vec![
-                TraceOp::Alloc { id: 1, size: 8 },
-                TraceOp::Alloc { id: 1, size: 8 },
-            ],
+            ops: vec![TraceOp::Alloc { id: 1, size: 8 }, TraceOp::Alloc { id: 1, size: 8 }],
         };
         assert!(t.validate().is_err());
     }

@@ -37,11 +37,7 @@ fn main() {
     // Simulated 8-CPU SMP: the Figure 11 configurations.
     println!("\nSimulated BGw on 8 CPUs (5,000 CDRs), speedup vs 1-thread serial:");
     let base = run_bgw(ModelKind::Serial, 1, 5_000, 8).wall_ns;
-    for kind in [
-        ModelKind::SmartHeap,
-        ModelKind::Amplify,
-        ModelKind::AmplifyOverSmartHeap,
-    ] {
+    for kind in [ModelKind::SmartHeap, ModelKind::Amplify, ModelKind::AmplifyOverSmartHeap] {
         print!("  {:<18}", kind.name());
         for t in [1usize, 2, 4, 8] {
             let m = run_bgw(kind, t, 5_000, 8);

@@ -8,7 +8,7 @@
 
 use amplify::analysis::analyze;
 use amplify::model::estimate_structures;
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use cxx_frontend::parse_source;
 use std::path::Path;
 
@@ -36,6 +36,8 @@ fn main() {
             if est.cyclic { " (recursive)" } else { "" }
         );
     }
-    println!("\nThe generated runtime header is {} bytes; write it with amplify-cli.",
-             amp.runtime_header().len());
+    println!(
+        "\nThe generated runtime header is {} bytes; write it with amplify-cli.",
+        amp.runtime_header().len()
+    );
 }

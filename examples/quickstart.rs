@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use pools::{ObjectPool, ShadowBuf, StructurePool};
 use smp_sim::run::{run_tree, ModelKind, TreeExperiment};
 use workloads::tree::{PoolTree, TreeParams};

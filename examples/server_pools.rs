@@ -51,14 +51,12 @@ fn main() {
                         let cdr = gen.next_cdr();
                         digest = digest.wrapping_add(pipeline.process(&cdr));
                         // Session state: a small structure from the shard.
-                        let params =
-                            TreeParams { depth: 2, seed: worker * 100_000 + i };
+                        let params = TreeParams { depth: 2, seed: worker * 100_000 + i };
                         let mut session = sessions.acquire(|| PoolTree::fresh(&params));
                         session.reinit(&params);
                         digest = digest.wrapping_add(session.checksum());
                         // A reply object.
-                        let reply = replies
-                            .alloc(&TreeParams { depth: 1, seed: i });
+                        let reply = replies.alloc(&TreeParams { depth: 1, seed: i });
                         digest = digest.wrapping_add(reply.checksum());
                         replies.free(reply);
                         // Scratch buffer with wobbling size.

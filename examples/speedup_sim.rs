@@ -21,7 +21,10 @@ fn main() {
         "Binary trees of depth {depth} ({} nodes each), {total_trees} trees total, 8 CPUs.",
         (1u32 << (depth + 1)) - 1
     );
-    println!("Speedup vs 1-thread Solaris-default malloc (baseline {:.2} ms):\n", base as f64 / 1e6);
+    println!(
+        "Speedup vs 1-thread Solaris-default malloc (baseline {:.2} ms):\n",
+        base as f64 / 1e6
+    );
 
     print!("{:<18}", "threads");
     for t in threads {

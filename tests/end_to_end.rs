@@ -4,7 +4,7 @@
 
 use amplify::analysis::analyze;
 use amplify::model::estimate_structures;
-use amplify::{AmplifyOptions, Amplifier};
+use amplify::{Amplifier, AmplifyOptions};
 use cxx_frontend::parse_source;
 use smp_sim::engine::{Program, Sim, SimConfig};
 use smp_sim::model::StructShape;
@@ -106,12 +106,7 @@ fn table_1_consistency_across_crates() {
 /// One full simulated experiment is bit-for-bit reproducible.
 #[test]
 fn simulated_experiments_reproduce() {
-    let exp = TreeExperiment {
-        depth: 3,
-        total_trees: 600,
-        cpus: 8,
-        params: CostParams::default(),
-    };
+    let exp = TreeExperiment { depth: 3, total_trees: 600, cpus: 8, params: CostParams::default() };
     for kind in [ModelKind::Serial, ModelKind::Amplify, ModelKind::Handmade] {
         let a = run_tree(kind, 6, &exp);
         let b = run_tree(kind, 6, &exp);

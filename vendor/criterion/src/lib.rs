@@ -1,0 +1,294 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the benchmark-definition surface the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) over a simple
+//! median-of-samples wall-clock measurement.
+//!
+//! Mode selection matches real criterion: `cargo bench` passes `--bench`
+//! to the binary, enabling measurement; under `cargo test` (no `--bench`,
+//! or an explicit `--test`) each benchmark body runs once as a smoke test.
+//!
+//! Extension for machine-readable perf tracking: when the environment
+//! variable `CRITERION_OUTPUT_JSON` names a file, measured results are
+//! appended to it as JSON lines `{"id": ..., "ns_per_iter": ...}`.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    measure: bool,
+    filter: Option<String>,
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Read mode and filter from the command line (see module docs).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut explicit_test = false;
+        for a in &args {
+            match a.as_str() {
+                "--bench" => self.measure = true,
+                "--test" => explicit_test = true,
+                s if s.starts_with('-') => {} // harness flags we don't model
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        if explicit_test {
+            self.measure = false;
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 15 }
+    }
+
+    /// Top-level single benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, 15, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { measure: self.measure, sample_size, ns_per_iter: 0.0 };
+        f(&mut b);
+        if self.measure {
+            println!("{full_id:<50} {:>12.1} ns/iter", b.ns_per_iter);
+            self.results.push((full_id.to_string(), b.ns_per_iter));
+        } else {
+            println!("{full_id}: ok (test mode)");
+        }
+    }
+
+    /// Write accumulated results if `CRITERION_OUTPUT_JSON` is set.
+    pub fn final_summary(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else {
+            return;
+        };
+        if self.results.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for (id, ns) in &self.results {
+            let escaped: String = id
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c => vec![c],
+                })
+                .collect();
+            out.push_str(&format!("{{\"id\": \"{escaped}\", \"ns_per_iter\": {ns:.2}}}\n"));
+        }
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = file.write_all(out.as_bytes());
+        }
+        self.results.clear();
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(3, 200);
+        self
+    }
+
+    /// Declare the per-iteration workload volume (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.c.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.c.run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Iteration driver handed to benchmark closures.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: median over `sample_size` samples of an adaptively
+    /// sized batch. In test mode, runs `f` once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm up & estimate per-iter cost.
+        let warmup = Duration::from_millis(10);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let est_ns = (warmup.as_nanos() as f64 / iters.max(1) as f64).max(0.5);
+        // Aim for ~3ms batches.
+        let batch = ((3_000_000.0 / est_ns) as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Composite benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Things usable as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render to the id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Workload volume declaration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Define the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export used by some criterion setups.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion::default(); // measure = false
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("a", 7).into_benchmark_id(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+    }
+}

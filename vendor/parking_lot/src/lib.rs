@@ -1,0 +1,121 @@
+//! Offline drop-in subset of the `parking_lot` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `parking_lot` it actually uses: a
+//! non-poisoning [`Mutex`] with `lock` and `try_lock`. The implementation
+//! wraps `std::sync::Mutex` and swallows poison (matching parking_lot's
+//! semantics, which has no poisoning at all).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::TryLockError;
+
+/// A mutual-exclusion primitive with parking_lot's non-poisoning API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`] / [`Mutex::try_lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => MutexGuard { inner: g },
+            Err(p) => MutexGuard { inner: p.into_inner() },
+        }
+    }
+
+    /// Try to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_try_lock() {
+        let m = Mutex::new(1u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "held lock must fail try_lock");
+        }
+        assert_eq!(*m.try_lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn no_poisoning() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the lock is usable after a panic.
+        assert_eq!(*m.lock(), 0);
+    }
+}

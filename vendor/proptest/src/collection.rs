@@ -1,0 +1,116 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use rand::Rng as _;
+use std::collections::BTreeSet;
+
+/// Collection size specification; built from `usize` or `Range<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive minimum size.
+    pub min: usize,
+    /// Exclusive maximum size.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..self.max)
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::btree_set(element, size)`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set; bound the attempts so a small value
+        // domain cannot loop forever, then accept what was collected
+        // (matching proptest, where duplicate inserts also shrink sets).
+        for _ in 0..(target * 20 + 20) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::rng_for;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let s = vec(0u32..5, 2..6);
+        let mut rng = rng_for(1);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_target_when_domain_allows() {
+        let s = btree_set(0usize..1000, 3..4);
+        let mut rng = rng_for(2);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng).len(), 3);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Implements the strategy combinators, collection/option/string strategies
+//! and the `proptest!`/`prop_assert*!`/`prop_oneof!` macros the workspace's
+//! property tests use. Differences from real proptest, acceptable for this
+//! repo's deterministic CI use:
+//!
+//! * no shrinking — a failing case reports its inputs (via `Debug` in the
+//!   assertion message) but is not minimized;
+//! * deterministic seeding — each `(test name, case index)` pair maps to a
+//!   fixed RNG seed, so runs are reproducible without a persistence file;
+//! * string strategies support the regex subset the tests use
+//!   (`.`, `[a-z0-9]` classes, literals, `{m,n}`/`{m}`/`?`/`*`/`+`).
+
+pub mod collection;
+pub mod option;
+pub mod runner;
+pub mod strategy;
+pub mod string;
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// One generated test case failed; carries the rendered assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Run `cases` deterministic cases of one property. Panics (failing the
+/// surrounding `#[test]`) on the first case that returns `Err`.
+///
+/// Used by the `proptest!` macro; not part of the public proptest API.
+pub fn __run_cases(
+    config: &runner::ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut runner::TestRng) -> Result<(), TestCaseError>,
+) {
+    for i in 0..config.cases {
+        let seed = runner::case_seed(test_name, i);
+        let mut rng = runner::rng_for(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest: property `{test_name}` failed at case {i}/{} (seed {seed:#x}):\n{e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// `proptest! { ... }` — runs each contained `#[test]` fn over generated
+/// inputs. Supports an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::__run_cases(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}` at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}` at {}:{}\n  both: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), left
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}` at {}:{}: {}\n  both: {:?}",
+                stringify!($a), stringify!($b), file!(), line!(), format!($($fmt)+), left
+            )));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]` / `prop_oneof![w1 => s1, w2 => s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

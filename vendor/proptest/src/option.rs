@@ -1,0 +1,42 @@
+//! `proptest::option::of` — optional values.
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use rand::Rng as _;
+
+/// `Some` three times out of four (mirroring proptest's default weighting),
+/// `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::rng_for;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u32..10);
+        let mut rng = rng_for(5);
+        let values: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

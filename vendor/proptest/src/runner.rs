@@ -1,0 +1,45 @@
+//! Deterministic case runner: config + per-case RNG seeding.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A deterministic xoshiro-based generator
+/// (from the vendored `rand`), seeded per `(test, case)`.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 48 keeps the suite fast on small
+        // CI machines while still exercising the properties.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Deterministic seed for one case: FNV-1a over the test name, mixed with
+/// the case index. Reproducible across runs and platforms.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Build the RNG for a seed (convenience over the `SeedableRng` import).
+pub fn rng_for(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}

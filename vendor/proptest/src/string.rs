@@ -1,0 +1,185 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the patterns the workspace's tests use: literal characters,
+//! `.` (any char except newline), `[a-z0-9]`-style classes, and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::runner::TestRng;
+use rand::Rng as _;
+
+enum Atom {
+    /// `.` — any char except `\n`.
+    Any,
+    /// `[...]` — union of inclusive char ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = if p.min == p.max { p.min } else { rng.gen_range(p.min..=p.max) };
+        for _ in 0..n {
+            out.push(gen_char(&p.atom, rng));
+        }
+    }
+    out
+}
+
+// Mostly printable ASCII, occasionally multi-byte, so span/byte-offset code
+// sees non-trivial UTF-8 without drowning the parsers in exotic input.
+const EXOTIC: &[char] = &['é', 'λ', '中', '€', 'ß', '\u{00a0}'];
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Any => {
+            if rng.gen_range(0..10u32) == 0 {
+                EXOTIC[rng.gen_range(0..EXOTIC.len())]
+            } else {
+                char::from(rng.gen_range(0x20u8..0x7f))
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut idx = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if idx < span {
+                    return char::from_u32(lo as u32 + idx).expect("class range scalar");
+                }
+                idx -= span;
+            }
+            unreachable!("class pick out of range")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated class in pattern `{pattern}`"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = match chars.next() {
+                            Some(']') | None => panic!("bad range in pattern `{pattern}`"),
+                            Some('\\') => chars.next().expect("escape in class"),
+                            Some(ch) => ch,
+                        };
+                        assert!(lo <= hi, "inverted range in pattern `{pattern}`");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Lit(chars.next().expect("trailing escape")),
+            other => Atom::Lit(other),
+        };
+        // Quantifier?
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut first = String::new();
+                while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                    first.push(chars.next().unwrap());
+                }
+                let min: usize = first.parse().expect("quantifier min");
+                let max = match chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut second = String::new();
+                        while matches!(chars.peek(), Some(d) if d.is_ascii_digit()) {
+                            second.push(chars.next().unwrap());
+                        }
+                        assert_eq!(chars.next(), Some('}'), "unterminated quantifier");
+                        second.parse().expect("quantifier max")
+                    }
+                    _ => panic!("bad quantifier in pattern `{pattern}`"),
+                };
+                assert!(min <= max, "inverted quantifier in `{pattern}`");
+                (min, max)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::rng_for;
+
+    #[test]
+    fn fixed_count_class() {
+        let mut rng = rng_for(11);
+        for _ in 0..50 {
+            let s = generate("[a-z]{20,80}", &mut rng);
+            assert!((20..=80).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ident_shape() {
+        let mut rng = rng_for(12);
+        for _ in 0..50 {
+            let s = generate("[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline_and_bounds_hold() {
+        let mut rng = rng_for(13);
+        for _ in 0..20 {
+            let s = generate(".{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = rng_for(14);
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

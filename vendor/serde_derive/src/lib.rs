@@ -1,0 +1,275 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. No `syn`/`quote` available offline, so the item is
+//! parsed directly from the `proc_macro` token stream. Supported shapes —
+//! the only ones the workspace derives on:
+//!
+//! * structs with named fields → JSON object
+//! * enums with unit variants (→ `"Name"`) and struct variants
+//!   (→ `{"Name": {fields...}}`), serde's externally-tagged default
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "fn to_value(&self) -> serde::Value {{\n\
+                     let mut obj: Vec<(String, serde::Value)> = Vec::new();\n\
+                     {pushes}\
+                     serde::Value::Object(obj)\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => serde::Value::String({v:?}.to_string()),\n",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push(({f:?}.to_string(), serde::Serialize::to_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut inner: Vec<(String, serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 serde::Value::Object(vec![({v:?}.to_string(), serde::Value::Object(inner))])\n\
+                             }}\n",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "fn to_value(&self) -> serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                 }}"
+            )
+        }
+    };
+    wrap_impl(&item.name, "serde::Serialize", &body)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(v.field({f:?})?)?,\n"))
+                .collect();
+            format!(
+                "fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name} {{\n{inits}}})\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!("({v:?}, None) => Ok({name}::{v}),\n", v = v.name),
+                    Some(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(payload.field({f:?})?)?,\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "({v:?}, Some(payload)) => Ok({name}::{v} {{\n{inits}}}),\n",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     match v.as_variant()? {{\n\
+                         {arms}\
+                         (other, _) => Err(serde::Error::msg(format!(\n\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    wrap_impl(name, "serde::Deserialize", &body)
+}
+
+fn wrap_impl(name: &str, trait_path: &str, body: &str) -> TokenStream {
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl {trait_path} for {name} {{\n{body}\n}}"
+    );
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code for {name}: {e}\n{code}"))
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named struct fields in declaration order.
+    Struct(Vec<String>),
+    /// Enum variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for a struct variant.
+    fields: Option<Vec<String>>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip attributes (#[...], including doc comments) and visibility.
+    let mut kind = None;
+    while let Some(tok) = toks.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, `pub(crate)` — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("serde_derive: expected `struct` or `enum`");
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    // Generic items aren't needed by the workspace and aren't supported.
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic types are not supported (item `{name}`)")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: missing body for `{name}`"),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    Item { name, shape }
+}
+
+/// Parse `name: Type, ...` out of a brace group, skipping attributes and
+/// visibility. Only field *names* are needed — types are recovered by
+/// inference in the generated code. Commas inside `<...>` (multi-parameter
+/// generics) are not field separators, so angle depth is tracked.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Field prelude: attrs + visibility.
+        let name = loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Possible `pub(crate)` group follows.
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token in fields: {other:?}"),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to a top-level comma.
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Parse enum variants: `Name` (unit) or `Name { fields }` (struct variant).
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match toks.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => panic!("serde_derive: unexpected token in variants: {other:?}"),
+            }
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                Some(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple variants are not supported (variant `{name}`)")
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+    }
+}
