@@ -1,0 +1,36 @@
+// Early-exit control flow: main can return from an argument check, from
+// inside the work loop (braced and unbraced), and by falling off the end.
+// The --inject-stats hook must fire on every one of those exits.
+#include <cstdio>
+
+class Probe {
+public:
+    Probe(int s) {
+        seed = s;
+    }
+    ~Probe() {
+    }
+    int score() const { return (seed * 31 + 7) % 101; }
+private:
+    int seed;
+};
+
+int main(int argc, char** argv) {
+    if (argc > 3) {
+        std::printf("usage: early_exit [rounds]\n");
+        return 2;
+    }
+    long checksum = 0;
+    for (int i = 0; i < 64; i++) {
+        Probe* p = new Probe(i);
+        int s = p->score();
+        delete p;
+        if (s > 100) return 1;
+        checksum += s;
+    }
+    if (checksum % 2 == 1) {
+        std::printf("odd checksum=%ld\n", checksum);
+        return 3;
+    }
+    std::printf("checksum=%ld\n", checksum);
+}

@@ -1,0 +1,44 @@
+// Early-exit control flow: main can return from an argument check, from
+// inside the work loop (braced and unbraced), and by falling off the end.
+// The --inject-stats hook must fire on every one of those exits.
+#include <cstdio>
+#include "amplify_runtime.hpp"
+
+
+class Probe {
+public:
+    Probe(int s) {
+        seed = s;
+    }
+    ~Probe() {
+    }
+    int score() const { return (seed * 31 + 7) % 101; }
+private:
+    int seed;
+
+public:
+    void* operator new(size_t amplify_n) { return ::amplify::Pool< Probe >::alloc(amplify_n); }
+    void operator delete(void* amplify_p) { ::amplify::Pool< Probe >::release(amplify_p); }
+    void* operator new(size_t amplify_n, void* amplify_shadow) { return ::amplify::place(amplify_n, amplify_shadow); }
+    void operator delete(void* amplify_p, void* amplify_shadow) { (void)amplify_shadow; ::amplify::Pool< Probe >::release(amplify_p); }
+};
+
+int main(int argc, char** argv) {
+    if (argc > 3) {
+        std::printf("usage: early_exit [rounds]\n");
+        ::amplify::print_stats(); return 2;
+    }
+    long checksum = 0;
+    for (int i = 0; i < 64; i++) {
+        Probe* p = new Probe(i);
+        int s = p->score();
+        delete p;
+        if (s > 100) { ::amplify::print_stats(); return 1; }
+        checksum += s;
+    }
+    if (checksum % 2 == 1) {
+        std::printf("odd checksum=%ld\n", checksum);
+        ::amplify::print_stats(); return 3;
+    }
+    std::printf("checksum=%ld\n", checksum);
+::amplify::print_stats(); }

@@ -58,6 +58,29 @@ fn shapes_matches_golden() {
     assert_golden("shapes.cpp");
 }
 
+/// `early_exit.cpp` is amplified with `--inject-stats`: its golden pins the
+/// stats hook on every exit from `main` — the early argument-check return,
+/// a brace-wrapped unbraced `if` return inside the loop, a braced early
+/// return, and the fall-through closing brace. Regenerate with:
+///
+/// ```text
+/// cargo run -q -p amplify --bin amplify-cli -- \
+///   crates/amplify/testdata/early_exit.cpp --inject-stats -o /tmp/g && \
+///   cp /tmp/g/early_exit.cpp crates/amplify/testdata/golden/early_exit.cpp
+/// ```
+#[test]
+fn early_exit_with_stats_hook_matches_golden() {
+    let src = testdata("early_exit.cpp");
+    let options = AmplifyOptions { inject_stats: true, ..AmplifyOptions::default() };
+    let out = Amplifier::new(options).amplify_source("early_exit.cpp", &src);
+    let golden = testdata("golden/early_exit.cpp");
+    assert_eq!(
+        out.text, golden,
+        "amplified early_exit.cpp diverged from its golden snapshot \
+         (see this test's docs to regenerate)"
+    );
+}
+
 #[test]
 fn mt_tree_matches_golden() {
     assert_golden("mt_tree.cpp");

@@ -385,3 +385,35 @@ fn pool_caps_spill_to_the_heap() {
     assert_eq!(stats["shadow_hits"], 0, "oversized blocks must never be shadowed");
     assert!(stats["dropped"] >= 900, "dropped: {stats:?}");
 }
+
+#[test]
+fn stats_json_line_parses_as_a_telemetry_report() {
+    if !gxx_available() {
+        eprintln!("skipping: no g++");
+        return;
+    }
+    let (_, amp, _) = roundtrip("tree.cpp", AmplifyOptions::default());
+    let line = amp
+        .lines()
+        .find(|l| l.starts_with("amplify-stats-json "))
+        .unwrap_or_else(|| panic!("no amplify-stats-json line in: {amp}"));
+    let json = line.strip_prefix("amplify-stats-json ").unwrap();
+
+    // The C++ runtime's machine-readable line must deserialize with the
+    // Rust-side telemetry-v1 reader and agree with the k=v summary.
+    let report = telemetry::Report::from_json(json).expect("C++ stats JSON parses");
+    report.validate().expect("schema-valid report");
+    assert_eq!(report.source, "amplify-runtime");
+    let names: Vec<&str> = report.pools.iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(names, ["pool", "shadow"]);
+
+    let stats = parse_stats(&amp);
+    assert_eq!(report.pools[0].pool_hits, stats["pool_hits"]);
+    assert_eq!(report.pools[0].fresh_allocs, stats["pool_misses"]);
+    assert_eq!(report.pools[0].releases, stats["releases"]);
+    assert_eq!(report.pools[0].parked, stats["parked"]);
+    assert_eq!(report.pools[1].pool_hits, stats["shadow_hits"]);
+    assert_eq!(report.pools[1].fresh_allocs, stats["shadow_misses"]);
+    assert!(report.pools[0].pool_hits > 0, "tree fixture reuses pooled roots");
+    assert!(report.pools[1].pool_hits > 0, "tree fixture revives shadowed children");
+}

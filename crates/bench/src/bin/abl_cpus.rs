@@ -22,11 +22,12 @@ fn main() {
 
     // One grid, computed once on the worker pool; both report sections
     // below read from it (the speedup section used to re-run three models).
-    let wall_ns = parallel::run_indexed(parallel::jobs_from_args(), kinds.len() * cols, |i| {
+    let grid = parallel::run_indexed(parallel::jobs_from_args(), kinds.len() * cols, |i| {
         let (kind, cpus) = (kinds[i / cols], cpu_counts[i % cols]);
         let exp = TreeExperiment { depth, total_trees, cpus, params: CostParams::default() };
-        run_tree(kind, cpus as usize, &exp).wall_ns
+        run_tree(kind, cpus as usize, &exp)
     });
+    let wall_ns: Vec<u64> = grid.iter().map(|m| m.wall_ns).collect();
     let cell = |kind: ModelKind, c: usize| {
         let k = kinds.iter().position(|&x| x.name() == kind.name()).unwrap();
         wall_ns[k * cols + c] as f64
@@ -48,4 +49,11 @@ fn main() {
         let h = cell(ModelKind::Hoard, c);
         println!("  {cpus:>2} CPUs: {:.2}x", p.min(h) / a);
     }
+    bench::metrics::emit_if_requested(
+        "abl_cpus",
+        grid.into_iter()
+            .enumerate()
+            .map(|(i, m)| (format!("{}/c{}", kinds[i / cols].name(), cpu_counts[i % cols]), m))
+            .collect(),
+    );
 }

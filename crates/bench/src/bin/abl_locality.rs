@@ -52,4 +52,10 @@ fn main() {
          parked structure was extended; \"waste\" = surplus nodes carried by oversized\n\
          reuse — the paper's eight-wheel-template overhead, §3.1/§5.1.)"
     );
+    let mut labelled = Vec::with_capacity(runs.len() * 2);
+    for (permille, (a, p)) in permilles.iter().zip(runs) {
+        labelled.push((format!("amplify/alt{permille}"), a));
+        labelled.push((format!("ptmalloc/alt{permille}"), p));
+    }
+    bench::metrics::emit_if_requested("abl_locality", labelled);
 }

@@ -23,7 +23,7 @@ fn run_burst(model: Box<dyn AllocModel>, node_size: u32) -> RunMetrics {
     let programs: Vec<Box<dyn Program>> = (0..THREADS)
         .map(|_| Box::new(BurstTreeProgram::new(shape, BURST, CYCLES, &params)) as Box<dyn Program>)
         .collect();
-    Sim::new(SimConfig { cpus: 8, params, batch_cap_ns: 1_000 }, model, programs).run()
+    Sim::new(SimConfig { params, ..SimConfig::new(8) }, model, programs).run()
 }
 
 fn main() {
@@ -85,4 +85,12 @@ fn main() {
          mark, as §5.1 warns. Caps return structures to the heap (\"dropped\"), trading\n\
          wall time for footprint: the paper's \"certain limit\" policy.)"
     );
+    let mut labelled = Vec::with_capacity(runs.len());
+    let mut runs = runs.into_iter();
+    labelled.push(("serial".to_string(), runs.next().expect("baseline run")));
+    for ((_, cap), m) in configs.iter().zip(runs) {
+        let cap = cap.map(|c| c.to_string()).unwrap_or_else(|| "unbounded".into());
+        labelled.push((format!("amplify/cap-{cap}"), m));
+    }
+    bench::metrics::emit_if_requested("abl_memory", labelled);
 }

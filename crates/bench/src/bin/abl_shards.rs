@@ -39,4 +39,8 @@ fn main() {
             m.coherence_misses
         );
     }
+    bench::metrics::emit_if_requested(
+        "abl_shards",
+        shard_counts.iter().zip(metrics).map(|(s, m)| (format!("amplify/shards{s}"), m)).collect(),
+    );
 }

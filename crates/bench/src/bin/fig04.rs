@@ -1,10 +1,10 @@
 //! Regenerate Figure 04: speedup graph for the tree depth-1 test case.
 
-use bench::figures::{self, speedup_figure, standard_kinds, TOTAL_TREES};
+use bench::figures::{speedup_figure_with_metrics, standard_kinds, TOTAL_TREES};
 use std::path::Path;
 
 fn main() {
-    let fig = speedup_figure(
+    let (fig, runs) = speedup_figure_with_metrics(
         "fig04",
         1,
         &standard_kinds(),
@@ -12,5 +12,6 @@ fn main() {
         bench::parallel::jobs_from_args(),
     );
     print!("{}", fig.ascii());
-    let _ = figures::FigureData::write_csv(&fig, Path::new("results"));
+    let _ = fig.write_csv(Path::new("results"));
+    bench::metrics::emit_if_requested("fig04", runs);
 }

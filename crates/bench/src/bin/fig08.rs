@@ -1,10 +1,10 @@
 //! Regenerate Figure 08: scaleup graph for the tree depth-3 test case.
 
-use bench::figures::{scaleup_figure, speedup_figure, standard_kinds, TOTAL_TREES};
+use bench::figures::{scaleup_figure, speedup_figure_with_metrics, standard_kinds, TOTAL_TREES};
 use std::path::Path;
 
 fn main() {
-    let speedup = speedup_figure(
+    let (speedup, runs) = speedup_figure_with_metrics(
         "fig05",
         3,
         &standard_kinds(),
@@ -14,4 +14,5 @@ fn main() {
     let fig = scaleup_figure("fig08", &speedup, 3);
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));
+    bench::metrics::emit_if_requested("fig08", runs);
 }

@@ -1,12 +1,18 @@
 //! Regenerate Figure 10: speedup for test case 2 including the handmade
 //! structure pool (the "theoretical maximum").
 
-use bench::figures::{fig10_kinds, speedup_figure, TOTAL_TREES};
+use bench::figures::{fig10_kinds, speedup_figure_with_metrics, TOTAL_TREES};
 use std::path::Path;
 
 fn main() {
-    let fig =
-        speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES, bench::parallel::jobs_from_args());
+    let (fig, runs) = speedup_figure_with_metrics(
+        "fig10",
+        3,
+        &fig10_kinds(),
+        TOTAL_TREES,
+        bench::parallel::jobs_from_args(),
+    );
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));
+    bench::metrics::emit_if_requested("fig10", runs);
 }

@@ -1,11 +1,12 @@
 //! Regenerate Figure 11: the BGw speedup graph (SmartHeap vs Amplify vs
 //! Amplify+SmartHeap).
 
-use bench::figures::{bgw_figure, BGW_CDRS};
+use bench::figures::{bgw_figure_with_metrics, BGW_CDRS};
 use std::path::Path;
 
 fn main() {
-    let fig = bgw_figure(BGW_CDRS, bench::parallel::jobs_from_args());
+    let (fig, runs) = bgw_figure_with_metrics(BGW_CDRS, bench::parallel::jobs_from_args());
     print!("{}", fig.ascii());
     let _ = fig.write_csv(Path::new("results"));
+    bench::metrics::emit_if_requested("fig11", runs);
 }

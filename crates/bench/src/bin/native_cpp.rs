@@ -68,6 +68,8 @@ fn checksum_line(output: &str) -> &str {
 fn main() {
     if Command::new("g++").arg("--version").output().is_err() {
         eprintln!("native_cpp: g++ not found; skipping");
+        // Still honour --metrics-out so callers get a (run-less) report.
+        bench::metrics::emit_if_requested("native_cpp", Vec::new());
         return;
     }
     let dir = std::env::temp_dir().join(format!("amplify_native_{}", std::process::id()));
@@ -123,4 +125,7 @@ fn main() {
          1-thread points of Figures 4–6.)"
     );
     let _ = fs::remove_dir_all(&dir);
+    // The native comparison runs no simulator; the report still records
+    // the process's telemetry (events/histograms from any pool use).
+    bench::metrics::emit_if_requested("native_cpp", Vec::new());
 }

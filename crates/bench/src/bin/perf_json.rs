@@ -1,13 +1,26 @@
 //! Machine-readable perf snapshot: writes `BENCH_pools.json` (ns/op for the
 //! pool acquire/release hit and miss paths, magazine fast path versus the
-//! mutex-per-op baseline) and `BENCH_repro.json` (harness wall-clock, serial
-//! versus `--jobs N`), so future changes can track the perf trajectory.
+//! mutex-per-op baseline, and the telemetry-feature overhead) and
+//! `BENCH_repro.json` (harness wall-clock, serial versus `--jobs N`), so
+//! future changes can track the perf trajectory.
+//!
+//! The `telemetry` section needs two compile states. Each invocation fills
+//! the half it was compiled as (`feature_off` without `--features
+//! telemetry`, `feature_on` with) and carries the other half over from an
+//! existing `BENCH_pools.json`; run both builds back to back to get the
+//! `overhead_pct` comparison:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_json
+//! cargo run --release -p bench --features telemetry --bin perf_json
+//! ```
 //!
 //! Usage: `perf_json [output_dir]` (default: current directory).
 
 use bench::figures;
 use bench::parallel;
 use pools::{PoolConfig, ShardedPool, DEFAULT_MAGAZINE_CAP};
+use serde::Value;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -51,12 +64,38 @@ fn miss_ns(pool: &ShardedPool<[u8; 64]>) -> f64 {
     })
 }
 
+/// Round to 2 decimals (the precision the v1 format printed).
+fn ns(v: f64) -> Value {
+    Value::Float((v * 100.0).round() / 100.0)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// The other compile state's `hit_pair_ns`, carried over from an existing
+/// `BENCH_pools.json` (v2) so alternating builds converge on a complete
+/// `telemetry` section.
+fn carried_over(path: &std::path::Path, half: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    match v["telemetry"][half]["hit_pair_ns"] {
+        Value::Float(f) => Some(f),
+        Value::UInt(u) => Some(u as f64),
+        _ => None,
+    }
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
     let dir = std::path::Path::new(&dir);
 
     // --- Pool micro-benchmarks -------------------------------------------
-    eprintln!("[perf_json] measuring pool paths (magazine vs mutex baseline)...");
+    let feature_on = cfg!(feature = "telemetry");
+    eprintln!(
+        "[perf_json] measuring pool paths (magazine vs mutex baseline, telemetry {})...",
+        if feature_on { "ON" } else { "OFF" }
+    );
     let direct: ShardedPool<[u8; 64]> = ShardedPool::with_magazines(4, PoolConfig::default(), 0);
     let mag: ShardedPool<[u8; 64]> =
         ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
@@ -67,26 +106,71 @@ fn main() {
     let miss_after = miss_ns(&mag);
     let reduction_pct = 100.0 * (1.0 - hit_after / hit_before);
 
-    let pools_json = format!(
-        "{{\n  \"schema\": \"pools-perf-v1\",\n  \"object\": \"[u8; 64]\",\n  \"shards\": 4,\n  \
-         \"magazine_cap\": {cap},\n  \"acquire_release_hit\": {{\n    \
-         \"mutex_baseline_ns\": {hb:.2},\n    \"magazine_ns\": {ha:.2},\n    \
-         \"reduction_pct\": {rp:.1}\n  }},\n  \"acquire_miss\": {{\n    \
-         \"mutex_baseline_ns\": {mb:.2},\n    \"magazine_ns\": {ma:.2}\n  }}\n}}\n",
-        cap = DEFAULT_MAGAZINE_CAP,
-        hb = hit_before,
-        ha = hit_after,
-        rp = reduction_pct,
-        mb = miss_before,
-        ma = miss_after,
-    );
+    // The telemetry section: this build fills its half, the other half
+    // survives from the previous run of the opposite build (if any).
     let pools_path = dir.join("BENCH_pools.json");
+    let (this_half, other_half) =
+        if feature_on { ("feature_on", "feature_off") } else { ("feature_off", "feature_on") };
+    let other_hit = carried_over(&pools_path, other_half);
+    let (off_hit, on_hit) =
+        if feature_on { (other_hit, Some(hit_after)) } else { (Some(hit_after), other_hit) };
+    let overhead_pct = match (off_hit, on_hit) {
+        (Some(off), Some(on)) if off > 0.0 => {
+            Value::Float(((on / off - 1.0) * 1000.0).round() / 10.0)
+        }
+        _ => Value::Null,
+    };
+    let half_value = |v: Option<f64>| v.map(ns).unwrap_or(Value::Null);
+
+    let report = obj(vec![
+        ("schema", Value::String("pools-perf-v2".into())),
+        ("object", Value::String("[u8; 64]".into())),
+        ("shards", Value::UInt(4)),
+        ("magazine_cap", Value::UInt(DEFAULT_MAGAZINE_CAP as u64)),
+        (
+            "acquire_release_hit",
+            obj(vec![
+                ("mutex_baseline_ns", ns(hit_before)),
+                ("magazine_ns", ns(hit_after)),
+                ("reduction_pct", Value::Float((reduction_pct * 10.0).round() / 10.0)),
+            ]),
+        ),
+        (
+            "acquire_miss",
+            obj(vec![("mutex_baseline_ns", ns(miss_before)), ("magazine_ns", ns(miss_after))]),
+        ),
+        (
+            "telemetry",
+            obj(vec![
+                ("measured", Value::String(this_half.into())),
+                ("feature_off", obj(vec![("hit_pair_ns", half_value(off_hit))])),
+                ("feature_on", obj(vec![("hit_pair_ns", half_value(on_hit))])),
+                ("overhead_pct", overhead_pct.clone()),
+            ]),
+        ),
+    ]);
+    let mut pools_json = serde_json::to_string_pretty(&report).expect("perf json");
+    pools_json.push('\n');
     std::fs::write(&pools_path, &pools_json).expect("write BENCH_pools.json");
     eprintln!(
         "[perf_json] hit path: {hit_before:.1} ns (mutex) -> {hit_after:.1} ns (magazine), \
          {reduction_pct:.1}% reduction -> {}",
         pools_path.display()
     );
+    if let Value::Float(pct) = overhead_pct {
+        eprintln!(
+            "[perf_json] telemetry overhead on the magazine hit pair: {pct:+.1}% \
+             (off {:.2} ns, on {:.2} ns)",
+            off_hit.unwrap_or(0.0),
+            on_hit.unwrap_or(0.0)
+        );
+    } else {
+        eprintln!(
+            "[perf_json] telemetry section: `{this_half}` measured; run the {} build \
+             to complete the comparison",
+            if feature_on { "feature-off" } else { "`--features telemetry`" }
+        );
+    }
 
     // --- Harness wall-clock ----------------------------------------------
     let jobs = parallel::default_jobs();
@@ -117,4 +201,5 @@ fn main() {
          worker(s) -> {}",
         repro_path.display()
     );
+    bench::metrics::emit_if_requested("perf_json", Vec::new());
 }

@@ -1,0 +1,37 @@
+//! Render a `telemetry-v1` report (written by any bin's `--metrics-out`)
+//! as human-readable text: pool hit rates, contention hot spots, event
+//! totals, histogram sparklines, and the simulator-run table.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pool_report -- metrics.json
+//! ```
+
+use std::process::ExitCode;
+use telemetry::Report;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: pool_report <metrics.json> [more.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut status = ExitCode::SUCCESS;
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pool_report: cannot read {path}: {e}");
+                status = ExitCode::FAILURE;
+                continue;
+            }
+        };
+        match Report::from_json(&text).and_then(|r| r.validate().map(|()| r)) {
+            Ok(report) => print!("{}", report.render()),
+            Err(e) => {
+                eprintln!("pool_report: {path} is not a telemetry-v1 report: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}

@@ -23,7 +23,7 @@ const NODE_SIZE: u32 = 32;
 const STRUCTURES_PER_THREAD: u32 = 2_000;
 const THREADS: usize = 8;
 
-fn simulate(kind: ModelKind, nodes: u32) -> u64 {
+fn simulate(kind: ModelKind, nodes: u32) -> smp_sim::RunMetrics {
     let params = CostParams::default();
     let shape = StructShape { class_id: 0, nodes, node_size: NODE_SIZE };
     let programs: Vec<Box<dyn Program>> = (0..THREADS)
@@ -31,11 +31,26 @@ fn simulate(kind: ModelKind, nodes: u32) -> u64 {
             Box::new(TreeProgram::new(shape, STRUCTURES_PER_THREAD, &params)) as Box<dyn Program>
         })
         .collect();
-    Sim::new(SimConfig::new(8), kind.build(THREADS, 8, params), programs).run().wall_ns
+    Sim::new(SimConfig::new(8), kind.build(THREADS, 8, params), programs).run()
+}
+
+/// The non-flag arguments: every positional argument is a source file;
+/// `--jobs`/`--metrics-out` (and their values) belong to the harness.
+fn file_args() -> Vec<String> {
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" || a == "--metrics-out" {
+            let _ = args.next();
+        } else if !a.starts_with("--jobs=") && !a.starts_with("--metrics-out=") {
+            files.push(a);
+        }
+    }
+    files
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = file_args();
     let files: Vec<(String, String)> = if args.is_empty() {
         let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../amplify/testdata/car.cpp");
         vec![("car.cpp".to_string(), std::fs::read_to_string(path).expect("bundled fixture"))]
@@ -70,7 +85,7 @@ fn main() {
         "class", "allocations", "serial", "ptmalloc", "amplify", "amp/pt"
     );
 
-    let baseline_cache: std::collections::HashMap<u32, u64> = estimates
+    let baseline_cache: std::collections::HashMap<u32, smp_sim::RunMetrics> = estimates
         .iter()
         .map(|e| e.allocations)
         .collect::<std::collections::BTreeSet<_>>()
@@ -78,9 +93,10 @@ fn main() {
         .map(|n| (n, simulate(ModelKind::Serial, n)))
         .collect();
 
+    let mut sim_runs: Vec<(String, smp_sim::RunMetrics)> = Vec::new();
     for est in &estimates {
         let nodes = est.allocations;
-        let serial8 = baseline_cache[&nodes];
+        let serial8 = baseline_cache[&nodes].wall_ns;
         let pt = simulate(ModelKind::Ptmalloc, nodes);
         let amp = simulate(ModelKind::Amplify, nodes);
         println!(
@@ -88,14 +104,18 @@ fn main() {
             est.class,
             nodes,
             1.0, // serial at 8 threads normalized to itself
-            serial8 as f64 / pt as f64,
-            serial8 as f64 / amp as f64,
-            pt as f64 / amp as f64,
+            serial8 as f64 / pt.wall_ns as f64,
+            serial8 as f64 / amp.wall_ns as f64,
+            pt.wall_ns as f64 / amp.wall_ns as f64,
         );
+        sim_runs.push((format!("{}/solaris-default", est.class), baseline_cache[&nodes].clone()));
+        sim_runs.push((format!("{}/ptmalloc", est.class), pt));
+        sim_runs.push((format!("{}/amplify", est.class), amp));
     }
     println!(
         "\n(\"allocations\" = heap allocations per logical object from the composition\n\
          graph; classes with more composition benefit more from structure pooling —\n\
          the paper's §2 argument, quantified for this code base.)"
     );
+    bench::metrics::emit_if_requested("predict", sim_runs);
 }

@@ -4,10 +4,11 @@
 
 use amplify::{Amplifier, AmplifyOptions};
 use bench::figures::{
-    self, bgw_figure, fig10_kinds, scaleup_figure, speedup_figure, standard_kinds, BGW_CDRS,
-    TOTAL_TREES,
+    self, bgw_figure_with_metrics, fig10_kinds, scaleup_figure, speedup_figure_with_metrics,
+    standard_kinds, BGW_CDRS, TOTAL_TREES,
 };
 use bench::parallel;
+use smp_sim::RunMetrics;
 use std::path::Path;
 
 fn main() {
@@ -16,6 +17,9 @@ fn main() {
     // fan out over; output is byte-identical for every N.
     let jobs = parallel::jobs_from_args();
     eprintln!("[repro] running simulator grids on {jobs} worker(s); override with --jobs N");
+    // Every simulator run, labelled `fig/kind/t{threads}`, for
+    // `--metrics-out` (the full-evaluation telemetry report).
+    let mut all_runs: Vec<(String, RunMetrics)> = Vec::new();
 
     // Table 1.
     print!("{}", figures::table1());
@@ -26,7 +30,9 @@ fn main() {
     for (fig_s, fig_c, depth) in
         [("fig04", "fig07", 1u32), ("fig05", "fig08", 3), ("fig06", "fig09", 5)]
     {
-        let speedup = speedup_figure(fig_s, depth, &standard_kinds(), TOTAL_TREES, jobs);
+        let (speedup, runs) =
+            speedup_figure_with_metrics(fig_s, depth, &standard_kinds(), TOTAL_TREES, jobs);
+        all_runs.extend(runs.into_iter().map(|(l, m)| (format!("{fig_s}/{l}"), m)));
         print!("{}", speedup.ascii());
         let _ = speedup.write_csv(out);
         let scale = scaleup_figure(fig_c, &speedup, depth);
@@ -50,13 +56,15 @@ fn main() {
     }
 
     // Figure 10: test case 2 with the handmade pool.
-    let fig10 = speedup_figure("fig10", 3, &fig10_kinds(), TOTAL_TREES, jobs);
+    let (fig10, runs) = speedup_figure_with_metrics("fig10", 3, &fig10_kinds(), TOTAL_TREES, jobs);
+    all_runs.extend(runs.into_iter().map(|(l, m)| (format!("fig10/{l}"), m)));
     print!("{}", fig10.ascii());
     let _ = fig10.write_csv(out);
     println!();
 
     // Figure 11: BGw.
-    let fig11 = bgw_figure(BGW_CDRS, jobs);
+    let (fig11, runs) = bgw_figure_with_metrics(BGW_CDRS, jobs);
+    all_runs.extend(runs.into_iter().map(|(l, m)| (format!("fig11/{l}"), m)));
     print!("{}", fig11.ascii());
     let _ = fig11.write_csv(out);
     println!();
@@ -82,14 +90,15 @@ fn main() {
     );
     {
         use smp_sim::run::{run_bgw, ModelKind};
-        let full = run_bgw(ModelKind::AmplifyOverSmartHeap, 8, BGW_CDRS, 8).wall_ns as f64;
-        let arrays =
-            run_bgw(ModelKind::AmplifyArraysOnlyOverSmartHeap, 8, BGW_CDRS, 8).wall_ns as f64;
+        let full_run = run_bgw(ModelKind::AmplifyOverSmartHeap, 8, BGW_CDRS, 8);
+        let arrays_run = run_bgw(ModelKind::AmplifyArraysOnlyOverSmartHeap, 8, BGW_CDRS, 8);
         println!(
             "§5.2 BGw: arrays-only vs full shadowing: {:+.1}% difference \
              (paper: \"the same result\")",
-            (arrays / full - 1.0) * 100.0
+            (arrays_run.wall_ns as f64 / full_run.wall_ns as f64 - 1.0) * 100.0
         );
+        all_runs.push(("claims/amplify+smartheap/t8".into(), full_run));
+        all_runs.push(("claims/amplify-arrays+sh/t8".into(), arrays_run));
     }
 
     // Pre-processor self-check: amplify the bundled fixtures and report.
@@ -106,4 +115,5 @@ fn main() {
         }
     }
     println!("\nCSV output written to {}/", out.display());
+    bench::metrics::emit_if_requested("repro", all_runs);
 }

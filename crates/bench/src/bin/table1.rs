@@ -2,4 +2,7 @@
 
 fn main() {
     print!("{}", bench::figures::table1());
+    // No simulator runs behind the table, but the flag still works: the
+    // report carries whatever global telemetry the process accumulated.
+    bench::metrics::emit_if_requested("table1", Vec::new());
 }

@@ -7,10 +7,9 @@
 //! run for any `jobs` count.
 
 use crate::parallel;
+use smp_sim::metrics::RunMetrics;
 use smp_sim::params::CostParams;
-use smp_sim::run::{
-    baseline_wall_ns, run_bgw, run_tree, scaleup_from_speedup, speedup, ModelKind, TreeExperiment,
-};
+use smp_sim::run::{run_bgw, run_tree, scaleup_from_speedup, speedup, ModelKind, TreeExperiment};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -139,28 +138,51 @@ pub fn speedup_figure(
     total_trees: u32,
     jobs: usize,
 ) -> FigureData {
+    speedup_figure_with_metrics(id, depth, kinds, total_trees, jobs).0
+}
+
+/// [`speedup_figure`] plus the full [`RunMetrics`] of every run behind it
+/// (`kind/t{threads}`, and the serial 1-thread `baseline`), in grid order —
+/// the raw material for a `--metrics-out` telemetry report.
+pub fn speedup_figure_with_metrics(
+    id: &str,
+    depth: u32,
+    kinds: &[ModelKind],
+    total_trees: u32,
+    jobs: usize,
+) -> (FigureData, Vec<(String, RunMetrics)>) {
     let exp = tree_exp(depth, total_trees);
-    let base = baseline_wall_ns(&exp);
+    let base_run = run_tree(ModelKind::Serial, 1, &exp);
+    let base = base_run.wall_ns;
     let cols = THREADS.len();
     let cells = parallel::run_indexed(jobs, kinds.len() * cols, |i| {
         let (kind, t) = (kinds[i / cols], THREADS[i % cols]);
-        (t, speedup(base, &run_tree(kind, t, &exp)))
+        (t, run_tree(kind, t, &exp))
     });
     let series = kinds
         .iter()
         .enumerate()
         .map(|(k, kind)| Series {
             name: kind.name().to_string(),
-            points: cells[k * cols..(k + 1) * cols].to_vec(),
+            points: cells[k * cols..(k + 1) * cols]
+                .iter()
+                .map(|(t, m)| (*t, speedup(base, m)))
+                .collect(),
         })
         .collect();
-    FigureData {
+    let mut runs = Vec::with_capacity(cells.len() + 1);
+    runs.push(("baseline".to_string(), base_run));
+    for (i, (t, m)) in cells.into_iter().enumerate() {
+        runs.push((format!("{}/t{t}", kinds[i / cols].name()), m));
+    }
+    let fig = FigureData {
         id: id.to_string(),
         title: format!("Speedup, test case with tree depth {depth} (8 CPUs)"),
         xlabel: "threads".into(),
         ylabel: "speedup".into(),
         series,
-    }
+    };
+    (fig, runs)
 }
 
 /// A scaleup figure (7, 8 or 9): the speedup figure normalized per-series
@@ -184,8 +206,18 @@ pub fn scaleup_figure(id: &str, speedup_fig: &FigureData, depth: u32) -> FigureD
 /// Like [`speedup_figure`], the (kind, thread) grid fans out over `jobs`
 /// workers with grid-order reassembly.
 pub fn bgw_figure(total_cdrs: u32, jobs: usize) -> FigureData {
+    bgw_figure_with_metrics(total_cdrs, jobs).0
+}
+
+/// [`bgw_figure`] plus the labelled [`RunMetrics`] behind every point,
+/// mirroring [`speedup_figure_with_metrics`].
+pub fn bgw_figure_with_metrics(
+    total_cdrs: u32,
+    jobs: usize,
+) -> (FigureData, Vec<(String, RunMetrics)>) {
     let threads: &[usize] = &[1, 2, 4, 6, 8];
-    let base = run_bgw(ModelKind::Serial, 1, total_cdrs, 8).wall_ns;
+    let base_run = run_bgw(ModelKind::Serial, 1, total_cdrs, 8);
+    let base = base_run.wall_ns;
     let kinds = [
         ModelKind::Serial,
         ModelKind::SmartHeap,
@@ -195,24 +227,32 @@ pub fn bgw_figure(total_cdrs: u32, jobs: usize) -> FigureData {
     let cols = threads.len();
     let cells = parallel::run_indexed(jobs, kinds.len() * cols, |i| {
         let (kind, t) = (kinds[i / cols], threads[i % cols]);
-        let m = run_bgw(kind, t, total_cdrs, 8);
-        (t, base as f64 / m.wall_ns as f64)
+        (t, run_bgw(kind, t, total_cdrs, 8))
     });
     let series = kinds
         .iter()
         .enumerate()
         .map(|(k, kind)| Series {
             name: kind.name().to_string(),
-            points: cells[k * cols..(k + 1) * cols].to_vec(),
+            points: cells[k * cols..(k + 1) * cols]
+                .iter()
+                .map(|(t, m)| (*t, base as f64 / m.wall_ns as f64))
+                .collect(),
         })
         .collect();
-    FigureData {
+    let mut runs = Vec::with_capacity(cells.len() + 1);
+    runs.push(("baseline".to_string(), base_run));
+    for (i, (t, m)) in cells.into_iter().enumerate() {
+        runs.push((format!("{}/t{t}", kinds[i / cols].name()), m));
+    }
+    let fig = FigureData {
         id: "fig11".into(),
         title: format!("Speedup graph for BGw ({total_cdrs} CDRs, 8 CPUs)"),
         xlabel: "threads".into(),
         ylabel: "speedup".into(),
         series,
-    }
+    };
+    (fig, runs)
 }
 
 /// The comparison set of Figures 4–9.

@@ -1,0 +1,39 @@
+//! Micro-benchmark for the magazine acquire/release hit pair — the number
+//! the `telemetry` overhead budget is measured against. Run both builds:
+//!
+//! ```text
+//! cargo run --release -p pools --example hit_pair
+//! cargo run --release -p pools --example hit_pair --features telemetry
+//! ```
+
+use pools::{PoolConfig, ShardedPool, DEFAULT_MAGAZINE_CAP};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let pool: ShardedPool<[u8; 64]> =
+        ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
+    // Prime the magazine so the loop below stays on the hit path.
+    let seed: Vec<_> = (0..8).map(|_| pool.acquire(|| [0u8; 64])).collect();
+    for x in seed {
+        pool.release(x);
+    }
+
+    let n: u64 = 20_000_000;
+    for _ in 0..1_000_000 {
+        let x = pool.acquire(|| [0u8; 64]);
+        black_box(&x);
+        pool.release(x);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..n {
+            let x = pool.acquire(|| [0u8; 64]);
+            black_box(&x);
+            pool.release(x);
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / n as f64);
+    }
+    println!("hit pair: {best:.2} ns (telemetry {})", cfg!(feature = "telemetry"));
+}

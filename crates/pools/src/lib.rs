@@ -41,6 +41,7 @@ pub mod bit_shadow;
 pub mod limits;
 pub mod magazine;
 pub mod object_pool;
+mod obs;
 pub mod registry;
 pub mod shadow;
 pub mod shadow_buf;

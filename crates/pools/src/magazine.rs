@@ -25,6 +25,7 @@
 
 use crate::limits::PoolConfig;
 use crate::object_pool::ObjectPool;
+use crate::obs::pool_event;
 use crate::stats::PoolStats;
 use std::any::Any;
 use std::cell::RefCell;
@@ -215,7 +216,11 @@ fn invalidate_if_stale<T>(mag: &mut Magazine<T>, depot: &Depot<T>) -> Vec<Box<T>
         return Vec::new();
     }
     depot.magazine_parked.fetch_sub(mag.items.len(), Ordering::Relaxed);
-    mag.items.drain(..).collect()
+    let stale: Vec<Box<T>> = mag.items.drain(..).collect();
+    // Recorded here rather than at the call sites: this branch is already
+    // cold and call-heavy, so the event costs nothing on the fast paths.
+    pool_event!(EpochInvalidation, stale.len());
+    stale
 }
 
 /// Pop one cached object — the lock-free acquire hit path. `None` means the

@@ -2,6 +2,7 @@
 //! `operator new` / `operator delete`.
 
 use crate::limits::PoolConfig;
+use crate::obs::pool_hist;
 use crate::stats::PoolStats;
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -155,6 +156,7 @@ impl<T> ObjectPool<T> {
         let n = max.min(free.len());
         let at = free.len() - n;
         out.extend(free.drain(at..));
+        pool_hist!("pools.free_list_len", free.len());
         n
     }
 
@@ -168,6 +170,7 @@ impl<T> ObjectPool<T> {
                 let n = max.min(free.len());
                 let at = free.len() - n;
                 out.extend(free.drain(at..));
+                pool_hist!("pools.free_list_len", free.len());
                 Ok(n)
             }
             None => {
@@ -185,7 +188,9 @@ impl<T> ObjectPool<T> {
         let rejected = {
             let mut free = self.free.lock();
             self.stats.record_lock();
-            Self::push_until_cap(&self.config, &mut free, items)
+            let rejected = Self::push_until_cap(&self.config, &mut free, items);
+            pool_hist!("pools.free_list_len", free.len());
+            rejected
         };
         let parked = total - rejected.len();
         if !rejected.is_empty() {
@@ -203,7 +208,9 @@ impl<T> ObjectPool<T> {
         let rejected = match self.free.try_lock() {
             Some(mut free) => {
                 self.stats.record_lock();
-                Self::push_until_cap(&self.config, &mut free, items)
+                let rejected = Self::push_until_cap(&self.config, &mut free, items);
+                pool_hist!("pools.free_list_len", free.len());
+                rejected
             }
             None => {
                 self.stats.record_failed_lock();

@@ -124,6 +124,34 @@ impl PoolRegistry {
         agg
     }
 
+    /// Snapshot every live pool as a `telemetry-v1` pool entry, in
+    /// registration order (so reports are deterministic for a fixed
+    /// registration sequence). This is how a [`telemetry::Report`] gets its
+    /// `pools` section; it works with or without the `telemetry` feature —
+    /// the feature only gates hot-path event recording, not the counters.
+    pub fn pool_snapshots(&self) -> Vec<telemetry::report::PoolSnapshot> {
+        let entries: Vec<(String, Arc<dyn Trimmable>)> = {
+            let pools = self.pools.lock();
+            pools.iter().filter_map(|(n, w)| w.upgrade().map(|p| (n.clone(), p))).collect()
+        };
+        entries
+            .iter()
+            .map(|(name, p)| {
+                let s = p.snapshot();
+                telemetry::report::PoolSnapshot {
+                    name: name.clone(),
+                    parked: p.parked() as u64,
+                    pool_hits: s.pool_hits,
+                    fresh_allocs: s.fresh_allocs,
+                    releases: s.releases,
+                    dropped: s.dropped,
+                    failed_locks: s.failed_locks,
+                    lock_acquisitions: s.lock_acquisitions,
+                }
+            })
+            .collect()
+    }
+
     /// Per-pool report lines (`name: parked, hits, misses`).
     pub fn report(&self) -> Vec<String> {
         let entries: Vec<(String, Arc<dyn Trimmable>)> = {
@@ -200,6 +228,28 @@ mod tests {
         let lines = reg.report();
         assert_eq!(lines.len(), 1);
         assert!(lines[0].starts_with("bytes: parked=1"));
+    }
+
+    #[test]
+    fn pool_snapshots_feed_telemetry_reports() {
+        let reg = PoolRegistry::new();
+        let a: Arc<ObjectPool<u32>> = Arc::new(ObjectPool::new());
+        reg.register("nodes", &a);
+        let x = a.acquire(|| 1);
+        a.release(x);
+        let _y = a.acquire(|| 2);
+        let snaps = reg.pool_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].name, "nodes");
+        assert_eq!(snaps[0].pool_hits, 1);
+        assert_eq!(snaps[0].fresh_allocs, 1);
+        assert_eq!(snaps[0].releases, 1);
+        assert_eq!(snaps[0].parked, 0);
+        // The snapshot drops into a report and survives the JSON round trip.
+        let mut report = telemetry::Report::new("registry-test");
+        report.pools = snaps;
+        let back = telemetry::Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.pools[0].pool_hits, 1);
     }
 
     #[test]

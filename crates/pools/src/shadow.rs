@@ -87,6 +87,7 @@ impl<T> Shadow<T> {
         if let State::Live(mut b) = std::mem::replace(&mut self.state, State::Empty) {
             cleanup(&mut b);
             self.state = State::Parked(b);
+            crate::obs::pool_event!(ShadowPark);
         }
     }
 
@@ -106,6 +107,7 @@ impl<T> Shadow<T> {
                 reinit(&mut b);
                 self.state = State::Live(b);
                 self.hits += 1;
+                crate::obs::pool_event!(ShadowReuse);
                 true
             }
             State::Live(_) | State::Empty => {

@@ -20,6 +20,7 @@
 use crate::limits::PoolConfig;
 use crate::magazine::{self, Depot, DEFAULT_MAGAZINE_CAP};
 use crate::object_pool::ObjectPool;
+use crate::obs::{pool_event, pool_hist};
 use crate::stats::StatsSnapshot;
 use std::sync::Arc;
 
@@ -112,6 +113,8 @@ impl<T: 'static> ShardedPool<T> {
         let used = self.depot.refill_batch(start, target, &mut batch);
         if let Some(mut obj) = batch.pop() {
             self.depot.stats.record_hit();
+            pool_event!(MagazineRefill, batch.len() + 1);
+            pool_hist!("pools.magazine_occupancy", batch.len());
             magazine::stash(&self.depot, used, batch);
             reinit(&mut obj);
             return obj;
@@ -131,6 +134,11 @@ impl<T: 'static> ShardedPool<T> {
         }
         self.depot.stats.record_release();
         if let Some(mut out) = magazine::push(&self.depot, obj) {
+            pool_event!(MagazineFlush, out.overflow.len());
+            pool_hist!(
+                "pools.magazine_occupancy",
+                (self.depot.magazine_cap + 1).saturating_sub(out.overflow.len())
+            );
             self.depot.park_batch(out.shard, &mut out.overflow);
         }
     }

@@ -1,5 +1,11 @@
 //! Lock-free counters shared by all pool kinds.
+//!
+//! With the `telemetry` feature enabled, every counter bump also records a
+//! typed event ([`telemetry::EventKind`]) into the calling thread's event
+//! ring — the counters and the event totals are bumped at the same sites,
+//! so they agree by construction.
 
+use crate::obs::pool_event;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing a pool's behaviour. All methods use relaxed atomics —
@@ -29,30 +35,43 @@ impl PoolStats {
         Self::default()
     }
 
+    #[inline]
     pub(crate) fn record_hit(&self) {
         self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        pool_event!(AcquireHit);
     }
 
+    #[inline]
     pub(crate) fn record_fresh(&self) {
         self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+        pool_event!(AcquireMiss);
     }
 
+    #[inline]
     pub(crate) fn record_release(&self) {
         self.releases.fetch_add(1, Ordering::Relaxed);
+        pool_event!(Release);
     }
 
+    #[inline]
     pub(crate) fn record_dropped(&self) {
         self.dropped.fetch_add(1, Ordering::Relaxed);
+        pool_event!(Drop, 1);
     }
 
+    #[inline]
     pub(crate) fn record_dropped_many(&self, n: u64) {
         self.dropped.fetch_add(n, Ordering::Relaxed);
+        pool_event!(Drop, n);
     }
 
+    #[inline]
     pub(crate) fn record_failed_lock(&self) {
         self.failed_locks.fetch_add(1, Ordering::Relaxed);
+        pool_event!(ShardLockContention);
     }
 
+    #[inline]
     pub(crate) fn record_lock(&self) {
         self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
     }
@@ -105,10 +124,16 @@ impl PoolStats {
 
     /// Snapshot all counters into a plain struct (for reports).
     pub fn snapshot(&self) -> StatsSnapshot {
+        // The loads are not one atomic cut. Read `releases` before the
+        // allocation counters: a release always follows its acquire, so
+        // this order keeps `releases ≤ total_allocs + in-flight` true for
+        // any concurrent observer (asserted by the snapshot-consistency
+        // integration test).
+        let releases = self.releases();
         StatsSnapshot {
             pool_hits: self.pool_hits(),
             fresh_allocs: self.fresh_allocs(),
-            releases: self.releases(),
+            releases,
             dropped: self.dropped(),
             failed_locks: self.failed_locks(),
             lock_acquisitions: self.lock_acquisitions(),

@@ -1,0 +1,94 @@
+//! Concurrent snapshot consistency: registry snapshots taken while worker
+//! threads hammer a sharded pool must stay internally coherent.
+//!
+//! The counters are relaxed atomics read one at a time, so a snapshot is
+//! not a point-in-time cut across counters — but two invariants must still
+//! hold from any observer:
+//!
+//! * each counter is monotonically non-decreasing across snapshots;
+//! * `releases` can never exceed `total_allocs` by more than the worker
+//!   count (a worker may have released an object whose acquire-counter
+//!   bump it observed before we did, but each worker holds at most one
+//!   object at a time here).
+
+use pools::sharded::ShardedPool;
+use pools::PoolRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const WORKERS: usize = 4;
+const OPS_PER_WORKER: u64 = 20_000;
+const SNAPSHOTS: usize = 200;
+
+#[test]
+fn snapshots_stay_coherent_under_concurrent_traffic() {
+    let registry = Arc::new(PoolRegistry::new());
+    let pool: Arc<ShardedPool<u64>> = Arc::new(ShardedPool::new(4));
+    registry.register("hammered", &pool);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for t in 0..WORKERS as u64 {
+        let pool = Arc::clone(&pool);
+        workers.push(std::thread::spawn(move || {
+            for i in 0..OPS_PER_WORKER {
+                let obj = pool.acquire(|| t * OPS_PER_WORKER + i);
+                pool.release(obj);
+            }
+        }));
+    }
+
+    // Observer: take registry snapshots while the workers run.
+    let observer = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut prev = None;
+            let mut taken = 0usize;
+            while taken < SNAPSHOTS && !stop.load(Ordering::Relaxed) {
+                let snaps = registry.pool_snapshots();
+                assert_eq!(snaps.len(), 1, "exactly one registered pool");
+                let s = &snaps[0];
+                assert_eq!(s.name, "hammered");
+                let total_allocs = s.pool_hits + s.fresh_allocs;
+                assert!(
+                    s.releases <= total_allocs + WORKERS as u64,
+                    "releases {} outran allocations {} by more than the \
+                     worker count",
+                    s.releases,
+                    total_allocs
+                );
+                if let Some(prev) = &prev {
+                    let p: &telemetry::report::PoolSnapshot = prev;
+                    assert!(s.pool_hits >= p.pool_hits, "pool_hits went backwards");
+                    assert!(s.fresh_allocs >= p.fresh_allocs, "fresh_allocs went backwards");
+                    assert!(s.releases >= p.releases, "releases went backwards");
+                    assert!(s.dropped >= p.dropped, "dropped went backwards");
+                    assert!(s.failed_locks >= p.failed_locks, "failed_locks went backwards");
+                    assert!(
+                        s.lock_acquisitions >= p.lock_acquisitions,
+                        "lock_acquisitions went backwards"
+                    );
+                }
+                prev = Some(s.clone());
+                taken += 1;
+            }
+            taken
+        })
+    };
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let taken = observer.join().unwrap();
+    assert!(taken > 0, "observer never got a snapshot in");
+
+    // Quiescent: now the books must balance exactly. Workers flushed their
+    // magazines on exit, so every release is accounted for.
+    let s = &registry.pool_snapshots()[0];
+    let expected_ops = (WORKERS as u64) * OPS_PER_WORKER;
+    assert_eq!(s.pool_hits + s.fresh_allocs, expected_ops);
+    assert_eq!(s.releases, expected_ops);
+    assert_eq!(s.parked, s.fresh_allocs, "all fresh objects end up parked");
+}

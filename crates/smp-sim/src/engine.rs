@@ -6,7 +6,7 @@
 //! identical metrics, which the property tests assert.
 
 use crate::cache::CacheModel;
-use crate::metrics::RunMetrics;
+use crate::metrics::{IntervalSample, RunMetrics};
 use crate::model::{AllocModel, MicroOp, SimView, StructShape};
 use crate::params::CostParams;
 use std::cmp::Reverse;
@@ -58,12 +58,29 @@ pub struct SimConfig {
     /// Maximum busy time accumulated per event batch; smaller values give
     /// finer preemption granularity at more event overhead.
     pub batch_cap_ns: u64,
+    /// Timeline sampling period in simulated nanoseconds; `0` disables the
+    /// timeline. Long runs stay bounded: once [`MAX_TIMELINE_SAMPLES`]
+    /// samples accumulate, every other sample is dropped and the period
+    /// doubles (samples are cumulative, so decimation loses resolution, not
+    /// information).
+    pub sample_interval_ns: u64,
 }
+
+/// Default timeline sampling period: one simulated millisecond.
+pub const DEFAULT_SAMPLE_INTERVAL_NS: u64 = 1_000_000;
+
+/// Timeline length that triggers decimation.
+pub const MAX_TIMELINE_SAMPLES: usize = 256;
 
 impl SimConfig {
     /// A configuration with the calibrated cost model.
     pub fn new(cpus: u32) -> Self {
-        SimConfig { cpus, params: CostParams::default(), batch_cap_ns: 1_000 }
+        SimConfig {
+            cpus,
+            params: CostParams::default(),
+            batch_cap_ns: 1_000,
+            sample_interval_ns: DEFAULT_SAMPLE_INTERVAL_NS,
+        }
     }
 }
 
@@ -149,6 +166,12 @@ pub struct Sim {
     /// here on free, the next allocation reuses it — the paper's own
     /// parked-structure trick applied to the simulator's bookkeeping.
     addr_pool: Vec<Vec<u64>>,
+    /// Cumulative samples taken so far (see `SimConfig::sample_interval_ns`).
+    timeline: Vec<IntervalSample>,
+    /// Current sampling period (doubles on decimation).
+    sample_interval: u64,
+    /// Simulated time of the next sample.
+    next_sample: u64,
 }
 
 impl Sim {
@@ -198,6 +221,9 @@ impl Sim {
             done_count: 0,
             ops_buf: Vec::with_capacity(256),
             addr_pool: Vec::new(),
+            timeline: Vec::new(),
+            sample_interval: cfg.sample_interval_ns,
+            next_sample: cfg.sample_interval_ns,
         }
     }
 
@@ -245,10 +271,42 @@ impl Sim {
         }
     }
 
+    /// Record one timeline sample (cumulative totals as of the current
+    /// simulator state) and advance the sampling deadline, decimating once
+    /// the timeline is full.
+    fn take_sample(&mut self) {
+        self.timeline.push(IntervalSample {
+            t_ns: self.next_sample,
+            busy_ns: self.threads.iter().map(|t| t.busy_ns).sum(),
+            lock_wait_ns: self.threads.iter().map(|t| t.wait_ns).sum(),
+            coherence_misses: self.cache.coherence_misses(),
+        });
+        self.next_sample += self.sample_interval;
+        if self.timeline.len() >= MAX_TIMELINE_SAMPLES {
+            // Keep every second sample. The survivors sit on the doubled
+            // grid (2i, 4i, ...), so the next sample continues it exactly.
+            let mut i = 0usize;
+            self.timeline.retain(|_| {
+                i += 1;
+                i.is_multiple_of(2)
+            });
+            self.sample_interval *= 2;
+            self.next_sample = match self.timeline.last() {
+                Some(s) => s.t_ns + self.sample_interval,
+                None => self.sample_interval,
+            };
+        }
+    }
+
     /// Run the simulation to completion and return metrics.
     pub fn run(mut self) -> RunMetrics {
         self.dispatch_idle();
         while let Some(Reverse((time, _, cpu))) = self.events.pop() {
+            if self.sample_interval > 0 {
+                while time >= self.next_sample {
+                    self.take_sample();
+                }
+            }
             self.now = time;
             self.step(cpu);
         }
@@ -270,6 +328,7 @@ impl Sim {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            timeline: self.timeline,
         }
     }
 
@@ -507,10 +566,14 @@ mod tests {
     }
 
     fn run_mini(cpus: u32, threads: usize, iters: u32) -> RunMetrics {
+        run_mini_cfg(SimConfig::new(cpus), threads, iters)
+    }
+
+    fn run_mini_cfg(cfg: SimConfig, threads: usize, iters: u32) -> RunMetrics {
         let programs: Vec<Box<dyn Program>> =
             (0..threads).map(|_| Box::new(MiniProgram { iters, phase: 0 }) as _).collect();
         let model = Box::new(SerialModel::new());
-        Sim::new(SimConfig::new(cpus), model, programs).run()
+        Sim::new(cfg, model, programs).run()
     }
 
     #[test]
@@ -541,6 +604,45 @@ mod tests {
         let m = run_mini(2, 9, 20);
         assert!(m.wall_ns > 0);
         assert!(m.ctx_switches >= 9);
+    }
+
+    #[test]
+    fn timeline_is_cumulative_and_deterministic() {
+        let mut cfg = SimConfig::new(4);
+        cfg.sample_interval_ns = 1_000;
+        let m = run_mini_cfg(cfg, 6, 50);
+        assert!(m.timeline.len() >= 2, "run too short to sample: {:?}", m.timeline);
+        for w in m.timeline.windows(2) {
+            assert!(w[0].t_ns < w[1].t_ns);
+            assert!(w[0].busy_ns <= w[1].busy_ns, "cumulative busy time decreased");
+            assert!(w[0].lock_wait_ns <= w[1].lock_wait_ns);
+            assert!(w[0].coherence_misses <= w[1].coherence_misses);
+        }
+        let last = m.timeline.last().unwrap();
+        assert!(last.t_ns <= m.wall_ns + cfg.sample_interval_ns);
+        assert!(last.busy_ns <= m.busy_ns);
+        let again = run_mini_cfg(cfg, 6, 50);
+        assert_eq!(m, again, "timeline sampling broke determinism");
+    }
+
+    #[test]
+    fn timeline_disabled_with_zero_interval() {
+        let mut cfg = SimConfig::new(4);
+        cfg.sample_interval_ns = 0;
+        let m = run_mini_cfg(cfg, 4, 30);
+        assert!(m.timeline.is_empty());
+    }
+
+    #[test]
+    fn timeline_decimates_instead_of_growing_unbounded() {
+        let mut cfg = SimConfig::new(2);
+        cfg.sample_interval_ns = 50; // force far more than MAX_TIMELINE_SAMPLES
+        let m = run_mini_cfg(cfg, 4, 200);
+        assert!(m.timeline.len() < MAX_TIMELINE_SAMPLES);
+        assert!(m.timeline.len() >= MAX_TIMELINE_SAMPLES / 4, "decimated too aggressively");
+        for w in m.timeline.windows(2) {
+            assert!(w[0].t_ns < w[1].t_ns);
+        }
     }
 
     #[test]

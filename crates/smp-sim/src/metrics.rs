@@ -2,6 +2,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One point on a run's timeline: cumulative totals as of simulated time
+/// `t_ns`. Sampled every `SimConfig::sample_interval_ns` simulated
+/// nanoseconds; consumers take deltas between consecutive samples to see
+/// per-interval behaviour (contention ramping up, coherence storms, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Simulated time of the sample.
+    pub t_ns: u64,
+    /// Cumulative busy CPU time across threads.
+    pub busy_ns: u64,
+    /// Cumulative time spent blocked on locks.
+    pub lock_wait_ns: u64,
+    /// Cumulative coherence misses.
+    pub coherence_misses: u64,
+}
+
 /// Everything a run reports. `wall_ns` drives the speedup figures; the rest
 /// explains *why* (lock waiting, failed try-locks, migrations, coherence
 /// misses — the quantities §5.1 discusses).
@@ -27,6 +43,8 @@ pub struct RunMetrics {
     pub coherence_misses: u64,
     /// Model-specific counters (pool hits, arena switches, ...).
     pub model_counters: Vec<(String, u64)>,
+    /// Periodic cumulative samples (empty when sampling is disabled).
+    pub timeline: Vec<IntervalSample>,
 }
 
 impl RunMetrics {
@@ -67,6 +85,15 @@ mod tests {
             mem_misses: 5,
             coherence_misses: 5,
             model_counters: vec![("pool_hits".into(), 42)],
+            timeline: vec![
+                IntervalSample { t_ns: 1_000, busy_ns: 900, lock_wait_ns: 50, coherence_misses: 1 },
+                IntervalSample {
+                    t_ns: 2_000,
+                    busy_ns: 1_800,
+                    lock_wait_ns: 120,
+                    coherence_misses: 3,
+                },
+            ],
         }
     }
 

@@ -118,8 +118,7 @@ pub fn run_tree(kind: ModelKind, threads: usize, exp: &TreeExperiment) -> RunMet
         })
         .collect();
     let model = kind.build(threads, exp.cpus, exp.params);
-    Sim::new(SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 }, model, programs)
-        .run()
+    Sim::new(SimConfig { params: exp.params, ..SimConfig::new(exp.cpus) }, model, programs).run()
 }
 
 /// Run the tree workload with a caller-built model (for ablations that
@@ -139,8 +138,7 @@ pub fn run_tree_with_model(
             Box::new(TreeProgram::new(shape, per_thread + extra, &exp.params)) as Box<dyn Program>
         })
         .collect();
-    Sim::new(SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 }, model, programs)
-        .run()
+    Sim::new(SimConfig { params: exp.params, ..SimConfig::new(exp.cpus) }, model, programs).run()
 }
 
 /// Run a *partial-locality* tree workload: `alt_permille`/1000 of the
@@ -170,8 +168,7 @@ pub fn run_tree_with_locality(
         })
         .collect();
     let model = kind.build(threads, exp.cpus, exp.params);
-    Sim::new(SimConfig { cpus: exp.cpus, params: exp.params, batch_cap_ns: 1_000 }, model, programs)
-        .run()
+    Sim::new(SimConfig { params: exp.params, ..SimConfig::new(exp.cpus) }, model, programs).run()
 }
 
 /// Speedup as the paper defines it: execution time with one thread under
@@ -219,7 +216,7 @@ pub fn run_bgw(kind: ModelKind, threads: usize, total_cdrs: u32, cpus: u32) -> R
         })
         .collect();
     let model = kind.build(threads, cpus, params);
-    Sim::new(SimConfig { cpus, params, batch_cap_ns: 1_000 }, model, programs).run()
+    Sim::new(SimConfig { params, ..SimConfig::new(cpus) }, model, programs).run()
 }
 
 #[cfg(test)]

@@ -1,0 +1,31 @@
+//! Micro-benchmark for the `record()` fast path: ns per recorded event,
+//! broken down against its building blocks. Run with
+//! `cargo run --release -p amplify-telemetry --example record_cost`.
+
+use std::hint::black_box;
+use std::time::Instant;
+use telemetry::event::{record, EventKind};
+
+fn measure<F: FnMut(u64)>(label: &str, mut f: F) {
+    let n: u64 = 20_000_000;
+    // Warm up.
+    for i in 0..1_000_000 {
+        f(i);
+    }
+    let t = Instant::now();
+    for i in 0..n {
+        f(i);
+    }
+    let ns = t.elapsed().as_nanos() as f64 / n as f64;
+    println!("{label:<28}{ns:>8.2} ns/op");
+}
+
+fn main() {
+    measure("record(hot)", |i| record(EventKind::AcquireHit, black_box(i)));
+    measure("record(hot, other kind)", |i| record(EventKind::Release, black_box(i)));
+    let h = telemetry::hist::histogram("bench.example");
+    measure("histogram record", |i| h.record(black_box(i & 1023)));
+    measure("black_box only", |i| {
+        black_box(i);
+    });
+}

@@ -1,0 +1,233 @@
+//! Log-bucketed histograms (HDR-style powers of two).
+//!
+//! Bucket `0` counts the value `0`; bucket `i ≥ 1` counts values in
+//! `[2^(i-1), 2^i - 1]` — i.e. the bucket index is the value's bit length.
+//! That gives full `u64` range in 65 counters with a two-instruction
+//! `record`, which is cheap enough for the instrumented hot paths (and
+//! compiled out entirely when the `telemetry` feature is off downstream).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of buckets: the value 0 plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else the value's bit length.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive value range covered by a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        1 => (1, 1),
+        i => (1 << (i - 1), (1u64 << (i - 1)) - 1 + (1 << (i - 1))),
+    }
+}
+
+/// A concurrent log-bucketed histogram. All operations use relaxed atomics
+/// — these are statistics, not synchronization.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [const { AtomicU64::new(0) }; BUCKETS] }
+    }
+
+    /// Count one observation of `value`.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` observations of `value`.
+    pub fn record_n(&self, value: u64, n: u64) {
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Bucket counts, trimmed after the last non-empty bucket (so reports
+    /// stay compact; index still equals the bucket index).
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        counts
+    }
+
+    /// Smallest upper bound `b` such that at least `q` (in `[0, 1]`) of the
+    /// observations fall in buckets up to `b`'s. Returns `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let counts = self.snapshot();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(bucket_bounds(i).1);
+            }
+        }
+        Some(bucket_bounds(counts.len() - 1).1)
+    }
+
+    /// Add another histogram's counts into this one (cross-thread or
+    /// cross-source aggregation).
+    pub fn merge_counts(&self, counts: &[u64]) {
+        for (i, &c) in counts.iter().enumerate().take(BUCKETS) {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Zero every bucket.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The named-histogram registry backing [`histogram`].
+type HistEntries = Vec<(String, Arc<Histogram>)>;
+static REGISTRY: OnceLock<Mutex<HistEntries>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<HistEntries> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Get (or create) the process-wide histogram named `name`. Callers on hot
+/// paths should look the handle up once and cache the `Arc`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = registry().lock().expect("histogram registry poisoned");
+    if let Some((_, h)) = reg.iter().find(|(n, _)| n == name) {
+        return Arc::clone(h);
+    }
+    let h = Arc::new(Histogram::new());
+    reg.push((name.to_string(), Arc::clone(&h)));
+    h
+}
+
+/// Snapshot every registered histogram as `(name, bucket counts)`, sorted
+/// by name for deterministic report output.
+pub fn all_histograms() -> Vec<(String, Vec<u64>)> {
+    let reg = registry().lock().expect("histogram registry poisoned");
+    let mut out: Vec<(String, Vec<u64>)> =
+        reg.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Clear every registered histogram (tests and report tooling).
+pub fn reset() {
+    let reg = registry().lock().expect("histogram registry poisoned");
+    for (_, h) in reg.iter() {
+        h.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Bounds are tight and adjacent: each bucket starts one past the
+        // previous bucket's end.
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            assert_eq!(lo, bucket_bounds(i - 1).1 + 1);
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record_n(5, 3); // bucket 3 (4..=7)
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.snapshot(), vec![1, 1, 0, 3]);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), Some(1));
+        // The p99 falls in 1000's bucket (512..=1023).
+        assert_eq!(h.quantile_upper_bound(0.99), Some(1023));
+    }
+
+    #[test]
+    fn cross_thread_recording_aggregates() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        h.record(t * 100 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 400);
+    }
+
+    #[test]
+    fn merge_counts_adds() {
+        let a = Histogram::new();
+        a.record(3);
+        let b = Histogram::new();
+        b.record(3);
+        b.record(100);
+        a.merge_counts(&b.snapshot());
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.snapshot()[bucket_index(3)], 2);
+    }
+
+    #[test]
+    fn registry_returns_same_instance() {
+        let a = histogram("test.registry.same");
+        a.record(1);
+        let b = histogram("test.registry.same");
+        assert_eq!(b.count(), 1);
+        assert!(all_histograms().iter().any(|(n, _)| n == "test.registry.same"));
+    }
+}

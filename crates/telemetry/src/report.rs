@@ -1,0 +1,365 @@
+//! The unified `telemetry-v1` report: one JSON document aggregating pool
+//! statistics, event totals, histograms and simulator runs.
+//!
+//! Emitted by every bench figure/ablation binary behind `--metrics-out`,
+//! rendered by the `pool_report` binary, and mirrored line-for-line by the
+//! machine-readable output of the generated C++ runtime header (so C++-side
+//! and Rust-side stats can be diffed by the same tooling).
+
+use serde::{Deserialize, Serialize};
+use smp_sim::metrics::RunMetrics;
+
+/// The schema tag every report carries. Bump on breaking field changes.
+pub const SCHEMA: &str = "telemetry-v1";
+
+/// Aggregated statistics for one named pool, shards and magazines included.
+/// Field names are the `telemetry-v1` wire names; the generated C++ runtime
+/// emits the same names (`pool_misses` maps to `fresh_allocs`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSnapshot {
+    pub name: String,
+    /// Dead objects currently parked (free lists plus magazines).
+    pub parked: u64,
+    pub pool_hits: u64,
+    pub fresh_allocs: u64,
+    pub releases: u64,
+    pub dropped: u64,
+    pub failed_locks: u64,
+    pub lock_acquisitions: u64,
+}
+
+impl PoolSnapshot {
+    /// Fraction of allocations served by reuse, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.fresh_allocs;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lock probes that found the lock held.
+    pub fn contention_rate(&self) -> f64 {
+        let probes = self.failed_locks + self.lock_acquisitions;
+        if probes == 0 {
+            0.0
+        } else {
+            self.failed_locks as f64 / probes as f64
+        }
+    }
+}
+
+/// One per-kind event total (see [`crate::event::EventKind::name`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCount {
+    pub kind: String,
+    pub count: u64,
+}
+
+/// One named histogram: `buckets[i]` counts values with bucket index `i`
+/// (see [`crate::hist::bucket_index`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    pub name: String,
+    pub buckets: Vec<u64>,
+}
+
+/// One simulator run embedded in a report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRun {
+    /// What the run was (`"amplify/t8"`, `"shards=4"`, ...).
+    pub label: String,
+    pub metrics: RunMetrics,
+}
+
+/// The versioned snapshot the whole stack reports through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Always [`SCHEMA`] for reports produced by this crate version.
+    pub schema: String,
+    /// Producing binary or subsystem.
+    pub source: String,
+    pub pools: Vec<PoolSnapshot>,
+    pub events: Vec<EventCount>,
+    pub histograms: Vec<HistogramReport>,
+    pub sim_runs: Vec<SimRun>,
+}
+
+impl Report {
+    /// An empty report for `source`.
+    pub fn new(source: &str) -> Self {
+        Report {
+            schema: SCHEMA.to_string(),
+            source: source.to_string(),
+            pools: Vec::new(),
+            events: Vec::new(),
+            histograms: Vec::new(),
+            sim_runs: Vec::new(),
+        }
+    }
+
+    /// A report pre-filled with this process's global event totals and
+    /// registered histograms. Pool snapshots and sim runs are supplied by
+    /// the caller (`pools::PoolRegistry::pool_snapshots`, bench drivers).
+    pub fn gather(source: &str) -> Self {
+        let mut r = Report::new(source);
+        r.events = crate::event::counts()
+            .into_iter()
+            .map(|(k, count)| EventCount { kind: k.name().to_string(), count })
+            .collect();
+        r.histograms = crate::hist::all_histograms()
+            .into_iter()
+            .map(|(name, buckets)| HistogramReport { name, buckets })
+            .collect();
+        r
+    }
+
+    /// Serialize as pretty JSON (deterministic: field order is declaration
+    /// order, histogram order is sorted by name).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a report from JSON.
+    pub fn from_json(json: &str) -> Result<Report, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Check the schema tag and structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!("unsupported schema `{}` (expected `{SCHEMA}`)", self.schema));
+        }
+        for h in &self.histograms {
+            if h.buckets.len() > crate::hist::BUCKETS {
+                return Err(format!(
+                    "histogram `{}` has {} buckets (max {})",
+                    h.name,
+                    h.buckets.len(),
+                    crate::hist::BUCKETS
+                ));
+            }
+        }
+        for ev in &self.events {
+            if crate::event::EventKind::ALL.iter().all(|k| k.name() != ev.kind) {
+                return Err(format!("unknown event kind `{}`", ev.kind));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render as a human-readable text summary: hit rates, contention hot
+    /// spots, histogram and timeline sparklines.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry report: {} ({}) ==", self.source, self.schema);
+
+        if !self.pools.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<16}{:>10}{:>12}{:>10}{:>9}{:>10}{:>9}",
+                "pool", "parked", "hits", "fresh", "hit%", "releases", "dropped"
+            );
+            for p in &self.pools {
+                let _ = writeln!(
+                    out,
+                    "{:<16}{:>10}{:>12}{:>10}{:>8.1}%{:>10}{:>9}",
+                    p.name,
+                    p.parked,
+                    p.pool_hits,
+                    p.fresh_allocs,
+                    100.0 * p.hit_rate(),
+                    p.releases,
+                    p.dropped
+                );
+            }
+            let mut hot: Vec<&PoolSnapshot> =
+                self.pools.iter().filter(|p| p.failed_locks > 0).collect();
+            hot.sort_by_key(|p| std::cmp::Reverse(p.failed_locks));
+            if hot.is_empty() {
+                let _ = writeln!(out, "contention: none (no failed lock probes)");
+            } else {
+                let _ = writeln!(out, "contention hot spots:");
+                for p in hot {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16}{} failed locks ({:.2}% of probes)",
+                        p.name,
+                        p.failed_locks,
+                        100.0 * p.contention_rate()
+                    );
+                }
+            }
+        }
+
+        let nonzero: Vec<&EventCount> = self.events.iter().filter(|e| e.count > 0).collect();
+        if !nonzero.is_empty() {
+            let _ = writeln!(out, "\nevents:");
+            for e in nonzero {
+                let _ = writeln!(out, "  {:<24}{}", e.kind, e.count);
+            }
+        }
+
+        for h in &self.histograms {
+            let total: u64 = h.buckets.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "\nhistogram {} (n={total}, log2 buckets 0..{}):",
+                h.name,
+                h.buckets.len().saturating_sub(1)
+            );
+            let _ = writeln!(out, "  {}", sparkline(&h.buckets));
+        }
+
+        if !self.sim_runs.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<24}{:>12}{:>14}{:>14}{:>12}",
+                "sim run", "wall ms", "lock wait ms", "failed locks", "coherence"
+            );
+            for run in &self.sim_runs {
+                let m = &run.metrics;
+                let _ = writeln!(
+                    out,
+                    "{:<24}{:>12.2}{:>14.2}{:>14}{:>12}",
+                    run.label,
+                    m.wall_ns as f64 / 1e6,
+                    m.lock_wait_ns as f64 / 1e6,
+                    m.failed_locks,
+                    m.coherence_misses
+                );
+                if m.timeline.len() >= 2 {
+                    // Per-interval lock waiting (the timeline samples are
+                    // cumulative, so render the deltas).
+                    let deltas: Vec<u64> = m
+                        .timeline
+                        .windows(2)
+                        .map(|w| w[1].lock_wait_ns.saturating_sub(w[0].lock_wait_ns))
+                        .collect();
+                    let _ = writeln!(out, "  lock-wait timeline  {}", sparkline(&deltas));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render counts as a unicode sparkline (empty input gives an empty string).
+pub fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return values.iter().map(|_| BARS[0]).collect();
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                BARS[0]
+            } else {
+                let idx = ((v as f64 / max as f64) * (BARS.len() - 1) as f64).ceil() as usize;
+                BARS[idx.clamp(1, BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("test");
+        r.pools.push(PoolSnapshot {
+            name: "trees".into(),
+            parked: 5,
+            pool_hits: 90,
+            fresh_allocs: 10,
+            releases: 95,
+            dropped: 0,
+            failed_locks: 3,
+            lock_acquisitions: 97,
+        });
+        r.events.push(EventCount { kind: "acquire_hit".into(), count: 90 });
+        r.histograms.push(HistogramReport { name: "lat".into(), buckets: vec![0, 2, 5, 1] });
+        r.sim_runs.push(SimRun {
+            label: "amplify/t8".into(),
+            metrics: RunMetrics {
+                wall_ns: 2_000_000,
+                busy_ns: 1_500_000,
+                lock_wait_ns: 100_000,
+                failed_locks: 7,
+                migrations: 1,
+                ctx_switches: 9,
+                cache_hits: 100,
+                mem_misses: 10,
+                coherence_misses: 2,
+                model_counters: vec![("pool_hits".into(), 42)],
+                timeline: Vec::new(),
+            },
+        });
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json, "serialization is stable");
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        let mut r = sample();
+        r.schema = "telemetry-v0".into();
+        assert!(r.validate().unwrap_err().contains("telemetry-v0"));
+        let mut r = sample();
+        r.events[0].kind = "not_a_kind".into();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn gather_includes_every_event_kind() {
+        let r = Report::gather("unit");
+        assert_eq!(r.schema, SCHEMA);
+        assert_eq!(r.events.len(), crate::event::EventKind::ALL.len());
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn render_mentions_the_interesting_numbers() {
+        let text = sample().render();
+        assert!(text.contains("trees"), "{text}");
+        assert!(text.contains("90.0%"), "{text}");
+        assert!(text.contains("contention hot spots"), "{text}");
+        assert!(text.contains("acquire_hit"), "{text}");
+        assert!(text.contains("amplify/t8"), "{text}");
+        assert!(text.contains('█'), "{text}");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let s = sparkline(&[1, 8]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn rates() {
+        let p = sample().pools[0].clone();
+        assert!((p.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((p.contention_rate() - 0.03).abs() < 1e-12);
+    }
+}

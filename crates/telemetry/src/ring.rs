@@ -1,0 +1,197 @@
+//! A lock-free fixed-capacity event ring (overwrite-oldest).
+//!
+//! Each recording thread owns one ring; only the owner pushes, so a push is
+//! two relaxed stores plus one release store of the head — no CAS loop, no
+//! lock. The ring also carries the owner's per-kind totals: single-writer
+//! plain load-then-store bumps on the owner's own cache lines, so the
+//! per-event fast path never touches shared state. Any thread may snapshot
+//! a ring; a snapshot taken while the owner is mid-push can see a slot torn
+//! between two events, which is the usual tracing trade-off (the per-kind
+//! totals are exact).
+
+use crate::event::{EventKind, PoolEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-capacity ring of packed events. Capacity is set at construction;
+/// once full, each push overwrites the oldest event.
+#[derive(Debug)]
+pub struct EventRing {
+    /// Owner-written per-kind event totals (exact, never overwritten).
+    counts: [AtomicU64; EventKind::ALL.len()],
+    /// Total events ever pushed (not clamped to capacity).
+    head: AtomicU64,
+    /// Two words per slot: packed kind+payload, then the tick.
+    slots: Box<[AtomicU64]>,
+}
+
+impl EventRing {
+    /// A ring holding the `capacity` most recent events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        EventRing {
+            counts: [const { AtomicU64::new(0) }; EventKind::ALL.len()],
+            head: AtomicU64::new(0),
+            slots: (0..capacity * 2).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Bump the owner's total for `kind` and return the new value. Must
+    /// only be called by the owning thread: the plain load-then-store is
+    /// what keeps this off the shared-memory bus (readers still see each
+    /// value because the counter has a single writer).
+    #[inline]
+    pub fn bump(&self, kind: EventKind) -> u64 {
+        let c = &self.counts[kind.tag() as usize];
+        let n = c.load(Ordering::Relaxed) + 1;
+        c.store(n, Ordering::Relaxed);
+        n
+    }
+
+    /// This ring's total for `kind` (exact; grows monotonically).
+    pub fn kind_count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.tag() as usize].load(Ordering::Relaxed)
+    }
+
+    /// Zero the per-kind totals (tests/report tooling; owner may race).
+    pub fn clear_counts(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Events the ring can hold before overwriting.
+    pub fn capacity(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    /// Total events ever pushed (≥ the number currently retained).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        (self.pushed() as usize).min(self.capacity())
+    }
+
+    /// True if nothing has been pushed (or the ring was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one event, overwriting the oldest when full. Must only be
+    /// called by the ring's owning thread.
+    #[inline]
+    pub fn push(&self, kind: EventKind, payload: u64, tick: u64) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = (h as usize % self.capacity()) * 2;
+        self.slots[slot].store(PoolEvent::encode_word(kind, payload), Ordering::Relaxed);
+        self.slots[slot + 1].store(tick, Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<PoolEvent> {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.capacity() as u64;
+        let n = h.min(cap);
+        (h - n..h)
+            .filter_map(|k| {
+                let slot = (k % cap) as usize * 2;
+                let word = self.slots[slot].load(Ordering::Relaxed);
+                let tick = self.slots[slot + 1].load(Ordering::Relaxed);
+                PoolEvent::decode_word(word, tick)
+            })
+            .collect()
+    }
+
+    /// Forget all retained events.
+    pub fn clear(&self) {
+        self.head.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, payload: u64, tick: u64) -> PoolEvent {
+        PoolEvent { kind, payload, tick }
+    }
+
+    #[test]
+    fn fills_then_wraps_overwriting_oldest() {
+        let ring = EventRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            ring.push(EventKind::Release, i, 100 + i);
+        }
+        assert_eq!(ring.len(), 4);
+        let snap = ring.snapshot();
+        assert_eq!(snap[0], ev(EventKind::Release, 0, 100));
+        assert_eq!(snap[3], ev(EventKind::Release, 3, 103));
+
+        // Two more pushes overwrite the two oldest events.
+        ring.push(EventKind::AcquireHit, 4, 104);
+        ring.push(EventKind::AcquireHit, 5, 105);
+        assert_eq!(ring.len(), 4, "capacity is fixed");
+        assert_eq!(ring.pushed(), 6, "total count keeps growing");
+        let snap = ring.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ev(EventKind::Release, 2, 102),
+                ev(EventKind::Release, 3, 103),
+                ev(EventKind::AcquireHit, 4, 104),
+                ev(EventKind::AcquireHit, 5, 105),
+            ]
+        );
+    }
+
+    #[test]
+    fn wraparound_many_times_keeps_latest_window() {
+        let ring = EventRing::new(3);
+        for i in 0..100 {
+            ring.push(EventKind::AcquireMiss, i, i);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let ring = EventRing::new(1);
+        ring.push(EventKind::Drop, 1, 1);
+        ring.push(EventKind::Drop, 2, 2);
+        assert_eq!(ring.snapshot(), vec![ev(EventKind::Drop, 2, 2)]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let ring = EventRing::new(4);
+        ring.push(EventKind::Release, 0, 0);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::new(0);
+    }
+
+    #[test]
+    fn per_kind_counts_are_exact_and_independent() {
+        let ring = EventRing::new(2);
+        for _ in 0..5 {
+            ring.bump(EventKind::AcquireHit);
+        }
+        assert_eq!(ring.bump(EventKind::Release), 1);
+        assert_eq!(ring.kind_count(EventKind::AcquireHit), 5);
+        assert_eq!(ring.kind_count(EventKind::Release), 1);
+        assert_eq!(ring.kind_count(EventKind::Drop), 0);
+        ring.clear_counts();
+        assert_eq!(ring.kind_count(EventKind::AcquireHit), 0);
+    }
+}

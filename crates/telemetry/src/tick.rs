@@ -1,0 +1,33 @@
+//! Coarse event timestamps: a global monotonic counter.
+//!
+//! Events are stamped with a *tick* — one global `fetch_add` — instead of a
+//! wall clock. Ticks totally order events within a run without making event
+//! traces depend on machine speed, so replays of a deterministic workload
+//! produce the same relative ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TICK: AtomicU64 = AtomicU64::new(0);
+
+/// Take the next tick (monotonically increasing across all threads).
+pub fn next() -> u64 {
+    TICK.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The current tick without advancing it.
+pub fn current() -> u64 {
+    TICK.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic() {
+        let a = next();
+        let b = next();
+        assert!(b > a);
+        assert!(current() >= b);
+    }
+}

@@ -13,6 +13,41 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Time `$e` into the histogram handle `$hist` when the `telemetry`
+/// feature is on; with the feature off this is exactly `$e` — no `Instant`
+/// calls on the measured paths.
+#[cfg(feature = "telemetry")]
+macro_rules! timed {
+    ($hist:ident, $e:expr) => {{
+        let t0 = Instant::now();
+        let r = $e;
+        $hist.record(t0.elapsed().as_nanos() as u64);
+        r
+    }};
+}
+
+#[cfg(not(feature = "telemetry"))]
+macro_rules! timed {
+    ($hist:ident, $e:expr) => {
+        $e
+    };
+}
+
+/// Resolve the per-operation histograms once per thread (no registry lock
+/// inside the measured loops). Expands to nothing with the feature off.
+#[cfg(feature = "telemetry")]
+macro_rules! op_hists {
+    ($alloc:ident, $free:ident) => {
+        let $alloc = telemetry::hist::histogram("workloads.alloc_ns");
+        let $free = telemetry::hist::histogram("workloads.free_ns");
+    };
+}
+
+#[cfg(not(feature = "telemetry"))]
+macro_rules! op_hists {
+    ($alloc:ident, $free:ident) => {};
+}
+
 /// Result of replaying traces against an allocator.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecResult {
@@ -35,15 +70,16 @@ pub fn run_traces(alloc: Arc<dyn ParallelAllocator>, traces: &[Trace]) -> ExecRe
         for trace in traces {
             let alloc = Arc::clone(&alloc);
             s.spawn(move || {
+                op_hists!(alloc_h, free_h);
                 let mut live: HashMap<u32, BlockRef> = HashMap::new();
                 for op in &trace.ops {
                     match op {
                         TraceOp::Alloc { id, size } => {
-                            live.insert(*id, alloc.alloc(*size));
+                            live.insert(*id, timed!(alloc_h, alloc.alloc(*size)));
                         }
                         TraceOp::Free { id } => {
                             let block = live.remove(id).expect("validated trace");
-                            alloc.free(block);
+                            timed!(free_h, alloc.free(block));
                         }
                     }
                 }
@@ -81,11 +117,15 @@ pub fn run_tree_pooled(workload: &TreeWorkload) -> TreeRunResult {
                 let pool = Arc::clone(&pool);
                 let w = *workload;
                 s.spawn(move || {
+                    op_hists!(alloc_h, free_h);
                     let mut sum = 0u64;
                     for i in 0..w.iterations {
-                        let tree = pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i });
+                        let tree = timed!(
+                            alloc_h,
+                            pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i })
+                        );
                         sum = sum.wrapping_add(tree.checksum());
-                        pool.free(tree);
+                        timed!(free_h, pool.free(tree));
                     }
                     sum
                 })
@@ -118,11 +158,15 @@ pub fn run_tree_sharded(workload: &TreeWorkload, shards: usize) -> TreeRunResult
                 let pool = Arc::clone(&pool);
                 let w = *workload;
                 s.spawn(move || {
+                    op_hists!(alloc_h, free_h);
                     let mut sum = 0u64;
                     for i in 0..w.iterations {
-                        let tree = pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i });
+                        let tree = timed!(
+                            alloc_h,
+                            pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i })
+                        );
                         sum = sum.wrapping_add(tree.checksum());
-                        pool.free(tree);
+                        timed!(free_h, pool.free(tree));
                     }
                     sum
                 })
