@@ -1,0 +1,44 @@
+//! Run the native five-way comparison matrix: every registered backend ×
+//! tree depth {1,3,5} × thread count, on the real runtime.
+//!
+//! ```text
+//! cargo run --release -p bench --bin native_matrix            # full sweep
+//! cargo run --release -p bench --bin native_matrix -- --smoke # CI-sized
+//! ```
+//!
+//! Prints the per-depth tables, writes `results/native_matrix.csv`,
+//! checks the sharded+magazine hit path against the `BENCH_pools.json`
+//! envelope, and (with `--metrics-out <path>`) emits a `telemetry-v1`
+//! report whose `native_runs` section carries every cell tagged by
+//! backend name.
+
+use bench::native::{ascii_tables, check_hit_pair_envelope, run_matrix, write_csv, MatrixConfig};
+use std::path::Path;
+use telemetry::Report;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke { MatrixConfig::smoke() } else { MatrixConfig::standard() };
+    let runs = run_matrix(&config);
+    print!("{}", ascii_tables(&runs, &config));
+
+    match write_csv(&runs, Path::new("results")) {
+        Ok(path) => eprintln!("[native_matrix] csv -> {}", path.display()),
+        Err(e) => eprintln!("[native_matrix] cannot write csv: {e}"),
+    }
+
+    // The hit-path sanity check: advisory in smoke mode (short runs on a
+    // loaded CI host are noisy), measured properly in the full sweep.
+    let pairs = if smoke { 2_000_000 } else { 20_000_000 };
+    println!("{}", check_hit_pair_envelope(pairs).render());
+
+    if let Some(path) = bench::metrics::metrics_out_from_args() {
+        let mut report = Report::gather("native_matrix");
+        report.native_runs = runs;
+        debug_assert!(report.validate().is_ok());
+        match bench::metrics::write_report(&path, &report) {
+            Ok(()) => eprintln!("[native_matrix] telemetry report -> {}", path.display()),
+            Err(e) => eprintln!("[native_matrix] cannot write {}: {e}", path.display()),
+        }
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod figures;
 pub mod metrics;
+pub mod native;
 pub mod parallel;
 
 pub use figures::{FigureData, Series};

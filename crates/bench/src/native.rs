@@ -1,0 +1,284 @@
+//! The native five-way comparison: every registered [`mem_api`] backend
+//! runs the paper's tree workloads on the real runtime (no simulator),
+//! through the one generic executor.
+//!
+//! Where the simulated figures answer "how would this scale on the
+//! paper's 8-CPU machine", the native matrix answers "what does each
+//! strategy's alloc/free path actually cost on this host" — per-structure
+//! nanoseconds, hit rates and contention counts per
+//! backend × depth × thread-count cell. Cells are keyed by the same
+//! backend names as the simulator's `ModelKind` table (via
+//! [`mem_api::sim_name`]), so native and simulated rows join cleanly.
+
+use mem_api::BackendRegistry;
+use pools::{PoolConfig, ShardedPool, DEFAULT_MAGAZINE_CAP};
+use std::fs;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+use telemetry::report::NativeRun;
+use workloads::exec::run_workload;
+use workloads::tree::{PoolTree, TreeWorkload};
+
+/// The swept grid: backend × tree depth × thread count.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Tree depths (the paper's test cases use 1, 3 and 5).
+    pub depths: Vec<u32>,
+    /// Worker thread counts per cell.
+    pub threads: Vec<u32>,
+    /// Trees allocated and freed per thread.
+    pub iterations: u32,
+}
+
+impl MatrixConfig {
+    /// The full sweep: the paper's three depths, up to 8 threads.
+    pub fn standard() -> Self {
+        MatrixConfig { depths: vec![1, 3, 5], threads: vec![1, 2, 4, 8], iterations: 10_000 }
+    }
+
+    /// A CI-sized sweep (`--smoke`): same shape, two thread counts, few
+    /// iterations.
+    pub fn smoke() -> Self {
+        MatrixConfig { depths: vec![1, 3, 5], threads: vec![1, 2], iterations: 200 }
+    }
+}
+
+/// Run the whole matrix: every standard backend, every depth, every
+/// thread count — a fresh backend per cell (no state leaks between
+/// cells). Results are in grid order: backend-major, then depth, then
+/// threads.
+pub fn run_matrix(config: &MatrixConfig) -> Vec<NativeRun> {
+    let registry: BackendRegistry<PoolTree> = BackendRegistry::standard();
+    let mut runs = Vec::new();
+    for name in registry.names() {
+        for &depth in &config.depths {
+            for &threads in &config.threads {
+                let backend = registry.build(name).expect("registered backend");
+                let w = TreeWorkload { depth, iterations: config.iterations, threads };
+                let r = run_workload(&*backend, &w);
+                assert_eq!(
+                    r.stats.allocs(),
+                    r.stats.frees(),
+                    "{name}: unbalanced run (d{depth}, t{threads})"
+                );
+                runs.push(NativeRun {
+                    backend: name.to_string(),
+                    workload: format!("tree/d{depth}"),
+                    threads,
+                    elapsed_ns: r.elapsed.as_nanos() as u64,
+                    structures: r.stats.allocs(),
+                    pool_hits: r.stats.pool_hits(),
+                    fresh_allocs: r.stats.fresh_allocs(),
+                    contention_events: r.stats.contention_events(),
+                });
+            }
+        }
+    }
+    runs
+}
+
+/// Render the matrix as paper-style tables: one table per depth, one row
+/// per backend, one ns-per-structure column per thread count.
+pub fn ascii_tables(runs: &[NativeRun], config: &MatrixConfig) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for &depth in &config.depths {
+        let workload = format!("tree/d{depth}");
+        let _ = writeln!(
+            out,
+            "== native matrix: tree depth {depth} ({} trees/thread, ns/structure) ==",
+            config.iterations
+        );
+        let _ = write!(out, "{:<18}", "backend");
+        for &t in &config.threads {
+            let _ = write!(out, "{:>10}", format!("t{t}"));
+        }
+        let _ = writeln!(out, "{:>9}{:>12}", "hit%", "contention");
+        for run_group in runs.chunks(config.depths.len() * config.threads.len()) {
+            let row: Vec<&NativeRun> =
+                run_group.iter().filter(|r| r.workload == workload).collect();
+            let Some(first) = row.first() else { continue };
+            let _ = write!(out, "{:<18}", first.backend);
+            for r in &row {
+                let _ = write!(out, "{:>10.1}", r.ns_per_structure());
+            }
+            // Hit rate and contention at the widest thread count.
+            let last = row.last().expect("non-empty row");
+            let _ =
+                writeln!(out, "{:>8.1}%{:>12}", 100.0 * last.hit_rate(), last.contention_events);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The CSV behind the tables: one line per matrix cell.
+pub fn csv_string(runs: &[NativeRun]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "backend,workload,threads,elapsed_ns,structures,ns_per_structure,\
+         pool_hits,fresh_allocs,contention_events,hit_rate\n",
+    );
+    for r in runs {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.2},{},{},{},{:.4}",
+            r.backend,
+            r.workload,
+            r.threads,
+            r.elapsed_ns,
+            r.structures,
+            r.ns_per_structure(),
+            r.pool_hits,
+            r.fresh_allocs,
+            r.contention_events,
+            r.hit_rate()
+        );
+    }
+    out
+}
+
+/// Write the matrix CSV as `<dir>/native_matrix.csv`.
+pub fn write_csv(runs: &[NativeRun], dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join("native_matrix.csv");
+    let mut f = fs::File::create(&path)?;
+    write!(f, "{}", csv_string(runs))?;
+    Ok(path)
+}
+
+/// The recorded hit-pair cost from `BENCH_pools.json` for this build's
+/// feature mode (ns per acquire/release pair on the sharded+magazine
+/// layout, `[u8; 64]`, 4 shards).
+pub fn expected_hit_pair_ns() -> f64 {
+    if cfg!(feature = "telemetry") {
+        43.46
+    } else {
+        43.19
+    }
+}
+
+/// Outcome of the hit-path envelope check.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeCheck {
+    pub measured_ns: f64,
+    pub expected_ns: f64,
+    /// Allowed relative deviation (0.10 = ±10%).
+    pub tolerance: f64,
+    pub pass: bool,
+}
+
+impl EnvelopeCheck {
+    /// One status line, PASS or WARN (never fatal: the envelope was
+    /// recorded on a particular host; a drift is a signal, not an error).
+    pub fn render(&self) -> String {
+        format!(
+            "hit-pair envelope: {} measured {:.2} ns vs recorded {:.2} ns (tolerance ±{:.0}%)",
+            if self.pass { "PASS" } else { "WARN" },
+            self.measured_ns,
+            self.expected_ns,
+            100.0 * self.tolerance
+        )
+    }
+}
+
+/// Measure the sharded+magazine acquire/release hit pair exactly as
+/// `BENCH_pools.json` records it (`[u8; 64]`, 4 shards, default magazine
+/// cap, primed magazines, best-of-5) and compare against the recorded
+/// envelope.
+pub fn check_hit_pair_envelope(pairs: u64) -> EnvelopeCheck {
+    let pool: ShardedPool<[u8; 64]> =
+        ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
+    let seed: Vec<_> = (0..8).map(|_| pool.acquire(|| [0u8; 64])).collect();
+    for x in seed {
+        pool.release(x);
+    }
+    for _ in 0..(pairs / 20).max(1_000) {
+        let x = pool.acquire(|| [0u8; 64]);
+        black_box(&x);
+        pool.release(x);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..pairs {
+            let x = pool.acquire(|| [0u8; 64]);
+            black_box(&x);
+            pool.release(x);
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / pairs as f64);
+    }
+    let expected = expected_hit_pair_ns();
+    let tolerance = 0.10;
+    EnvelopeCheck {
+        measured_ns: best,
+        expected_ns: expected,
+        tolerance,
+        pass: (best - expected).abs() <= tolerance * expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_api::STANDARD_BACKENDS;
+
+    fn tiny() -> MatrixConfig {
+        MatrixConfig { depths: vec![1, 3], threads: vec![1, 2], iterations: 20 }
+    }
+
+    #[test]
+    fn matrix_covers_every_backend_and_cell() {
+        let config = tiny();
+        let runs = run_matrix(&config);
+        assert_eq!(runs.len(), STANDARD_BACKENDS.len() * 2 * 2);
+        for name in STANDARD_BACKENDS {
+            let rows: Vec<&NativeRun> = runs.iter().filter(|r| r.backend == name).collect();
+            assert_eq!(rows.len(), 4, "{name}");
+            for r in rows {
+                assert!(r.structures > 0, "{name}");
+                assert_eq!(r.pool_hits + r.fresh_allocs, r.structures, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_rows_hit_and_malloc_rows_do_not() {
+        let runs = run_matrix(&tiny());
+        let hits = |name: &str| {
+            runs.iter().filter(|r| r.backend == name).map(|r| r.pool_hits).sum::<u64>()
+        };
+        assert_eq!(hits("solaris-default"), 0);
+        assert_eq!(hits("ptmalloc"), 0);
+        assert_eq!(hits("hoard"), 0);
+        assert!(hits("amplify") > 0);
+        assert!(hits("handmade") > 0);
+    }
+
+    #[test]
+    fn tables_and_csv_mention_every_backend() {
+        let config = tiny();
+        let runs = run_matrix(&config);
+        let tables = ascii_tables(&runs, &config);
+        let csv = csv_string(&runs);
+        for name in STANDARD_BACKENDS {
+            assert!(tables.contains(name), "table missing {name}:\n{tables}");
+            assert!(csv.contains(name), "csv missing {name}");
+        }
+        assert!(tables.contains("tree depth 1"));
+        assert!(tables.contains("tree depth 3"));
+        assert!(csv.starts_with("backend,workload,threads,"));
+        assert_eq!(csv.lines().count(), 1 + runs.len());
+    }
+
+    #[test]
+    fn envelope_check_reports_without_failing() {
+        // Tiny pair count: correctness of the plumbing, not the timing.
+        let check = check_hit_pair_envelope(10_000);
+        assert!(check.measured_ns > 0.0);
+        let line = check.render();
+        assert!(line.contains("PASS") || line.contains("WARN"), "{line}");
+    }
+}

@@ -1,0 +1,221 @@
+//! The core traits and value types of the backend layer.
+
+use allocators::BlockRef;
+use pools::structure_pool::Reusable;
+use std::ops::{Deref, DerefMut};
+
+/// A workload's unit of allocation: a whole object structure (§2.1) whose
+/// heap shape is known from its construction parameters.
+///
+/// Extends [`Reusable`] (the pool-side contract: `fresh`/`reinit`/
+/// `recycle`) with the shape information malloc-style backends need to
+/// model per-node allocator traffic, plus a checksum for determinism
+/// assertions across backends.
+pub trait Structured: Reusable + Send + 'static {
+    /// Heap nodes a fresh structure with these parameters contains.
+    fn node_count(params: &Self::Params) -> u32;
+
+    /// Size in bytes of node `index` (`0..node_count`).
+    fn node_size(params: &Self::Params, index: u32) -> u32;
+
+    /// Deterministic digest of the structure's contents. Two structures
+    /// built from equal parameters must have equal checksums, whichever
+    /// backend allocated them.
+    fn checksum(&self) -> u64;
+
+    /// Total payload bytes of the structure (default: sum of node sizes).
+    fn footprint(params: &Self::Params) -> u64 {
+        (0..Self::node_count(params)).map(|i| Self::node_size(params, i) as u64).sum()
+    }
+}
+
+/// A live structure handed out by a [`MemBackend`]: the object itself plus
+/// whatever the backend needs to take it back.
+///
+/// Malloc-style backends carry one [`BlockRef`] per node (the modeled
+/// allocator traffic); pool backends carry none — their free path parks the
+/// whole object, so the handle vector stays empty and costs nothing.
+pub struct Allocation<T> {
+    obj: Box<T>,
+    pub(crate) blocks: Vec<BlockRef>,
+    pub(crate) bytes: u64,
+}
+
+impl<T> Allocation<T> {
+    /// Assemble an allocation (for backend implementations).
+    pub fn new(obj: Box<T>, blocks: Vec<BlockRef>, bytes: u64) -> Self {
+        Allocation { obj, blocks, bytes }
+    }
+
+    /// Payload bytes this structure accounts for.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Take the object out, discarding the backend bookkeeping. Only for
+    /// backends consuming an allocation inside `free`.
+    pub fn into_object(self) -> Box<T> {
+        self.obj
+    }
+}
+
+impl<T> Deref for Allocation<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.obj
+    }
+}
+
+impl<T> DerefMut for Allocation<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.obj
+    }
+}
+
+/// A uniform, method-based statistics snapshot every backend reports
+/// through — the single stats surface the executors and reports consume
+/// (no more `stats().pool_hits()` vs `stats.pool_hits` split).
+///
+/// Counts are in *structure* units: one `alloc`/`free` call is one unit,
+/// however many heap nodes the structure contains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    allocs: u64,
+    frees: u64,
+    pool_hits: u64,
+    fresh_allocs: u64,
+    contention_events: u64,
+    live_bytes: u64,
+}
+
+impl BackendStats {
+    /// Assemble a snapshot (for backend implementations).
+    pub fn new(
+        allocs: u64,
+        frees: u64,
+        pool_hits: u64,
+        fresh_allocs: u64,
+        contention_events: u64,
+        live_bytes: u64,
+    ) -> Self {
+        BackendStats { allocs, frees, pool_hits, fresh_allocs, contention_events, live_bytes }
+    }
+
+    /// Structure allocations performed.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Structure frees performed.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Allocations served by reuse (always 0 for malloc-style backends).
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Allocations that paid for fresh heap work.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Lock acquisitions that found the lock contended (arena locks for
+    /// malloc backends, failed shard try-locks for pooled ones; always 0
+    /// for the handmade pool, which never locks).
+    pub fn contention_events(&self) -> u64 {
+        self.contention_events
+    }
+
+    /// Payload bytes currently held by callers.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Fraction of allocations served by reuse, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.fresh_allocs;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memory-management strategy, pluggable under every executor.
+///
+/// Object-safe: executors hold `Arc<dyn MemBackend<T>>` and the registry
+/// builds them by name. All methods take `&self` — implementations are
+/// internally synchronized (or, like the handmade pool, thread-private by
+/// construction) so one backend instance serves all worker threads.
+pub trait MemBackend<T: Structured>: Send + Sync {
+    /// Registry/display name ("ptmalloc", "amplify", …).
+    fn name(&self) -> &str;
+
+    /// Allocate one structure.
+    fn alloc(&self, params: &T::Params) -> Allocation<T>;
+
+    /// Free a structure previously returned by [`MemBackend::alloc`].
+    fn free(&self, allocation: Allocation<T>);
+
+    /// Uniform statistics snapshot.
+    fn stats(&self) -> BackendStats;
+
+    /// Release parked/cached memory where the strategy supports it.
+    fn trim(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Blob(Vec<u8>);
+    impl Reusable for Blob {
+        type Params = u32;
+        fn fresh(p: &u32) -> Self {
+            Blob(vec![0; *p as usize])
+        }
+        fn reinit(&mut self, p: &u32) {
+            self.0.resize(*p as usize, 0);
+        }
+    }
+    impl Structured for Blob {
+        fn node_count(_: &u32) -> u32 {
+            1
+        }
+        fn node_size(p: &u32, _: u32) -> u32 {
+            *p
+        }
+        fn checksum(&self) -> u64 {
+            self.0.len() as u64
+        }
+    }
+
+    #[test]
+    fn footprint_sums_node_sizes() {
+        assert_eq!(Blob::footprint(&64), 64);
+    }
+
+    #[test]
+    fn allocation_derefs_to_object() {
+        let a = Allocation::new(Box::new(Blob::fresh(&8)), Vec::new(), 8);
+        assert_eq!(a.checksum(), 8);
+        assert_eq!(a.bytes(), 8);
+        assert_eq!(a.into_object().0.len(), 8);
+    }
+
+    #[test]
+    fn stats_accessors_and_hit_rate() {
+        let s = BackendStats::new(10, 9, 6, 4, 2, 128);
+        assert_eq!(s.allocs(), 10);
+        assert_eq!(s.frees(), 9);
+        assert_eq!(s.pool_hits(), 6);
+        assert_eq!(s.fresh_allocs(), 4);
+        assert_eq!(s.contention_events(), 2);
+        assert_eq!(s.live_bytes(), 128);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(BackendStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The Amplify backend: a [`StructurePool`] in any of its three layouts
+//! behind the uniform [`MemBackend`] interface.
+//!
+//! * **local** — one shared LIFO free list (the single-threaded layout;
+//!   the paper's Figure 4 configuration);
+//! * **sharded** — ptmalloc-style try-lock-and-spill shards, no thread
+//!   caches (§3.2 as published);
+//! * **sharded+magazines** — shards fronted by lock-free thread-local
+//!   magazines (the layout Amplify's threaded builds use; the hit path the
+//!   `BENCH_pools.json` envelope measures).
+
+use crate::backend::{Allocation, BackendStats, MemBackend, Structured};
+use pools::{PoolConfig, StructurePool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`MemBackend`] over a [`StructurePool`].
+pub struct PooledBackend<T: Structured> {
+    name: &'static str,
+    pool: StructurePool<T>,
+    live_bytes: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl<T: Structured> PooledBackend<T> {
+    /// The local layout: one shared free list, no sharding.
+    pub fn local() -> Self {
+        Self::from_pool("amplify-local", StructurePool::new())
+    }
+
+    /// The bare sharded layout: `shards` try-lock free lists, magazines
+    /// disabled (capacity 0).
+    pub fn sharded(shards: usize) -> Self {
+        Self::from_pool(
+            "amplify-sharded",
+            StructurePool::new_sharded_with_magazines(shards, PoolConfig::default(), 0),
+        )
+    }
+
+    /// The full layout: shards fronted by thread-local magazines — what
+    /// the registry registers as plain "amplify".
+    pub fn with_magazines(shards: usize) -> Self {
+        Self::from_pool("amplify", StructurePool::new_sharded(shards))
+    }
+
+    /// Wrap an explicitly configured pool under a display name.
+    pub fn from_pool(name: &'static str, pool: StructurePool<T>) -> Self {
+        PooledBackend { name, pool, live_bytes: AtomicU64::new(0), frees: AtomicU64::new(0) }
+    }
+
+    /// The wrapped pool.
+    pub fn pool(&self) -> &StructurePool<T> {
+        &self.pool
+    }
+}
+
+impl<T: Structured> MemBackend<T> for PooledBackend<T>
+where
+    T::Params: Sync,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn alloc(&self, params: &T::Params) -> Allocation<T> {
+        let obj = self.pool.alloc(params);
+        let bytes = T::footprint(params);
+        self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+        // No per-node handles: the pool parks/revives whole structures.
+        Allocation::new(obj, Vec::new(), bytes)
+    }
+
+    fn free(&self, allocation: Allocation<T>) {
+        self.live_bytes.fetch_sub(allocation.bytes(), Ordering::Relaxed);
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.pool.free(allocation.into_object());
+    }
+
+    fn stats(&self) -> BackendStats {
+        let s = self.pool.stats();
+        BackendStats::new(
+            s.total_allocs(),
+            self.frees.load(Ordering::Relaxed),
+            s.pool_hits(),
+            s.fresh_allocs(),
+            s.failed_locks(),
+            self.live_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    fn trim(&self) {
+        self.pool.trim();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pools::structure_pool::Reusable;
+
+    struct Blob(Vec<u8>);
+    impl Reusable for Blob {
+        type Params = u32;
+        fn fresh(p: &u32) -> Self {
+            Blob(vec![7; *p as usize])
+        }
+        fn reinit(&mut self, p: &u32) {
+            self.0.resize(*p as usize, 7);
+        }
+    }
+    impl Structured for Blob {
+        fn node_count(_: &u32) -> u32 {
+            1
+        }
+        fn node_size(p: &u32, _: u32) -> u32 {
+            *p
+        }
+        fn checksum(&self) -> u64 {
+            self.0.iter().map(|&b| b as u64).sum()
+        }
+    }
+
+    fn exercise(backend: &dyn MemBackend<Blob>) {
+        let a = backend.alloc(&32);
+        backend.free(a);
+        let b = backend.alloc(&32);
+        let s = backend.stats();
+        assert_eq!(s.allocs(), 2, "{}", backend.name());
+        assert_eq!(s.pool_hits(), 1, "{}", backend.name());
+        assert_eq!(s.fresh_allocs(), 1, "{}", backend.name());
+        assert_eq!(s.live_bytes(), 32, "{}", backend.name());
+        backend.free(b);
+        assert_eq!(backend.stats().live_bytes(), 0);
+        assert_eq!(backend.stats().frees(), 2);
+    }
+
+    #[test]
+    fn all_three_layouts_pool() {
+        exercise(&PooledBackend::local());
+        exercise(&PooledBackend::sharded(4));
+        exercise(&PooledBackend::with_magazines(4));
+    }
+
+    #[test]
+    fn layout_names() {
+        let l: PooledBackend<Blob> = PooledBackend::local();
+        let s: PooledBackend<Blob> = PooledBackend::sharded(2);
+        let m: PooledBackend<Blob> = PooledBackend::with_magazines(2);
+        assert_eq!(MemBackend::<Blob>::name(&l), "amplify-local");
+        assert_eq!(MemBackend::<Blob>::name(&s), "amplify-sharded");
+        assert_eq!(MemBackend::<Blob>::name(&m), "amplify");
+        assert_eq!(s.pool().stats().lock_acquisitions(), 0);
+    }
+}

@@ -141,12 +141,12 @@ impl PoolRegistry {
                 telemetry::report::PoolSnapshot {
                     name: name.clone(),
                     parked: p.parked() as u64,
-                    pool_hits: s.pool_hits,
-                    fresh_allocs: s.fresh_allocs,
-                    releases: s.releases,
-                    dropped: s.dropped,
-                    failed_locks: s.failed_locks,
-                    lock_acquisitions: s.lock_acquisitions,
+                    pool_hits: s.pool_hits(),
+                    fresh_allocs: s.fresh_allocs(),
+                    releases: s.releases(),
+                    dropped: s.dropped(),
+                    failed_locks: s.failed_locks(),
+                    lock_acquisitions: s.lock_acquisitions(),
                 }
             })
             .collect()
@@ -165,9 +165,9 @@ impl PoolRegistry {
                 format!(
                     "{name}: parked={}, hits={}, fresh={}, dropped={}",
                     p.parked(),
-                    s.pool_hits,
-                    s.fresh_allocs,
-                    s.dropped
+                    s.pool_hits(),
+                    s.fresh_allocs(),
+                    s.dropped()
                 )
             })
             .collect()
@@ -215,8 +215,8 @@ mod tests {
         a.release(x);
         let _y = a.acquire(|| 2);
         let agg = reg.aggregate_stats();
-        assert_eq!(agg.pool_hits, 1);
-        assert_eq!(agg.fresh_allocs, 1);
+        assert_eq!(agg.pool_hits(), 1);
+        assert_eq!(agg.fresh_allocs(), 1);
     }
 
     #[test]

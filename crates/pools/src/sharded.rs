@@ -228,7 +228,7 @@ mod tests {
         pool.release(a);
         let b = pool.acquire(|| 2);
         assert_eq!(*b, 1);
-        assert_eq!(pool.stats().pool_hits, 1);
+        assert_eq!(pool.stats().pool_hits(), 1);
     }
 
     #[test]
@@ -264,9 +264,9 @@ mod tests {
             h.join().unwrap();
         }
         let stats = pool.stats();
-        assert_eq!(stats.pool_hits + stats.fresh_allocs, 8 * 200);
+        assert_eq!(stats.pool_hits() + stats.fresh_allocs(), 8 * 200);
         // All objects came back (exited threads flush their magazines).
-        assert_eq!(pool.len() as u64, stats.fresh_allocs);
+        assert_eq!(pool.len() as u64, stats.fresh_allocs());
     }
 
     #[test]
@@ -323,7 +323,7 @@ mod tests {
         assert_eq!(pool.shard_lengths().iter().sum::<usize>(), 1);
         let b = pool.acquire(|| 2);
         assert_eq!(*b, 1, "direct mode reuses via the home shard");
-        assert_eq!(pool.stats().pool_hits, 1);
+        assert_eq!(pool.stats().pool_hits(), 1);
     }
 
     #[test]

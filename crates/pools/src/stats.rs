@@ -142,14 +142,19 @@ impl PoolStats {
 }
 
 /// A point-in-time copy of [`PoolStats`].
+///
+/// Fields are private on purpose: every pool kind (local, sharded,
+/// magazine-fronted) exposes the **same method-based surface** as
+/// [`PoolStats`] itself, so call sites never depend on which pool layout
+/// produced the numbers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
-    pub pool_hits: u64,
-    pub fresh_allocs: u64,
-    pub releases: u64,
-    pub dropped: u64,
-    pub failed_locks: u64,
-    pub lock_acquisitions: u64,
+    pool_hits: u64,
+    fresh_allocs: u64,
+    releases: u64,
+    dropped: u64,
+    failed_locks: u64,
+    lock_acquisitions: u64,
 }
 
 impl StatsSnapshot {

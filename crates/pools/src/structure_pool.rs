@@ -85,6 +85,23 @@ impl<T: Reusable> StructurePool<T> {
     {
         StructurePool { inner: Backend::Sharded(ShardedPool::with_config(shards, config)) }
     }
+
+    /// A sharded structure pool with an explicit per-thread magazine
+    /// capacity; `magazine_cap == 0` disables the thread caches and yields
+    /// bare try-lock-and-spill sharding (the pre-magazine Amplify layout,
+    /// kept as a comparison backend).
+    pub fn new_sharded_with_magazines(
+        shards: usize,
+        config: PoolConfig,
+        magazine_cap: usize,
+    ) -> Self
+    where
+        T: 'static,
+    {
+        StructurePool {
+            inner: Backend::Sharded(ShardedPool::with_magazines(shards, config, magazine_cap)),
+        }
+    }
 }
 
 impl<T: Reusable + 'static> StructurePool<T> {

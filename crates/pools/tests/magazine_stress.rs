@@ -68,13 +68,13 @@ fn no_object_lost_or_duplicated_under_churn() {
 
     let stats = pool.stats();
     assert_eq!(
-        stats.pool_hits + stats.fresh_allocs,
+        stats.pool_hits() + stats.fresh_allocs(),
         acquires,
         "every acquire is exactly one hit or one fresh alloc"
     );
     // Everything was released and every worker thread has exited (its
     // magazine flushed), so the pool holds every object ever created.
-    assert_eq!(pool.len() as u64, stats.fresh_allocs);
+    assert_eq!(pool.len() as u64, stats.fresh_allocs());
 
     // Drain the pool and check for duplication: each fresh value is unique,
     // so seeing a value twice would mean an object was double-parked.
@@ -84,7 +84,7 @@ fn no_object_lost_or_duplicated_under_churn() {
         assert_ne!(*obj, u64::MAX, "drain must not run dry early");
         assert!(seen.insert(*obj), "object {:#x} served twice", *obj);
     }
-    assert_eq!(seen.len() as u64, stats.fresh_allocs);
+    assert_eq!(seen.len() as u64, stats.fresh_allocs());
 }
 
 #[test]
@@ -109,7 +109,7 @@ fn concurrent_trims_keep_accounting_exact() {
 
     let stats = pool.stats();
     assert_eq!(
-        stats.pool_hits + stats.fresh_allocs,
+        stats.pool_hits() + stats.fresh_allocs(),
         acquires,
         "trims must not break per-acquire accounting"
     );
@@ -133,7 +133,7 @@ fn capped_shards_drop_overflow_but_never_duplicate() {
     let stats = pool.stats();
     // Shards cap at 8 each; magazines are gone (threads exited).
     assert!(pool.len() <= 2 * 8, "cap must bound residency, len={}", pool.len());
-    assert!(stats.dropped > 0, "the cap must have dropped overflow");
+    assert!(stats.dropped() > 0, "the cap must have dropped overflow");
     let mut seen = HashSet::new();
     let n = pool.len();
     for _ in 0..n {

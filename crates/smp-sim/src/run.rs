@@ -34,6 +34,25 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
+    /// Every simulated strategy, in the paper's comparison order.
+    pub const ALL: [ModelKind; 8] = [
+        ModelKind::Serial,
+        ModelKind::Ptmalloc,
+        ModelKind::Hoard,
+        ModelKind::SmartHeap,
+        ModelKind::Amplify,
+        ModelKind::AmplifyOverSmartHeap,
+        ModelKind::AmplifyArraysOnlyOverSmartHeap,
+        ModelKind::Handmade,
+    ];
+
+    /// Resolve a display name (as produced by [`ModelKind::name`]) back to
+    /// its kind. The native backend registry resolves its names through
+    /// this, so simulated and native tables stay keyed identically.
+    pub fn from_name(name: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Display name used in benchmark tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -222,6 +241,14 @@ pub fn run_bgw(kind: ModelKind, threads: usize, total_cdrs: u32, cpus: u32) -> R
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::from_name("not-a-model"), None);
+    }
 
     fn small_exp(depth: u32) -> TreeExperiment {
         TreeExperiment { depth, total_trees: 400, cpus: 8, params: CostParams::default() }

@@ -73,6 +73,44 @@ pub struct SimRun {
     pub metrics: RunMetrics,
 }
 
+/// One native (real-runtime) execution embedded in a report: a
+/// backend × workload cell of the five-way comparison matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NativeRun {
+    /// Backend registry name (`"solaris-default"`, `"amplify"`, ...).
+    pub backend: String,
+    /// Workload label (`"tree/d3"`, `"bgw"`, ...).
+    pub workload: String,
+    pub threads: u32,
+    pub elapsed_ns: u64,
+    /// Structures allocated (and freed — native runs are balanced).
+    pub structures: u64,
+    pub pool_hits: u64,
+    pub fresh_allocs: u64,
+    pub contention_events: u64,
+}
+
+impl NativeRun {
+    /// Nanoseconds per structure alloc/free pair.
+    pub fn ns_per_structure(&self) -> f64 {
+        if self.structures == 0 {
+            0.0
+        } else {
+            self.elapsed_ns as f64 / self.structures as f64
+        }
+    }
+
+    /// Fraction of structure allocations served by reuse, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.fresh_allocs;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
 /// The versioned snapshot the whole stack reports through.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -84,6 +122,8 @@ pub struct Report {
     pub events: Vec<EventCount>,
     pub histograms: Vec<HistogramReport>,
     pub sim_runs: Vec<SimRun>,
+    /// Native backend × workload executions (the `native_matrix` bench).
+    pub native_runs: Vec<NativeRun>,
 }
 
 impl Report {
@@ -96,6 +136,7 @@ impl Report {
             events: Vec::new(),
             histograms: Vec::new(),
             sim_runs: Vec::new(),
+            native_runs: Vec::new(),
         }
     }
 
@@ -247,6 +288,27 @@ impl Report {
                 }
             }
         }
+
+        if !self.native_runs.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<18}{:<12}{:>8}{:>12}{:>12}{:>9}{:>12}",
+                "native run", "workload", "threads", "ms", "ns/struct", "hit%", "contention"
+            );
+            for run in &self.native_runs {
+                let _ = writeln!(
+                    out,
+                    "{:<18}{:<12}{:>8}{:>12.2}{:>12.1}{:>8.1}%{:>12}",
+                    run.backend,
+                    run.workload,
+                    run.threads,
+                    run.elapsed_ns as f64 / 1e6,
+                    run.ns_per_structure(),
+                    100.0 * run.hit_rate(),
+                    run.contention_events
+                );
+            }
+        }
         out
     }
 }
@@ -305,6 +367,16 @@ mod tests {
                 timeline: Vec::new(),
             },
         });
+        r.native_runs.push(NativeRun {
+            backend: "amplify".into(),
+            workload: "tree/d3".into(),
+            threads: 4,
+            elapsed_ns: 4_000_000,
+            structures: 100_000,
+            pool_hits: 99_996,
+            fresh_allocs: 4,
+            contention_events: 12,
+        });
         r
     }
 
@@ -345,6 +417,15 @@ mod tests {
         assert!(text.contains("acquire_hit"), "{text}");
         assert!(text.contains("amplify/t8"), "{text}");
         assert!(text.contains('█'), "{text}");
+        assert!(text.contains("tree/d3"), "{text}");
+        assert!(text.contains("40.0"), "{text}"); // ns per structure
+    }
+
+    #[test]
+    fn native_run_derived_rates() {
+        let run = sample().native_runs[0].clone();
+        assert!((run.ns_per_structure() - 40.0).abs() < 1e-12);
+        assert!(run.hit_rate() > 0.9999);
     }
 
     #[test]

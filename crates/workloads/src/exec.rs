@@ -1,15 +1,22 @@
-//! Execute workloads against the real allocators and pools.
+//! The generic executor: ONE runner for every (backend × workload) pair.
 //!
-//! These runners back the Criterion micro-benchmarks and the umbrella
-//! integration tests. (Wall-clock *scalability* comparisons live in the
-//! simulator — this host has a single CPU — but per-operation costs and
-//! correctness are measured natively here.)
+//! Any [`MemBackend`] (serial/ptmalloc/hoard malloc, the three Amplify
+//! pool layouts, the handmade per-thread pool) executes any [`Workload`]
+//! (trees, recorded traces, the BGw CDR pipeline) through
+//! [`run_workload`] — the paper's five-way comparison as a single loop,
+//! replacing the three near-identical tree runners this module used to
+//! carry. (Wall-clock *scalability* comparisons live in the simulator —
+//! this host has a single CPU — but per-operation costs and correctness
+//! are measured natively here.)
+//!
+//! Telemetry: per-operation latencies go into the `workloads.alloc_ns` /
+//! `workloads.free_ns` histograms when the `telemetry` feature is on, and
+//! cost nothing when it is off (the `timed!` macro below expands to the
+//! bare expression).
 
-use crate::trace::{Trace, TraceOp};
-use crate::tree::{PoolTree, TreeParams, TreeWorkload};
-use allocators::{BlockRef, ParallelAllocator};
-use pools::StructurePool;
-use std::collections::HashMap;
+use crate::trace::{Chunk, Trace, TraceWorkload};
+use allocators::ParallelAllocator;
+use mem_api::{Allocation, BackendStats, MallocBackend, MemBackend, Structured};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,181 +55,126 @@ macro_rules! op_hists {
     ($alloc:ident, $free:ident) => {};
 }
 
-/// Result of replaying traces against an allocator.
+/// One step of a workload's per-thread allocation script.
 #[derive(Debug, Clone, Copy)]
-pub struct ExecResult {
-    pub elapsed: Duration,
-    pub allocs: u64,
-    pub frees: u64,
-    pub contention_events: u64,
+pub enum StructOp<P> {
+    /// Allocate a structure with `params` into slot `slot`.
+    Alloc { slot: u32, params: P },
+    /// Free the structure in slot `slot`.
+    Free { slot: u32 },
 }
 
-/// Replay one trace per thread against a shared allocator.
+/// A workload: a deterministic, per-thread script of structure
+/// allocations and frees, independent of the backend executing it.
+///
+/// Determinism contract: `run_thread(t, ...)` must emit the same op
+/// sequence every call, so per-thread checksums agree across backends and
+/// repeated runs.
+pub trait Workload<T: Structured>: Sync {
+    /// Worker threads the workload wants.
+    fn threads(&self) -> u32;
+
+    /// Concurrent live structures per thread (slot table size).
+    fn slots(&self) -> u32;
+
+    /// Emit thread `thread`'s ops in order through `op`.
+    fn run_thread(&self, thread: u32, op: &mut dyn FnMut(StructOp<T::Params>));
+}
+
+/// Result of one (backend × workload) execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub elapsed: Duration,
+    /// Per-thread checksums (for cross-backend determinism assertions).
+    pub checksums: Vec<u64>,
+    /// The backend's uniform counters — hits, fresh allocations and
+    /// contention events included, whichever strategy ran.
+    pub stats: BackendStats,
+}
+
+impl RunResult {
+    /// Nanoseconds per structure alloc/free pair.
+    pub fn ns_per_structure(&self) -> f64 {
+        let allocs = self.stats.allocs();
+        if allocs == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / allocs as f64
+        }
+    }
+}
+
+/// Execute `workload` against `backend`: one OS thread per workload
+/// thread, a slot table of live allocations per thread, checksums
+/// accumulated at allocation time. Structures still live when a thread's
+/// script ends are freed in reverse slot order (as destructors would run),
+/// so balanced workloads leave the backend with zero live bytes.
+///
+/// # Panics
+/// Panics if the workload allocates into a live slot or frees an empty
+/// one (the trace-validation errors, caught at execution time).
+pub fn run_workload<T: Structured>(
+    backend: &dyn MemBackend<T>,
+    workload: &dyn Workload<T>,
+) -> RunResult {
+    let threads = workload.threads();
+    let slots = workload.slots() as usize;
+    let start = Instant::now();
+    let mut checksums = vec![0u64; threads as usize];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    op_hists!(alloc_h, free_h);
+                    let mut live: Vec<Option<Allocation<T>>> = (0..slots).map(|_| None).collect();
+                    let mut sum = 0u64;
+                    workload.run_thread(t, &mut |op| match op {
+                        StructOp::Alloc { slot, params } => {
+                            let a = timed!(alloc_h, backend.alloc(&params));
+                            sum = sum.wrapping_add(a.checksum());
+                            let prev = live[slot as usize].replace(a);
+                            assert!(prev.is_none(), "workload allocated into live slot {slot}");
+                        }
+                        StructOp::Free { slot } => {
+                            let a =
+                                live[slot as usize].take().expect("workload freed an empty slot");
+                            timed!(free_h, backend.free(a));
+                        }
+                    });
+                    for a in live.into_iter().rev().flatten() {
+                        backend.free(a);
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            checksums[t] = h.join().expect("worker panicked");
+        }
+    });
+    RunResult { elapsed: start.elapsed(), checksums, stats: backend.stats() }
+}
+
+/// Replay one trace per thread against a shared handle-based allocator —
+/// the historical entry point, now a thin bridge: the traces become a
+/// [`TraceWorkload`] over [`Chunk`] structures and run through
+/// [`run_workload`] on a [`MallocBackend`].
 ///
 /// # Panics
 /// Panics if a trace is malformed (frees a dead handle).
-pub fn run_traces(alloc: Arc<dyn ParallelAllocator>, traces: &[Trace]) -> ExecResult {
-    for t in traces {
-        t.validate().expect("malformed trace");
-    }
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for trace in traces {
-            let alloc = Arc::clone(&alloc);
-            s.spawn(move || {
-                op_hists!(alloc_h, free_h);
-                let mut live: HashMap<u32, BlockRef> = HashMap::new();
-                for op in &trace.ops {
-                    match op {
-                        TraceOp::Alloc { id, size } => {
-                            live.insert(*id, timed!(alloc_h, alloc.alloc(*size)));
-                        }
-                        TraceOp::Free { id } => {
-                            let block = live.remove(id).expect("validated trace");
-                            timed!(free_h, alloc.free(block));
-                        }
-                    }
-                }
-            });
-        }
-    });
-    ExecResult {
-        elapsed: start.elapsed(),
-        allocs: alloc.total_allocs(),
-        frees: alloc.total_frees(),
-        contention_events: alloc.contention_events(),
-    }
-}
-
-/// Result of the pooled tree workload.
-#[derive(Debug, Clone)]
-pub struct TreeRunResult {
-    pub elapsed: Duration,
-    /// Per-thread checksums (for determinism assertions).
-    pub checksums: Vec<u64>,
-    pub pool_hits: u64,
-    pub fresh_allocs: u64,
-}
-
-/// Run the synthetic tree workload on a shared [`StructurePool`], the
-/// paper's Amplify configuration: allocate → use → recycle, `iterations`
-/// times per thread.
-pub fn run_tree_pooled(workload: &TreeWorkload) -> TreeRunResult {
-    let pool: Arc<StructurePool<PoolTree>> = Arc::new(StructurePool::new());
-    let start = Instant::now();
-    let mut checksums = vec![0u64; workload.threads as usize];
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workload.threads)
-            .map(|t| {
-                let pool = Arc::clone(&pool);
-                let w = *workload;
-                s.spawn(move || {
-                    op_hists!(alloc_h, free_h);
-                    let mut sum = 0u64;
-                    for i in 0..w.iterations {
-                        let tree = timed!(
-                            alloc_h,
-                            pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i })
-                        );
-                        sum = sum.wrapping_add(tree.checksum());
-                        timed!(free_h, pool.free(tree));
-                    }
-                    sum
-                })
-            })
-            .collect();
-        for (t, h) in handles.into_iter().enumerate() {
-            checksums[t] = h.join().expect("worker panicked");
-        }
-    });
-    TreeRunResult {
-        elapsed: start.elapsed(),
-        checksums,
-        pool_hits: pool.stats().pool_hits(),
-        fresh_allocs: pool.stats().fresh_allocs(),
-    }
-}
-
-/// Run the tree workload on a sharded [`StructurePool`] — ptmalloc-style
-/// spreading (§3.2) behind lock-free thread-local magazines, the layout
-/// Amplify uses in threaded builds. Returns the same result shape as
-/// [`run_tree_pooled`], with hit counts aggregated across shards and
-/// magazines.
-pub fn run_tree_sharded(workload: &TreeWorkload, shards: usize) -> TreeRunResult {
-    let pool: Arc<StructurePool<PoolTree>> = Arc::new(StructurePool::new_sharded(shards));
-    let start = Instant::now();
-    let mut checksums = vec![0u64; workload.threads as usize];
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workload.threads)
-            .map(|t| {
-                let pool = Arc::clone(&pool);
-                let w = *workload;
-                s.spawn(move || {
-                    op_hists!(alloc_h, free_h);
-                    let mut sum = 0u64;
-                    for i in 0..w.iterations {
-                        let tree = timed!(
-                            alloc_h,
-                            pool.alloc(&TreeParams { depth: w.depth, seed: t * 1000 + i })
-                        );
-                        sum = sum.wrapping_add(tree.checksum());
-                        timed!(free_h, pool.free(tree));
-                    }
-                    sum
-                })
-            })
-            .collect();
-        for (t, h) in handles.into_iter().enumerate() {
-            checksums[t] = h.join().expect("worker panicked");
-        }
-    });
-    let stats = pool.stats();
-    TreeRunResult {
-        elapsed: start.elapsed(),
-        checksums,
-        pool_hits: stats.pool_hits,
-        fresh_allocs: stats.fresh_allocs,
-    }
-}
-
-/// Run the tree workload WITHOUT pooling: every iteration builds and drops
-/// the whole tree through the global allocator (the baseline behaviour).
-pub fn run_tree_unpooled(workload: &TreeWorkload) -> TreeRunResult {
-    use pools::structure_pool::Reusable;
-    let start = Instant::now();
-    let mut checksums = vec![0u64; workload.threads as usize];
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workload.threads)
-            .map(|t| {
-                let w = *workload;
-                s.spawn(move || {
-                    let mut sum = 0u64;
-                    for i in 0..w.iterations {
-                        let tree =
-                            PoolTree::fresh(&TreeParams { depth: w.depth, seed: t * 1000 + i });
-                        sum = sum.wrapping_add(tree.checksum());
-                        drop(tree);
-                    }
-                    sum
-                })
-            })
-            .collect();
-        for (t, h) in handles.into_iter().enumerate() {
-            checksums[t] = h.join().expect("worker panicked");
-        }
-    });
-    TreeRunResult {
-        elapsed: start.elapsed(),
-        checksums,
-        pool_hits: 0,
-        fresh_allocs: (workload.iterations as u64) * (workload.threads as u64),
-    }
+pub fn run_traces(alloc: Arc<dyn ParallelAllocator>, traces: &[Trace]) -> RunResult {
+    let workload = TraceWorkload::new(traces);
+    let backend = MallocBackend::new(alloc);
+    run_workload::<Chunk>(&backend, &workload)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::TreeWorkload;
     use allocators::{HoardAllocator, PtmallocAllocator, SerialAllocator};
+    use mem_api::BackendRegistry;
+    use std::collections::HashSet;
 
     fn tree_traces(threads: u32) -> Vec<Trace> {
         (0..threads).map(|_| Trace::tree(3, 50, 20)).collect()
@@ -237,43 +189,86 @@ mod tests {
         ] {
             let name = alloc.name();
             let r = run_traces(alloc, &tree_traces(4));
-            assert_eq!(r.allocs, 4 * 50 * 15, "{name}");
-            assert_eq!(r.allocs, r.frees, "{name}");
+            assert_eq!(r.stats.allocs(), 4 * 50 * 15, "{name}");
+            assert_eq!(r.stats.allocs(), r.stats.frees(), "{name}");
+            assert_eq!(r.stats.live_bytes(), 0, "{name}");
         }
     }
 
     #[test]
-    fn pooled_and_unpooled_agree_on_checksums() {
+    fn every_standard_backend_agrees_on_tree_checksums() {
         let w = TreeWorkload { depth: 3, iterations: 20, threads: 3 };
-        let pooled = run_tree_pooled(&w);
-        let unpooled = run_tree_unpooled(&w);
-        assert_eq!(pooled.checksums, unpooled.checksums);
+        let registry = BackendRegistry::standard();
+        let reference = run_workload(&*registry.build("solaris-default").unwrap(), &w);
+        for name in registry.names() {
+            let backend = registry.build(name).unwrap();
+            let r = run_workload(&*backend, &w);
+            assert_eq!(r.checksums, reference.checksums, "{name}");
+            assert_eq!(r.stats.allocs(), 60, "{name}");
+            assert_eq!(r.stats.frees(), 60, "{name}");
+            assert_eq!(r.stats.live_bytes(), 0, "{name}");
+        }
     }
 
     #[test]
     fn pooling_turns_allocations_into_hits() {
         let w = TreeWorkload { depth: 3, iterations: 100, threads: 2 };
-        let r = run_tree_pooled(&w);
+        let registry = BackendRegistry::standard();
+        let backend = registry.build("amplify-local").unwrap();
+        let r = run_workload(&*backend, &w);
         let total = (w.iterations * w.threads) as u64;
-        assert_eq!(r.pool_hits + r.fresh_allocs, total);
+        assert_eq!(r.stats.pool_hits() + r.stats.fresh_allocs(), total);
         // Shared LIFO pool: after warm-up everything is a hit.
-        assert!(r.pool_hits >= total - 10, "hits {} of {total}", r.pool_hits);
+        assert!(r.stats.pool_hits() >= total - 10, "hits {} of {total}", r.stats.pool_hits());
     }
 
     #[test]
-    fn sharded_runner_matches_unpooled_checksums() {
-        let w = TreeWorkload { depth: 2, iterations: 40, threads: 3 };
-        let sharded = run_tree_sharded(&w, 4);
-        let unpooled = run_tree_unpooled(&w);
-        assert_eq!(sharded.checksums, unpooled.checksums);
-        let total = (w.iterations * w.threads) as u64;
-        assert_eq!(sharded.pool_hits + sharded.fresh_allocs, total);
-        assert!(sharded.pool_hits > 0, "some reuse must happen");
+    fn contention_events_are_reported_for_pooled_backends() {
+        // The field exists and is coherent for every backend kind — the
+        // counter only `run_traces` used to surface.
+        let w = TreeWorkload { depth: 1, iterations: 50, threads: 4 };
+        let registry = BackendRegistry::standard();
+        for name in ["amplify-sharded", "amplify", "handmade", "ptmalloc"] {
+            let backend = registry.build(name).unwrap();
+            let r = run_workload(&*backend, &w);
+            if name == "handmade" {
+                assert_eq!(r.stats.contention_events(), 0, "handmade never locks");
+            }
+            assert!(r.stats.contention_events() <= r.stats.allocs() * 64, "{name}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_threads_and_iterations() {
+        // The old runners derived `seed = t * 1000 + i`, which collides
+        // across threads once iterations >= 1000. The mixed seeds must be
+        // pairwise distinct well past that point.
+        let w = TreeWorkload { depth: 1, iterations: 2500, threads: 4 };
+        let mut seen = HashSet::new();
+        for t in 0..w.threads {
+            for i in 0..w.iterations {
+                assert!(
+                    seen.insert(w.seed_for(t, i)),
+                    "seed collision at thread {t}, iteration {i}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 4 * 2500);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_thread_checksums() {
+        let w = TreeWorkload { depth: 2, iterations: 1200, threads: 3 };
+        let registry = BackendRegistry::standard();
+        let r = run_workload(&*registry.build("handmade").unwrap(), &w);
+        let unique: HashSet<u64> = r.checksums.iter().copied().collect();
+        assert_eq!(unique.len(), 3, "thread checksums must differ: {:?}", r.checksums);
     }
 
     #[test]
     #[should_panic(expected = "malformed trace")]
     fn malformed_traces_are_rejected() {
+        use crate::trace::TraceOp;
         let bad = Trace { ops: vec![TraceOp::Free { id: 0 }] };
         run_traces(Arc::new(SerialAllocator::new()), &[bad]);
     }

@@ -15,7 +15,8 @@
 //! * [`bgw`] — a Billing-Gateway-like CDR processing pipeline (§5.2);
 //! * [`locality`] — temporal-locality profiles for the ablation studies;
 //! * [`trace`] — allocation traces (generate, serialize, replay);
-//! * [`exec`] — execute traces/workloads against real allocators and pools;
+//! * [`exec`] — the generic executor: any [`mem_api::MemBackend`] runs any
+//!   [`exec::Workload`] through one loop;
 //! * [`sim_bridge`] — replay recorded traces on the simulated SMP.
 
 pub mod bgw;
@@ -25,4 +26,5 @@ pub mod sim_bridge;
 pub mod trace;
 pub mod tree;
 
+pub use exec::{run_traces, run_workload, RunResult, StructOp, Workload};
 pub use tree::{PoolTree, TreeWorkload};

@@ -7,7 +7,12 @@
 //! (28 bytes when 'amplified'), holding two pointers to its children and
 //! some dummy data."
 
+use crate::exec::{StructOp, Workload};
+use mem_api::Structured;
 use pools::structure_pool::Reusable;
+
+/// Per-node payload size: "Each node was 20 bytes" (§4).
+pub const NODE_BYTES: u32 = 20;
 
 /// Parameters of one tree test case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +45,47 @@ impl TreeWorkload {
     /// Total allocations a malloc-per-node allocator performs.
     pub fn total_node_allocations(&self) -> u64 {
         self.objects_per_structure() as u64 * self.iterations as u64 * self.threads as u64
+    }
+
+    /// The tree seed for `(thread, iteration)`: the linear index
+    /// `thread * iterations + iteration` pushed through a bijective 32-bit
+    /// mixer, so seeds are pairwise distinct for any thread count as long
+    /// as the linear index fits in `u32` (the old `t * 1000 + i` scheme
+    /// collided across threads once `iterations >= 1000`).
+    pub fn seed_for(&self, thread: u32, iteration: u32) -> u32 {
+        mix32(thread.wrapping_mul(self.iterations).wrapping_add(iteration))
+    }
+}
+
+/// A bijective finalizer (MurmurHash3's fmix32): every distinct input maps
+/// to a distinct output, which is what makes [`TreeWorkload::seed_for`]
+/// collision-free rather than merely collision-unlikely.
+fn mix32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^= x >> 16;
+    x
+}
+
+impl Workload<PoolTree> for TreeWorkload {
+    fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn slots(&self) -> u32 {
+        1
+    }
+
+    fn run_thread(&self, thread: u32, op: &mut dyn FnMut(StructOp<TreeParams>)) {
+        // Allocate → use → free, `iterations` times: the paper's 100%
+        // temporal-locality loop.
+        for i in 0..self.iterations {
+            let params = TreeParams { depth: self.depth, seed: self.seed_for(thread, i) };
+            op(StructOp::Alloc { slot: 0, params });
+            op(StructOp::Free { slot: 0 });
+        }
     }
 }
 
@@ -148,6 +194,20 @@ impl Reusable for PoolTree {
 
     fn recycle(&mut self) {
         // Keep all nodes and links — that is the whole point.
+    }
+}
+
+impl Structured for PoolTree {
+    fn node_count(p: &TreeParams) -> u32 {
+        (1 << (p.depth + 1)) - 1
+    }
+
+    fn node_size(_: &TreeParams, _: u32) -> u32 {
+        NODE_BYTES
+    }
+
+    fn checksum(&self) -> u64 {
+        PoolTree::checksum(self)
     }
 }
 

@@ -1,0 +1,77 @@
+//! Cross-backend differential property: any well-formed trace, replayed
+//! through every registered backend, produces identical counts and
+//! checksums, leaves no live bytes behind, and (for pooled strategies)
+//! accounts every allocation as either a hit or a fresh build.
+
+use mem_api::BackendRegistry;
+use proptest::prelude::*;
+use workloads::exec::run_workload;
+use workloads::trace::{Chunk, Trace, TraceOp, TraceWorkload};
+
+/// Random well-formed traces: interleaved alloc/free bursts over a small
+/// slot space, closed out so every handle dies before the trace ends.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    // Flat word stream decoded into (allocs, frees, size) bursts — the
+    // vendored proptest subset has no tuple strategies.
+    proptest::collection::vec(0u32..4096, 3..36).prop_map(|words| {
+        let mut ops = Vec::new();
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_id = 0u32;
+        for chunk in words.chunks(3) {
+            let allocs = chunk[0] % 7 + 1;
+            let frees = chunk.get(1).copied().unwrap_or(1) % 11 + 1;
+            let size = chunk.get(2).copied().unwrap_or(64) % 120 + 8;
+            for _ in 0..allocs {
+                ops.push(TraceOp::Alloc { id: next_id, size });
+                live.push(next_id);
+                next_id += 1;
+            }
+            for _ in 0..frees {
+                if let Some(id) = live.pop() {
+                    ops.push(TraceOp::Free { id });
+                }
+            }
+        }
+        while let Some(id) = live.pop() {
+            ops.push(TraceOp::Free { id });
+        }
+        Trace { ops }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every backend agrees on every trace.
+    #[test]
+    fn all_backends_agree_on_any_trace(traces in proptest::collection::vec(trace_strategy(), 1..4)) {
+        for t in &traces {
+            prop_assert!(t.validate().is_ok());
+        }
+        let workload = TraceWorkload::new(&traces);
+        let registry: BackendRegistry<Chunk> = BackendRegistry::standard();
+        let expected_allocs: u64 = traces.iter().map(|t| t.alloc_count() as u64).sum();
+
+        let reference = run_workload(&*registry.build("solaris-default").unwrap(), &workload);
+        prop_assert_eq!(reference.stats.allocs(), expected_allocs);
+
+        for name in registry.names() {
+            let backend = registry.build(name).unwrap();
+            let r = run_workload(&*backend, &workload);
+            // Identical traffic volume on every strategy.
+            prop_assert_eq!(r.stats.allocs(), expected_allocs, "{}", name);
+            prop_assert_eq!(r.stats.allocs(), r.stats.frees(), "{}", name);
+            // Identical results: same per-thread checksums as the baseline.
+            prop_assert_eq!(&r.checksums, &reference.checksums, "{}", name);
+            // Balanced runs leave nothing behind.
+            prop_assert_eq!(r.stats.live_bytes(), 0, "{}", name);
+            // Hit/fresh accounting covers every allocation for the pooled
+            // strategies (malloc backends report everything as fresh).
+            prop_assert_eq!(
+                r.stats.pool_hits() + r.stats.fresh_allocs(),
+                r.stats.allocs(),
+                "{}", name
+            );
+        }
+    }
+}

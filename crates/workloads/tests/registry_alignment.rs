@@ -1,0 +1,38 @@
+//! The native backend registry and the simulator's model table must stay
+//! keyed identically: every native backend name resolves (through
+//! [`mem_api::sim_name`]) to a simulated [`ModelKind`], so the
+//! `native_matrix` tables and the simulated Figures 4–10 line up row by
+//! row.
+
+use mem_api::{sim_name, BackendRegistry, STANDARD_BACKENDS};
+use smp_sim::run::ModelKind;
+use workloads::tree::PoolTree;
+
+#[test]
+fn every_native_backend_maps_to_a_simulated_model() {
+    for &backend in &STANDARD_BACKENDS {
+        let sim = sim_name(backend);
+        let kind = ModelKind::from_name(sim);
+        assert!(kind.is_some(), "backend `{backend}` (sim name `{sim}`) has no simulated model");
+    }
+}
+
+#[test]
+fn the_standard_registry_registers_exactly_the_standard_names() {
+    let registry: BackendRegistry<PoolTree> = BackendRegistry::standard();
+    assert_eq!(registry.names(), STANDARD_BACKENDS);
+}
+
+#[test]
+fn registry_builds_fresh_backends_per_call() {
+    use workloads::exec::run_workload;
+    use workloads::tree::TreeWorkload;
+    let registry: BackendRegistry<PoolTree> = BackendRegistry::standard();
+    let w = TreeWorkload { depth: 1, iterations: 10, threads: 1 };
+    let first = run_workload(&*registry.build("amplify").unwrap(), &w);
+    let second = run_workload(&*registry.build("amplify").unwrap(), &w);
+    // A warm pool carried across builds would skew matrix cells; each
+    // build must start cold.
+    assert_eq!(first.stats.fresh_allocs(), second.stats.fresh_allocs());
+    assert_eq!(first.stats.allocs(), second.stats.allocs());
+}

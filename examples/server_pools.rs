@@ -82,9 +82,9 @@ fn main() {
         let agg = registry.aggregate_stats();
         println!(
             "    fleet: hit rate {:.1}%  parked {}  dropped {}",
-            100.0 * agg.pool_hits as f64 / (agg.pool_hits + agg.fresh_allocs).max(1) as f64,
+            100.0 * agg.pool_hits() as f64 / (agg.pool_hits() + agg.fresh_allocs()).max(1) as f64,
             registry.total_parked(),
-            agg.dropped
+            agg.dropped()
         );
 
         // Quiet period between bursts: return parked memory on demand.

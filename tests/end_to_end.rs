@@ -6,12 +6,13 @@ use amplify::analysis::analyze;
 use amplify::model::estimate_structures;
 use amplify::{Amplifier, AmplifyOptions};
 use cxx_frontend::parse_source;
+use mem_api::BackendRegistry;
 use smp_sim::engine::{Program, Sim, SimConfig};
 use smp_sim::model::StructShape;
 use smp_sim::programs::TreeProgram;
 use smp_sim::run::{run_tree, ModelKind, TreeExperiment};
 use smp_sim::CostParams;
-use workloads::exec::{run_tree_pooled, run_tree_unpooled};
+use workloads::exec::run_workload;
 use workloads::tree::TreeWorkload;
 
 /// The paper's Figure 1 car, as C++ source.
@@ -81,14 +82,19 @@ fn preprocessor_and_analysis_agree() {
 }
 
 /// Native pool execution and plain allocation agree on results while the
-/// pool reuses structures.
+/// pool reuses structures — now through the unified backend registry.
 #[test]
 fn native_pools_match_plain_allocation() {
     let w = TreeWorkload::test_case(2, 50, 4);
-    let pooled = run_tree_pooled(&w);
-    let unpooled = run_tree_unpooled(&w);
+    let registry = BackendRegistry::standard();
+    let pooled = run_workload(&*registry.build("amplify").unwrap(), &w);
+    let unpooled = run_workload(&*registry.build("solaris-default").unwrap(), &w);
     assert_eq!(pooled.checksums, unpooled.checksums);
-    assert!(pooled.pool_hits > 150, "expected heavy reuse, got {}", pooled.pool_hits);
+    assert!(
+        pooled.stats.pool_hits() > 150,
+        "expected heavy reuse, got {}",
+        pooled.stats.pool_hits()
+    );
 }
 
 /// Table 1, the workload generator, and the simulator's shape helper all
