@@ -1,0 +1,66 @@
+//! The `BENCH_pools.json` envelope gate: measures the sharded+magazine
+//! acquire/release hit pair and the acquire-miss pair, renders both
+//! against the recorded envelopes, and **exits non-zero when either path
+//! regressed** (measured slower than recorded by more than the gate
+//! tolerance). Being faster than the record never fails — the envelopes
+//! were taken on a particular host, and a quicker machine is not a bug.
+//!
+//! ```text
+//! cargo run --release -p bench --bin envelope_check                # strict ±10%
+//! cargo run --release -p bench --bin envelope_check -- --gate 0.5  # CI: +50% slack
+//! cargo run --release -p bench --bin envelope_check -- --pairs 2000000
+//! ```
+//!
+//! CI runs this with a loose `--gate` (shared runners are noisy) in both
+//! feature modes: the 3.3× pre-depot miss cliff trips even a generous
+//! gate, while ordinary host-to-host jitter does not.
+
+use bench::native::{check_hit_pair_envelope, check_miss_pair_envelope};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let gate: f64 = arg_value("--gate")
+        .map(|v| v.parse().expect("--gate takes a fraction, e.g. 0.5"))
+        .unwrap_or(0.10);
+    let pairs: u64 = arg_value("--pairs")
+        .map(|v| v.parse().expect("--pairs takes a count"))
+        .unwrap_or(20_000_000);
+
+    eprintln!(
+        "[envelope_check] telemetry {}, {pairs} pairs, regression gate +{:.0}%",
+        cfg!(feature = "telemetry"),
+        100.0 * gate
+    );
+    let hit = check_hit_pair_envelope(pairs);
+    println!("{}", hit.render());
+    let miss = check_miss_pair_envelope(pairs / 4);
+    println!("{}", miss.render());
+
+    let mut failed = false;
+    for check in [hit, miss] {
+        if check.regressed(gate) {
+            eprintln!(
+                "[envelope_check] FAIL: {} measured {:.2} ns, more than +{:.0}% over the \
+                 recorded {:.2} ns",
+                check.label,
+                check.measured_ns,
+                100.0 * gate,
+                check.expected_ns
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("[envelope_check] OK: both paths within the regression gate");
+}

@@ -7,12 +7,15 @@
 //! ```
 //!
 //! Prints the per-depth tables, writes `results/native_matrix.csv`,
-//! checks the sharded+magazine hit path against the `BENCH_pools.json`
-//! envelope, and (with `--metrics-out <path>`) emits a `telemetry-v1`
-//! report whose `native_runs` section carries every cell tagged by
-//! backend name.
+//! checks the sharded+magazine hit and miss paths against the
+//! `BENCH_pools.json` envelopes, and (with `--metrics-out <path>`) emits
+//! a `telemetry-v1` report whose `native_runs` section carries every cell
+//! tagged by backend name.
 
-use bench::native::{ascii_tables, check_hit_pair_envelope, run_matrix, write_csv, MatrixConfig};
+use bench::native::{
+    ascii_tables, check_hit_pair_envelope, check_miss_pair_envelope, run_matrix, write_csv,
+    MatrixConfig,
+};
 use std::path::Path;
 use telemetry::Report;
 
@@ -27,10 +30,11 @@ fn main() {
         Err(e) => eprintln!("[native_matrix] cannot write csv: {e}"),
     }
 
-    // The hit-path sanity check: advisory in smoke mode (short runs on a
+    // The hit/miss sanity checks: advisory in smoke mode (short runs on a
     // loaded CI host are noisy), measured properly in the full sweep.
     let pairs = if smoke { 2_000_000 } else { 20_000_000 };
     println!("{}", check_hit_pair_envelope(pairs).render());
+    println!("{}", check_miss_pair_envelope(pairs / 4).render());
 
     if let Some(path) = bench::metrics::metrics_out_from_args() {
         let mut report = Report::gather("native_matrix");

@@ -73,13 +73,13 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-/// The other compile state's `hit_pair_ns`, carried over from an existing
-/// `BENCH_pools.json` (v2) so alternating builds converge on a complete
-/// `telemetry` section.
-fn carried_over(path: &std::path::Path, half: &str) -> Option<f64> {
+/// The other compile state's value for `key` (`hit_pair_ns` or
+/// `miss_pair_ns`), carried over from an existing `BENCH_pools.json` so
+/// alternating builds converge on a complete `telemetry` section.
+fn carried_over(path: &std::path::Path, half: &str, key: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let v: Value = serde_json::from_str(&text).ok()?;
-    match v["telemetry"][half]["hit_pair_ns"] {
+    match v["telemetry"][half][key] {
         Value::Float(f) => Some(f),
         Value::UInt(u) => Some(u as f64),
         _ => None,
@@ -105,25 +105,38 @@ fn main() {
     let miss_before = miss_ns(&direct);
     let miss_after = miss_ns(&mag);
     let reduction_pct = 100.0 * (1.0 - hit_after / hit_before);
+    // The magazine miss path before the depot/slab rework (v2 record):
+    // every miss probed all shard locks and then hit the heap one object
+    // at a time. Kept as the "before" anchor for the miss reduction.
+    let miss_pre_depot = 172.36;
+    let miss_reduction_pct = 100.0 * (1.0 - miss_after / miss_pre_depot);
 
     // The telemetry section: this build fills its half, the other half
     // survives from the previous run of the opposite build (if any).
     let pools_path = dir.join("BENCH_pools.json");
     let (this_half, other_half) =
         if feature_on { ("feature_on", "feature_off") } else { ("feature_off", "feature_on") };
-    let other_hit = carried_over(&pools_path, other_half);
+    let other_hit = carried_over(&pools_path, other_half, "hit_pair_ns");
+    let other_miss = carried_over(&pools_path, other_half, "miss_pair_ns");
     let (off_hit, on_hit) =
         if feature_on { (other_hit, Some(hit_after)) } else { (Some(hit_after), other_hit) };
-    let overhead_pct = match (off_hit, on_hit) {
+    let (off_miss, on_miss) =
+        if feature_on { (other_miss, Some(miss_after)) } else { (Some(miss_after), other_miss) };
+    let overhead = |off: Option<f64>, on: Option<f64>| match (off, on) {
         (Some(off), Some(on)) if off > 0.0 => {
             Value::Float(((on / off - 1.0) * 1000.0).round() / 10.0)
         }
         _ => Value::Null,
     };
+    let overhead_pct = overhead(off_hit, on_hit);
+    let miss_overhead_pct = overhead(off_miss, on_miss);
     let half_value = |v: Option<f64>| v.map(ns).unwrap_or(Value::Null);
+    let half = |hit: Option<f64>, miss: Option<f64>| {
+        obj(vec![("hit_pair_ns", half_value(hit)), ("miss_pair_ns", half_value(miss))])
+    };
 
     let report = obj(vec![
-        ("schema", Value::String("pools-perf-v2".into())),
+        ("schema", Value::String("pools-perf-v3".into())),
         ("object", Value::String("[u8; 64]".into())),
         ("shards", Value::UInt(4)),
         ("magazine_cap", Value::UInt(DEFAULT_MAGAZINE_CAP as u64)),
@@ -137,15 +150,21 @@ fn main() {
         ),
         (
             "acquire_miss",
-            obj(vec![("mutex_baseline_ns", ns(miss_before)), ("magazine_ns", ns(miss_after))]),
+            obj(vec![
+                ("mutex_baseline_ns", ns(miss_before)),
+                ("pre_depot_magazine_ns", ns(miss_pre_depot)),
+                ("magazine_ns", ns(miss_after)),
+                ("reduction_pct", Value::Float((miss_reduction_pct * 10.0).round() / 10.0)),
+            ]),
         ),
         (
             "telemetry",
             obj(vec![
                 ("measured", Value::String(this_half.into())),
-                ("feature_off", obj(vec![("hit_pair_ns", half_value(off_hit))])),
-                ("feature_on", obj(vec![("hit_pair_ns", half_value(on_hit))])),
+                ("feature_off", half(off_hit, off_miss)),
+                ("feature_on", half(on_hit, on_miss)),
                 ("overhead_pct", overhead_pct.clone()),
+                ("miss_overhead_pct", miss_overhead_pct),
             ]),
         ),
     ]);
@@ -156,6 +175,10 @@ fn main() {
         "[perf_json] hit path: {hit_before:.1} ns (mutex) -> {hit_after:.1} ns (magazine), \
          {reduction_pct:.1}% reduction -> {}",
         pools_path.display()
+    );
+    eprintln!(
+        "[perf_json] miss path: {miss_before:.1} ns (mutex), {miss_pre_depot:.1} ns \
+         (pre-depot magazine) -> {miss_after:.1} ns (depot+slab), {miss_reduction_pct:.1}% reduction"
     );
     if let Value::Float(pct) = overhead_pct {
         eprintln!(

@@ -2,6 +2,7 @@
 
 use allocators::BlockRef;
 use pools::structure_pool::Reusable;
+use pools::PoolBox;
 use std::ops::{Deref, DerefMut};
 
 /// A workload's unit of allocation: a whole object structure (§2.1) whose
@@ -36,15 +37,17 @@ pub trait Structured: Reusable + Send + 'static {
 /// allocator traffic); pool backends carry none — their free path parks the
 /// whole object, so the handle vector stays empty and costs nothing.
 pub struct Allocation<T> {
-    obj: Box<T>,
+    obj: PoolBox<T>,
     pub(crate) blocks: Vec<BlockRef>,
     pub(crate) bytes: u64,
 }
 
 impl<T> Allocation<T> {
-    /// Assemble an allocation (for backend implementations).
-    pub fn new(obj: Box<T>, blocks: Vec<BlockRef>, bytes: u64) -> Self {
-        Allocation { obj, blocks, bytes }
+    /// Assemble an allocation (for backend implementations). Accepts a
+    /// plain `Box<T>` or a pool-served [`PoolBox<T>`] (which may live in a
+    /// slab rather than its own heap block).
+    pub fn new(obj: impl Into<PoolBox<T>>, blocks: Vec<BlockRef>, bytes: u64) -> Self {
+        Allocation { obj: obj.into(), blocks, bytes }
     }
 
     /// Payload bytes this structure accounts for.
@@ -54,7 +57,7 @@ impl<T> Allocation<T> {
 
     /// Take the object out, discarding the backend bookkeeping. Only for
     /// backends consuming an allocation inside `free`.
-    pub fn into_object(self) -> Box<T> {
+    pub fn into_object(self) -> PoolBox<T> {
         self.obj
     }
 }
@@ -86,10 +89,15 @@ pub struct BackendStats {
     fresh_allocs: u64,
     contention_events: u64,
     live_bytes: u64,
+    depot_swaps: u64,
+    depot_parks: u64,
+    slab_carves: u64,
 }
 
 impl BackendStats {
-    /// Assemble a snapshot (for backend implementations).
+    /// Assemble a snapshot (for backend implementations). Depot/slab
+    /// counters start at zero; pool backends attach them with
+    /// [`BackendStats::with_depot_detail`].
     pub fn new(
         allocs: u64,
         frees: u64,
@@ -98,7 +106,31 @@ impl BackendStats {
         contention_events: u64,
         live_bytes: u64,
     ) -> Self {
-        BackendStats { allocs, frees, pool_hits, fresh_allocs, contention_events, live_bytes }
+        BackendStats {
+            allocs,
+            frees,
+            pool_hits,
+            fresh_allocs,
+            contention_events,
+            live_bytes,
+            depot_swaps: 0,
+            depot_parks: 0,
+            slab_carves: 0,
+        }
+    }
+
+    /// Attach the magazine-depot counters (builder style, so the 6-field
+    /// constructor keeps working for backends without a depot).
+    pub fn with_depot_detail(
+        mut self,
+        depot_swaps: u64,
+        depot_parks: u64,
+        slab_carves: u64,
+    ) -> Self {
+        self.depot_swaps = depot_swaps;
+        self.depot_parks = depot_parks;
+        self.slab_carves = slab_carves;
+        self
     }
 
     /// Structure allocations performed.
@@ -131,6 +163,22 @@ impl BackendStats {
     /// Payload bytes currently held by callers.
     pub fn live_bytes(&self) -> u64 {
         self.live_bytes
+    }
+
+    /// Full magazines swapped in from the depot (0 for depot-less
+    /// backends).
+    pub fn depot_swaps(&self) -> u64 {
+        self.depot_swaps
+    }
+
+    /// Full magazines parked on the depot.
+    pub fn depot_parks(&self) -> u64 {
+        self.depot_parks
+    }
+
+    /// Contiguous slabs carved for fresh allocation.
+    pub fn slab_carves(&self) -> u64 {
+        self.slab_carves
     }
 
     /// Fraction of allocations served by reuse, in `[0, 1]`.

@@ -15,6 +15,7 @@
 //! thread exits — there is no shared depot to flush to.
 
 use crate::backend::{Allocation, BackendStats, MemBackend, Structured};
+use pools::PoolBox;
 use std::any::Any;
 use std::cell::RefCell;
 use std::marker::PhantomData;
@@ -67,7 +68,7 @@ impl<T: Structured> HandmadeBackend<T> {
     /// Run `f` on the calling thread's free list for this backend,
     /// creating it on first touch. `f` must not run user code (it only
     /// pushes/pops boxes), so the `RefCell` borrow cannot re-enter.
-    fn with_free_list<R>(&self, f: impl FnOnce(&mut Vec<Box<T>>) -> R) -> R {
+    fn with_free_list<R>(&self, f: impl FnOnce(&mut Vec<PoolBox<T>>) -> R) -> R {
         let idx = self.id as usize;
         FREE_LISTS.with(|slots| {
             let mut slots = slots.borrow_mut();
@@ -76,12 +77,12 @@ impl<T: Structured> HandmadeBackend<T> {
             }
             let slot = &mut slots[idx];
             if slot.is_none() {
-                *slot = Some(Box::new(Vec::<Box<T>>::new()));
+                *slot = Some(Box::new(Vec::<PoolBox<T>>::new()));
             }
             let list = slot
                 .as_mut()
                 .expect("slot was just filled")
-                .downcast_mut::<Vec<Box<T>>>()
+                .downcast_mut::<Vec<PoolBox<T>>>()
                 .expect("backend ids are never reused, so the slot type matches");
             f(list)
         })
@@ -109,7 +110,7 @@ impl<T: Structured> MemBackend<T> for HandmadeBackend<T> {
             }
             None => {
                 self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
-                Box::new(T::fresh(params))
+                PoolBox::new(T::fresh(params))
             }
         };
         let bytes = T::footprint(params);

@@ -85,6 +85,7 @@ where
             s.failed_locks(),
             self.live_bytes.load(Ordering::Relaxed),
         )
+        .with_depot_detail(s.depot_swaps(), s.depot_parks(), s.slab_carves())
     }
 
     fn trim(&self) {

@@ -1,5 +1,7 @@
 //! Micro-benchmark for the magazine acquire/release hit pair — the number
-//! the `telemetry` overhead budget is measured against. Run both builds:
+//! the `telemetry` overhead budget is measured against — and the acquire
+//! **miss** pair (acquire-on-empty + drop), the cliff the magazine depot
+//! and slab carving flatten. Run both builds:
 //!
 //! ```text
 //! cargo run --release -p pools --example hit_pair
@@ -35,5 +37,25 @@ fn main() {
         }
         best = best.min(t.elapsed().as_nanos() as f64 / n as f64);
     }
-    println!("hit pair: {best:.2} ns (telemetry {})", cfg!(feature = "telemetry"));
+    println!("hit pair:  {best:.2} ns (telemetry {})", cfg!(feature = "telemetry"));
+
+    // Miss pair: acquire-and-drop keeps every cache level empty, so each
+    // acquire walks the full cold path (magazine → depot → shards → slab).
+    let miss_pool: ShardedPool<[u8; 64]> =
+        ShardedPool::with_magazines(4, PoolConfig::default(), DEFAULT_MAGAZINE_CAP);
+    let m: u64 = 5_000_000;
+    for _ in 0..500_000 {
+        let x = miss_pool.acquire(|| [0u8; 64]);
+        black_box(&x);
+    }
+    let mut best_miss = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..m {
+            let x = miss_pool.acquire(|| [0u8; 64]);
+            black_box(&x);
+        }
+        best_miss = best_miss.min(t.elapsed().as_nanos() as f64 / m as f64);
+    }
+    println!("miss pair: {best_miss:.2} ns (telemetry {})", cfg!(feature = "telemetry"));
 }

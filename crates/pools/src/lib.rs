@@ -15,7 +15,9 @@
 //! * pools are **sharded** across threads ptmalloc-style to avoid lock
 //!   contention — [`sharded::ShardedPool`] — and fronted by lock-free
 //!   per-thread [`magazine`]s so steady-state acquire/release takes no
-//!   lock at all;
+//!   lock at all; cold magazines exchange wholesale with a Bonwick-style
+//!   [`depot`] of full magazines (one CAS per refill/flush), and fresh
+//!   objects are carved from contiguous slabs ([`pool_box::PoolBox`]);
 //! * in single-threaded programs all locks are elided
 //!   ([`object_pool::LocalPool`]), which is why the paper's Figure 4 shows a
 //!   1-thread Amplify advantage.
@@ -38,10 +40,12 @@
 //! ```
 
 pub mod bit_shadow;
+mod depot;
 pub mod limits;
 pub mod magazine;
 pub mod object_pool;
 mod obs;
+pub mod pool_box;
 pub mod registry;
 pub mod shadow;
 pub mod shadow_buf;
@@ -54,6 +58,7 @@ pub use bit_shadow::BitShadow;
 pub use limits::PoolConfig;
 pub use magazine::DEFAULT_MAGAZINE_CAP;
 pub use object_pool::{LocalPool, ObjectPool};
+pub use pool_box::PoolBox;
 pub use registry::{PoolRegistry, Trimmable};
 pub use shadow::Shadow;
 pub use shadow_buf::ShadowBuf;

@@ -1,39 +1,57 @@
 //! Thread-local magazines: the lock-free fast path in front of a sharded
-//! pool (the tcmalloc/Hoard thread-cache idea applied to object pools).
+//! pool (the tcmalloc/Hoard thread-cache idea applied to object pools),
+//! backed by a Bonwick-style **magazine depot**.
 //!
 //! Each thread keeps a small bounded cache — a *magazine* — of parked
 //! objects per pool. Steady-state acquire/release is a thread-local vector
-//! pop/push: no mutex, no hash lookup. Shard locks are only taken to refill
-//! an empty magazine or flush a full one, moving roughly `cap/2` objects per
-//! lock acquisition, so the amortized locking cost per operation drops by
-//! the batch factor (and to zero in the common acquire-hit/release-park
-//! case).
+//! pop/push: no mutex, no hash lookup. When a magazine runs empty or full
+//! the thread first tries the *depot*: per-shard Treiber stacks of whole
+//! full magazines ([`crate::depot`]), exchanged in one CAS — an O(1)
+//! refill/flush no matter the magazine capacity. Shard locks are only taken
+//! when the depot has nothing to offer (refill) or the pool is capped
+//! (flush must consult the population limit), and fresh allocation carves
+//! objects out of contiguous slabs ([`crate::pool_box::SlabReserve`]) so
+//! one heap call serves a whole magazine's worth of misses.
 //!
 //! Invariants the rest of the crate (and the stress tests) rely on:
 //!
 //! * every object is in exactly one place at any time — held by a caller,
-//!   cached in one magazine, or parked in one shard free list;
+//!   cached in one magazine, parked in one depot node, or parked in one
+//!   shard free list;
 //! * [`Depot::magazine_parked`] equals the summed size of all live
-//!   magazines, so `ShardedPool::len()` is accurate without reaching into
-//!   other threads' caches;
+//!   magazines, [`Depot::depot_parked`] the objects inside parked depot
+//!   magazines, and [`Depot::shard_parked`] the shard free-list population
+//!   (exact in magazine mode, where shards gain/lose objects only through
+//!   the counted batch paths) — so `ShardedPool::len()` is accurate without
+//!   reaching into other threads' caches;
 //! * a thread's magazines flush back to the shards when the thread exits
 //!   (TLS destructor), so no object leaks and `trim` can still reclaim it;
-//! * `trim` drains the *calling* thread's magazine and bumps
-//!   [`Depot::trim_epoch`]; other threads observe the stale epoch on their
-//!   next operation and drop their cached objects lazily (a trim cannot
-//!   safely touch another thread's `RefCell`).
+//! * `trim` drains the *calling* thread's magazine, empties the depot, and
+//!   bumps [`Depot::trim_epoch`]; other threads observe the stale epoch on
+//!   their next operation and drop their cached objects lazily (a trim
+//!   cannot safely touch another thread's `RefCell`). Depot nodes carry the
+//!   epoch they were parked under, so a node that raced past the drain is
+//!   recognized as stale at swap time and discarded then.
 
+use crate::depot::{DepotNode, MagStack};
 use crate::limits::PoolConfig;
 use crate::object_pool::ObjectPool;
-use crate::obs::pool_event;
+use crate::obs::{pool_event, pool_hist};
+use crate::pool_box::{PoolBox, SlabReserve, SlabSlot};
 use crate::stats::PoolStats;
+use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Default objects a magazine may hold (per thread, per pool).
 pub const DEFAULT_MAGAZINE_CAP: usize = 32;
+
+/// Upper bound on one carved slab's backing buffer. Keeps a cold pool of
+/// large objects from committing megabytes on its first miss.
+const MAX_SLAB_BYTES: usize = 64 * 1024;
 
 /// Pool ids double as thread-local slot indices, so they are never reused.
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
@@ -45,8 +63,9 @@ thread_local! {
     static MAGAZINES: RefCell<Vec<Option<Box<dyn Any>>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// The shared half of a magazine-fronted pool: the shard array plus the
-/// counters magazines coordinate through.
+/// The shared half of a magazine-fronted pool: the shard array, the
+/// full-magazine depot stacks, and the counters magazines coordinate
+/// through.
 #[derive(Debug)]
 pub(crate) struct Depot<T> {
     id: u64,
@@ -58,8 +77,31 @@ pub(crate) struct Depot<T> {
     next_shard: AtomicUsize,
     /// Bumped by `trim`; magazines with an older epoch discard their cache.
     trim_epoch: AtomicU64,
-    /// Objects currently cached in magazines, across all threads.
-    magazine_parked: AtomicUsize,
+    /// One [`MagCells`] per live magazine, each written only by its owning
+    /// thread with relaxed *stores* (plain `mov`s — no locked RMW on the
+    /// acquire/release fast paths). Readers lock the list and sum.
+    mag_counts: Mutex<Vec<Arc<MagCells>>>,
+    /// Objects parked inside full magazines on the depot stacks.
+    depot_parked: AtomicUsize,
+    /// Shard free-list population, maintained by the counted batch paths
+    /// (exact in magazine mode; direct mode bypasses it and uses
+    /// [`ObjectPool::len`] instead).
+    shard_parked: AtomicUsize,
+    /// Full-magazine Treiber stacks, one per shard (locality: a magazine
+    /// parks on and swaps from its home shard's stack first).
+    full: Box<[MagStack<T>]>,
+    /// Recycled empty node shells, ready for the next park.
+    free_nodes: MagStack<T>,
+    /// Every node ever allocated for this depot, by address. Nodes are
+    /// type-stable while the depot lives (the lock-free pop relies on it)
+    /// and are freed here, in `Drop`, when the depot is the sole owner.
+    nodes: Mutex<Vec<usize>>,
+    /// Whole-magazine depot exchange enabled: magazines on and the pool
+    /// uncapped. Capped pools keep the half-flush through the shard locks,
+    /// where the population limit is enforced.
+    depot_enabled: bool,
+    /// Slots per carved slab (0 disables slab carving).
+    pub(crate) slab_objects: usize,
     /// Hits/fresh/releases recorded by the magazine fast path (shard-level
     /// stats only see batch lock traffic).
     pub(crate) stats: PoolStats,
@@ -68,20 +110,63 @@ pub(crate) struct Depot<T> {
 impl<T> Depot<T> {
     pub(crate) fn new(shards: usize, config: PoolConfig, magazine_cap: usize) -> Self {
         assert!(shards >= 1, "a sharded pool needs at least one shard");
+        let per_slab_cap = if std::mem::size_of::<T>() == 0 {
+            0
+        } else {
+            MAX_SLAB_BYTES / std::mem::size_of::<T>()
+        };
+        let slab_objects = if magazine_cap == 0 || per_slab_cap < 2 {
+            0 // slabs can't amortize anything here; plain boxing instead
+        } else {
+            (magazine_cap * 2).min(per_slab_cap)
+        };
         Depot {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             shards: (0..shards).map(|_| ObjectPool::with_config(config)).collect(),
             magazine_cap,
             next_shard: AtomicUsize::new(0),
             trim_epoch: AtomicU64::new(0),
-            magazine_parked: AtomicUsize::new(0),
+            mag_counts: Mutex::new(Vec::new()),
+            depot_parked: AtomicUsize::new(0),
+            shard_parked: AtomicUsize::new(0),
+            full: (0..shards).map(|_| MagStack::new()).collect(),
+            free_nodes: MagStack::new(),
+            nodes: Mutex::new(Vec::new()),
+            depot_enabled: magazine_cap > 0 && config.max_objects.is_none(),
+            slab_objects,
             stats: PoolStats::new(),
         }
     }
 
-    /// Objects cached in magazines across all threads.
+    /// Objects cached in magazines across all threads (sum of the live
+    /// magazines' count cells).
     pub(crate) fn magazine_parked(&self) -> usize {
-        self.magazine_parked.load(Ordering::Relaxed)
+        self.mag_counts.lock().iter().map(|c| c.parked.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Hits and releases counted by live magazines but not yet folded into
+    /// [`Depot::stats`] (that happens when a magazine drops). Read
+    /// `releases` before `hits` within each cell for the same reason
+    /// [`PoolStats::snapshot`] reads them in that order.
+    pub(crate) fn magazine_hot_counts(&self) -> (u64, u64) {
+        let cells = self.mag_counts.lock();
+        let mut hits = 0;
+        let mut releases = 0;
+        for c in cells.iter() {
+            releases += c.releases.load(Ordering::Relaxed);
+            hits += c.hits.load(Ordering::Relaxed);
+        }
+        (hits, releases)
+    }
+
+    /// Objects parked in full magazines on the depot stacks.
+    pub(crate) fn depot_parked(&self) -> usize {
+        self.depot_parked.load(Ordering::Relaxed)
+    }
+
+    /// Shard free-list population as tracked by the batch paths.
+    pub(crate) fn shard_parked(&self) -> usize {
+        self.shard_parked.load(Ordering::Relaxed)
     }
 
     /// Invalidate every thread's magazine for this pool. Remote threads
@@ -90,18 +175,79 @@ impl<T> Depot<T> {
         self.trim_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An empty node shell to park a magazine in: recycled if possible,
+    /// freshly allocated (and registered for eventual free) otherwise.
+    fn alloc_node(&self) -> NonNull<DepotNode<T>> {
+        if let Some(node) = self.free_nodes.pop() {
+            return node;
+        }
+        let node = NonNull::from(Box::leak(Box::new(DepotNode::new())));
+        self.nodes.lock().push(node.as_ptr() as usize);
+        node
+    }
+
+    /// Pop a full magazine, probing each shard's stack once from `start`.
+    fn pop_full(&self, start: usize) -> Option<NonNull<DepotNode<T>>> {
+        let n = self.full.len();
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if let Some(node) = self.full[idx].pop() {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// True when no stack holds a full magazine (racy hint; a stale answer
+    /// only costs the caller the probe a miss would have done anyway).
+    fn depot_empty_hint(&self) -> bool {
+        self.full.iter().all(MagStack::is_empty_hint)
+    }
+
+    /// Pop every parked magazine off every stack and drop the contents
+    /// (trim support). Returns how many objects were reclaimed.
+    pub(crate) fn drain_depot(&self) -> usize {
+        let mut reclaimed: Vec<PoolBox<T>> = Vec::new();
+        for stack in self.full.iter() {
+            while let Some(node_ptr) = stack.pop() {
+                // We own the node after a successful pop; the depot is
+                // alive (we are a method on it), so the deref is safe.
+                let node = unsafe { &mut *node_ptr.as_ptr() };
+                reclaimed.append(&mut node.items);
+                self.free_nodes.push(node_ptr);
+            }
+        }
+        let n = reclaimed.len();
+        self.depot_parked.fetch_sub(n, Ordering::Relaxed);
+        drop(reclaimed); // user destructors run here, outside any stack op
+        n
+    }
+
+    /// Trim every shard's free list, keeping `shard_parked` in step.
+    pub(crate) fn trim_shards(&self) -> usize {
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            let n = shard.trim();
+            self.shard_parked.fetch_sub(n, Ordering::Relaxed);
+            total += n;
+        }
+        total
+    }
+
     /// Park `items` into shards starting at `start`, spilling to the next
     /// shard on lock contention (ptmalloc's arena rule), blocking on the
     /// home shard if every shard is contended.
-    pub(crate) fn park_batch(&self, start: usize, items: &mut Vec<Box<T>>) {
+    pub(crate) fn park_batch(&self, start: usize, items: &mut Vec<PoolBox<T>>) {
         let n = self.shards.len();
         for off in 0..n {
             let idx = (start + off) % n;
-            if self.shards[idx].try_put_batch(items).is_ok() {
+            if let Ok(parked) = self.shards[idx].try_put_batch(items) {
+                self.shard_parked.fetch_add(parked, Ordering::Relaxed);
                 return;
             }
         }
-        self.shards[start].put_batch(items);
+        let parked = self.shards[start].put_batch(items);
+        self.shard_parked.fetch_add(parked, Ordering::Relaxed);
     }
 
     /// Move up to `max` objects into `out` from the first shard that has
@@ -111,46 +257,105 @@ impl<T> Depot<T> {
     /// stays empty and the caller allocates fresh; if *all* shards were
     /// contended the refill blocks on the home shard instead (ptmalloc
     /// ultimately waits too).
-    pub(crate) fn refill_batch(&self, start: usize, max: usize, out: &mut Vec<Box<T>>) -> usize {
+    pub(crate) fn refill_batch(
+        &self,
+        start: usize,
+        max: usize,
+        out: &mut Vec<PoolBox<T>>,
+    ) -> usize {
         let n = self.shards.len();
         let mut all_contended = true;
         for off in 0..n {
             let idx = (start + off) % n;
             match self.shards[idx].try_take_batch(max, out) {
-                Ok(k) if k > 0 => return idx,
+                Ok(k) if k > 0 => {
+                    self.shard_parked.fetch_sub(k, Ordering::Relaxed);
+                    return idx;
+                }
                 Ok(_) => all_contended = false, // unlocked but empty
                 Err(()) => {}
             }
         }
         if all_contended {
-            self.shards[start].take_batch(max, out);
+            let k = self.shards[start].take_batch(max, out);
+            self.shard_parked.fetch_sub(k, Ordering::Relaxed);
         }
         start
     }
 }
 
+impl<T> Drop for Depot<T> {
+    fn drop(&mut self) {
+        // Sole owner now: no thread can race a stack operation. Free every
+        // node ever allocated; full ones drop their objects with their Vec.
+        for &addr in self.nodes.get_mut().iter() {
+            drop(unsafe { Box::from_raw(addr as *mut DepotNode<T>) });
+        }
+    }
+}
+
+/// One magazine's shared counter cell. The owning thread publishes with
+/// relaxed *stores* after every operation (see [`with_magazine`]) — plain
+/// `mov`s to a line no other thread writes, so the fast paths carry no
+/// locked RMW at all. Cross-thread readers go through [`Depot::mag_counts`]
+/// and see values exact at quiescent points (thread-join or barrier
+/// synchronization orders the stores before the reads).
+#[derive(Debug, Default)]
+struct MagCells {
+    /// Mirrors `Magazine::items.len()`.
+    parked: AtomicUsize,
+    /// Magazine fast-path acquire hits (mirrors `Magazine::hits`).
+    hits: AtomicU64,
+    /// Magazine releases (mirrors `Magazine::releases`).
+    releases: AtomicU64,
+}
+
 /// One thread's cache of parked objects for one pool.
 pub(crate) struct Magazine<T> {
     depot: Weak<Depot<T>>,
-    items: Vec<Box<T>>,
+    items: Vec<PoolBox<T>>,
+    /// This magazine's entry in [`Depot::mag_counts`].
+    cells: Arc<MagCells>,
+    /// Acquire hits served by this magazine, counted as a plain field and
+    /// published through `cells`; folded into [`Depot::stats`] on drop.
+    hits: u64,
+    /// Releases accepted by this magazine; same lifecycle as `hits`.
+    releases: u64,
     /// Home shard for refills and flushes.
     shard: usize,
     /// Copy of [`Depot::trim_epoch`] from the last (in)validation.
     epoch: u64,
+    /// Empty node shell kept back from the last depot exchange, so the
+    /// steady empty↔full cycle never touches the free-node stack.
+    spare: Option<NonNull<DepotNode<T>>>,
+    /// Recycled overflow-flush buffer (capped pools), so the flush slow
+    /// path does not allocate a fresh `Vec` per overflow.
+    flush_buf: Vec<PoolBox<T>>,
+    /// Private cursor over the unused tail of the last carved slab.
+    reserve: Option<SlabReserve<T>>,
 }
 
 impl<T> Drop for Magazine<T> {
     fn drop(&mut self) {
         // Thread exit (TLS teardown): hand cached objects back to the
-        // shards so they stay reachable by `trim` instead of leaking. If
-        // the pool itself is already gone, the objects simply drop.
-        if self.items.is_empty() {
-            return;
-        }
+        // shards so they stay reachable by `trim` instead of leaking, and
+        // return the spare node shell to the depot. If the pool itself is
+        // already gone, the objects simply drop (and the depot has already
+        // freed every node, spare included — don't touch it).
         if let Some(depot) = self.depot.upgrade() {
-            depot.magazine_parked.fetch_sub(self.items.len(), Ordering::Relaxed);
-            let mut items = std::mem::take(&mut self.items);
-            depot.park_batch(self.shard, &mut items);
+            if let Some(node) = self.spare.take() {
+                depot.free_nodes.push(node);
+            }
+            if !self.items.is_empty() {
+                let mut items = std::mem::take(&mut self.items);
+                depot.park_batch(self.shard, &mut items);
+            }
+            // Fold the local hit/release counts into the shared stats and
+            // retire the cell in one critical section, so a stats reader
+            // (which also locks `mag_counts`) never counts them twice.
+            let mut cells = depot.mag_counts.lock();
+            depot.stats.fold_magazine_counts(self.hits, self.releases);
+            cells.retain(|c| !Arc::ptr_eq(c, &self.cells));
         }
     }
 }
@@ -171,11 +376,19 @@ fn with_magazine<T: 'static, R>(depot: &Arc<Depot<T>>, f: impl FnOnce(&mut Magaz
         let slot = &mut slots[idx];
         if slot.is_none() {
             let shard = depot.next_shard.fetch_add(1, Ordering::Relaxed) % depot.shards.len();
+            let cells = Arc::new(MagCells::default());
+            depot.mag_counts.lock().push(Arc::clone(&cells));
             *slot = Some(Box::new(Magazine {
                 depot: Arc::downgrade(depot),
                 items: Vec::with_capacity(depot.magazine_cap),
+                cells,
+                hits: 0,
+                releases: 0,
                 shard,
                 epoch: depot.trim_epoch.load(Ordering::Relaxed),
+                spare: None,
+                flush_buf: Vec::new(),
+                reserve: None,
             }));
         }
         let mag = slot
@@ -183,8 +396,20 @@ fn with_magazine<T: 'static, R>(depot: &Arc<Depot<T>>, f: impl FnOnce(&mut Magaz
             .expect("slot was just filled")
             .downcast_mut::<Magazine<T>>()
             .expect("pool ids are never reused, so the slot type matches");
-        f(mag)
+        let r = f(mag);
+        publish_cells(mag);
+        r
     })
+}
+
+/// Publish a magazine's local counters to its shared cell — three relaxed
+/// stores to one thread-owned line, the whole cost of cross-thread counter
+/// visibility on the fast paths.
+#[inline(always)]
+fn publish_cells<T>(mag: &Magazine<T>) {
+    mag.cells.parked.store(mag.items.len(), Ordering::Relaxed);
+    mag.cells.hits.store(mag.hits, Ordering::Relaxed);
+    mag.cells.releases.store(mag.releases, Ordering::Relaxed);
 }
 
 /// Like [`with_magazine`] but without creating a missing magazine.
@@ -200,85 +425,200 @@ fn with_magazine_opt<T: 'static, R>(
             .as_mut()?
             .downcast_mut::<Magazine<T>>()
             .expect("pool ids are never reused, so the slot type matches");
-        Some(f(mag))
+        let r = f(mag);
+        publish_cells(mag);
+        Some(r)
     })
 }
 
 /// If a trim happened since this magazine last looked, surrender the cached
-/// objects (returned for the caller to drop outside the TLS borrow).
-fn invalidate_if_stale<T>(mag: &mut Magazine<T>, depot: &Depot<T>) -> Vec<Box<T>> {
+/// objects (returned for the caller to drop outside the TLS borrow) and the
+/// slab reserve (raw memory — safe to release in place).
+///
+/// Split hot/cold: the epoch compare sits on the acquire/release fast
+/// paths, so it must inline to a load-and-branch; the surrender itself is
+/// outlined.
+#[inline(always)]
+fn invalidate_if_stale<T>(mag: &mut Magazine<T>, depot: &Depot<T>) -> Vec<PoolBox<T>> {
     let epoch = depot.trim_epoch.load(Ordering::Relaxed);
     if mag.epoch == epoch {
         return Vec::new();
     }
+    invalidate_stale(mag, epoch)
+}
+
+#[cold]
+fn invalidate_stale<T>(mag: &mut Magazine<T>, epoch: u64) -> Vec<PoolBox<T>> {
     mag.epoch = epoch;
+    mag.reserve = None; // uninitialized slots: releasing them runs no user code
     if mag.items.is_empty() {
         return Vec::new();
     }
-    depot.magazine_parked.fetch_sub(mag.items.len(), Ordering::Relaxed);
-    let stale: Vec<Box<T>> = mag.items.drain(..).collect();
+    let stale: Vec<PoolBox<T>> = mag.items.drain(..).collect();
     // Recorded here rather than at the call sites: this branch is already
     // cold and call-heavy, so the event costs nothing on the fast paths.
     pool_event!(EpochInvalidation, stale.len());
     stale
 }
 
+/// Keep a popped-and-emptied node as the magazine's spare shell, or return
+/// it to the depot's free-node stack if a spare is already parked.
+fn recycle_node<T>(mag: &mut Magazine<T>, depot: &Depot<T>, node: NonNull<DepotNode<T>>) {
+    if mag.spare.is_none() {
+        mag.spare = Some(node);
+    } else {
+        depot.free_nodes.push(node);
+    }
+}
+
 /// Pop one cached object — the lock-free acquire hit path. `None` means the
-/// magazine is empty and the caller should refill from a shard.
-pub(crate) fn pop<T: 'static>(depot: &Arc<Depot<T>>) -> Option<Box<T>> {
+/// magazine is empty and the caller should try the depot.
+pub(crate) fn pop<T: 'static>(depot: &Arc<Depot<T>>) -> Option<PoolBox<T>> {
     let (obj, stale) = with_magazine(depot, |mag| {
         let stale = invalidate_if_stale(mag, depot);
         let obj = mag.items.pop();
-        if obj.is_some() {
-            depot.magazine_parked.fetch_sub(1, Ordering::Relaxed);
-        }
+        mag.hits += obj.is_some() as u64;
         (obj, stale)
     });
     drop(stale); // outside the borrow: destructors may re-enter pool code
     obj
 }
 
-/// What [`push`] asks the caller to do after the fast path.
-pub(crate) struct PushOutcome<T> {
-    /// Older half of a full magazine, to be parked in the shards.
-    pub overflow: Vec<Box<T>>,
-    /// Home shard to start parking at.
-    pub shard: usize,
+/// Swap the (empty) magazine for a full one parked on the depot: one CAS
+/// pop plus a `Vec` swap, no locks, no per-object moves. Returns the first
+/// object out of the swapped-in magazine, or `None` when the depot had
+/// nothing valid. Nodes parked before the last trim are recognized by
+/// their stale epoch and their contents dropped (epoch invalidation
+/// extends to parked magazines).
+pub(crate) fn depot_swap<T: 'static>(depot: &Arc<Depot<T>>) -> Option<PoolBox<T>> {
+    if depot.depot_empty_hint() {
+        return None;
+    }
+    let (obj, stale) = with_magazine(depot, |mag| {
+        let mut stale = invalidate_if_stale(mag, depot);
+        let mut got = None;
+        while let Some(node_ptr) = depot.pop_full(mag.shard) {
+            // Owned after a successful pop; the depot keeps it allocated.
+            let node = unsafe { &mut *node_ptr.as_ptr() };
+            let n = node.items.len();
+            depot.depot_parked.fetch_sub(n, Ordering::Relaxed);
+            if node.epoch != mag.epoch {
+                stale.append(&mut node.items);
+                pool_event!(EpochInvalidation, n);
+                recycle_node(mag, depot, node_ptr);
+                continue;
+            }
+            debug_assert!(mag.items.is_empty(), "depot_swap is only called on a miss");
+            std::mem::swap(&mut mag.items, &mut node.items);
+            recycle_node(mag, depot, node_ptr);
+            got = mag.items.pop();
+            depot.stats.record_depot_swap();
+            pool_event!(DepotSwap, n);
+            pool_hist!("pools.depot_swap_objects", n);
+            break;
+        }
+        (got, stale)
+    });
+    drop(stale);
+    obj
 }
 
-/// Cache one released object — the lock-free release path. When the
-/// magazine is full, the older half is handed back for the caller to park
-/// in a shard (one lock per `cap/2` releases).
-pub(crate) fn push<T: 'static>(depot: &Arc<Depot<T>>, obj: Box<T>) -> Option<PushOutcome<T>> {
+/// What [`push`] asks the caller to do after the fast path.
+pub(crate) enum PushOutcome<T> {
+    /// The full magazine was parked on the depot in one CAS — done.
+    Parked,
+    /// Capped pool: the older half must go through the shard locks (where
+    /// the population cap is enforced). `buf` is the magazine's recycled
+    /// flush buffer; hand it back with [`restore_flush_buf`] once drained.
+    Flush {
+        /// Older half of the full magazine.
+        buf: Vec<PoolBox<T>>,
+        /// Home shard to start parking at.
+        shard: usize,
+    },
+}
+
+/// Cache one released object — the lock-free release path. A full magazine
+/// in an uncapped pool parks *whole* on the depot (one CAS); in a capped
+/// pool the older half is handed back for the caller to park in a shard.
+pub(crate) fn push<T: 'static>(depot: &Arc<Depot<T>>, obj: PoolBox<T>) -> Option<PushOutcome<T>> {
     let (outcome, stale) = with_magazine(depot, |mag| {
         let stale = invalidate_if_stale(mag, depot);
         let cap = depot.magazine_cap;
-        let overflow: Vec<Box<T>> = if mag.items.len() >= cap {
-            // Keep the newest (cache-warm) half, flush the rest. `cap` is
-            // at least 1 here, so at least one slot frees up.
-            let keep = (cap - cap / 2).min(cap - 1);
-            let flush: Vec<Box<T>> = mag.items.drain(..mag.items.len() - keep).collect();
-            depot.magazine_parked.fetch_sub(flush.len(), Ordering::Relaxed);
-            flush
+        let outcome = if mag.items.len() < cap {
+            None
+        } else if depot.depot_enabled {
+            // Park the whole magazine: swap its Vec into an empty node
+            // shell and CAS the node onto the home shard's stack. The
+            // magazine continues with the node's (empty) Vec, so the two
+            // buffers ping-pong and no allocation happens in steady state.
+            let n = mag.items.len();
+            let node_ptr = mag.spare.take().unwrap_or_else(|| depot.alloc_node());
+            let node = unsafe { &mut *node_ptr.as_ptr() };
+            debug_assert!(node.items.is_empty(), "spare/free nodes are empty shells");
+            std::mem::swap(&mut node.items, &mut mag.items);
+            node.epoch = mag.epoch;
+            depot.depot_parked.fetch_add(n, Ordering::Relaxed);
+            depot.full[mag.shard].push(node_ptr);
+            depot.stats.record_depot_park();
+            pool_event!(DepotPark, n);
+            pool_hist!("pools.depot_park_objects", n);
+            Some(PushOutcome::Parked)
         } else {
-            Vec::new()
+            // Keep the newest (cache-warm) half, flush the rest through
+            // the shard locks. `cap` is at least 1 here, so at least one
+            // slot frees up. The buffer is recycled across overflows.
+            let keep = (cap - cap / 2).min(cap - 1);
+            let split = mag.items.len() - keep;
+            let mut buf = std::mem::take(&mut mag.flush_buf);
+            buf.extend(mag.items.drain(..split));
+            Some(PushOutcome::Flush { buf, shard: mag.shard })
         };
         mag.items.push(obj);
-        depot.magazine_parked.fetch_add(1, Ordering::Relaxed);
-        let outcome = (!overflow.is_empty()).then_some(PushOutcome { overflow, shard: mag.shard });
+        mag.releases += 1;
         (outcome, stale)
     });
     drop(stale);
     outcome
 }
 
+/// Return the (drained) flush buffer after a [`PushOutcome::Flush`], so the
+/// next overflow reuses its capacity instead of allocating.
+pub(crate) fn restore_flush_buf<T: 'static>(depot: &Arc<Depot<T>>, buf: Vec<PoolBox<T>>) {
+    debug_assert!(buf.is_empty(), "flush buffers come back drained");
+    with_magazine_opt(depot, |mag| mag.flush_buf = buf);
+}
+
+/// Take one uninitialized slot from the thread's slab reserve, if any.
+pub(crate) fn take_reserve_slot<T: 'static>(depot: &Arc<Depot<T>>) -> Option<SlabSlot<T>> {
+    let (slot, stale) = with_magazine(depot, |mag| {
+        let stale = invalidate_if_stale(mag, depot);
+        let slot = mag.reserve.as_mut().and_then(SlabReserve::take);
+        if mag.reserve.as_ref().is_some_and(SlabReserve::is_exhausted) {
+            mag.reserve = None;
+        }
+        (slot, stale)
+    });
+    drop(stale);
+    slot
+}
+
+/// Park a freshly carved slab's remaining slots as the thread's reserve.
+pub(crate) fn stash_reserve<T: 'static>(depot: &Arc<Depot<T>>, reserve: SlabReserve<T>) {
+    let (old, stale) = with_magazine(depot, |mag| {
+        let stale = invalidate_if_stale(mag, depot);
+        (mag.reserve.replace(reserve), stale)
+    });
+    drop(old);
+    drop(stale);
+}
+
 /// Store objects refilled from shard `shard` in the magazine, and make that
 /// shard the new home (the spill-updates-preference arena rule).
-pub(crate) fn stash<T: 'static>(depot: &Arc<Depot<T>>, shard: usize, items: Vec<Box<T>>) {
+pub(crate) fn stash<T: 'static>(depot: &Arc<Depot<T>>, shard: usize, items: Vec<PoolBox<T>>) {
     let stale = with_magazine(depot, |mag| {
         let stale = invalidate_if_stale(mag, depot);
         mag.shard = shard;
-        depot.magazine_parked.fetch_add(items.len(), Ordering::Relaxed);
         mag.items.extend(items);
         stale
     });
@@ -297,12 +637,12 @@ pub(crate) fn set_home_shard<T: 'static>(depot: &Arc<Depot<T>>, shard: usize) {
 }
 
 /// Remove and return everything the calling thread has cached for this pool
-/// (trim/flush support). Does not create a magazine on threads that never
-/// touched the pool.
-pub(crate) fn drain_local<T: 'static>(depot: &Arc<Depot<T>>) -> Vec<Box<T>> {
+/// (trim/flush support), dropping its slab reserve too. Does not create a
+/// magazine on threads that never touched the pool.
+pub(crate) fn drain_local<T: 'static>(depot: &Arc<Depot<T>>) -> Vec<PoolBox<T>> {
     with_magazine_opt(depot, |mag| {
-        let items: Vec<Box<T>> = mag.items.drain(..).collect();
-        depot.magazine_parked.fetch_sub(items.len(), Ordering::Relaxed);
+        mag.reserve = None;
+        let items: Vec<PoolBox<T>> = mag.items.drain(..).collect();
         items
     })
     .unwrap_or_default()
@@ -316,45 +656,113 @@ mod tests {
         Arc::new(Depot::new(shards, PoolConfig::default(), cap))
     }
 
+    fn capped_depot(shards: usize, cap: usize, max: usize) -> Arc<Depot<u32>> {
+        let config = PoolConfig { max_objects: Some(max), ..Default::default() };
+        Arc::new(Depot::new(shards, config, cap))
+    }
+
     #[test]
     fn pop_empty_then_push_then_pop() {
         let d = depot(2, 4);
         assert!(pop(&d).is_none());
-        assert!(push(&d, Box::new(7)).is_none());
+        assert!(push(&d, PoolBox::new(7)).is_none());
         assert_eq!(d.magazine_parked(), 1);
         assert_eq!(pop(&d).map(|b| *b), Some(7));
         assert_eq!(d.magazine_parked(), 0);
     }
 
     #[test]
-    fn push_overflow_returns_older_half() {
+    fn overflow_parks_whole_magazine_on_depot() {
         let d = depot(1, 4);
         for i in 0..4 {
-            assert!(push(&d, Box::new(i)).is_none());
+            assert!(push(&d, PoolBox::new(i)).is_none());
         }
-        let out = push(&d, Box::new(99)).expect("5th push must overflow");
-        // Keep = 2 newest + the incoming object; flush the 2 oldest.
-        assert_eq!(out.overflow.iter().map(|b| **b).collect::<Vec<_>>(), vec![0, 1]);
+        match push(&d, PoolBox::new(99)) {
+            Some(PushOutcome::Parked) => {}
+            _ => panic!("uncapped pool must park on the depot"),
+        }
+        assert_eq!(d.depot_parked(), 4, "the full magazine moved wholesale");
+        assert_eq!(d.magazine_parked(), 1, "the incoming object starts the next one");
+        assert_eq!(d.stats.depot_parks(), 1);
+    }
+
+    #[test]
+    fn depot_swap_returns_parked_magazine() {
+        let d = depot(1, 4);
+        for i in 0..5 {
+            push(&d, PoolBox::new(i)); // fifth push parks [0,1,2,3]
+        }
+        // Empty the live magazine first (holds only `4`).
+        assert_eq!(pop(&d).map(|b| *b), Some(4));
+        assert!(pop(&d).is_none());
+        let got = depot_swap(&d).expect("a full magazine is parked");
+        assert_eq!(*got, 3, "LIFO within the swapped magazine");
+        assert_eq!(d.depot_parked(), 0);
         assert_eq!(d.magazine_parked(), 3);
+        assert_eq!(d.stats.depot_swaps(), 1);
+        for want in [2, 1, 0] {
+            assert_eq!(pop(&d).map(|b| *b), Some(want));
+        }
+    }
+
+    #[test]
+    fn capped_pool_flushes_older_half_with_recycled_buffer() {
+        let d = capped_depot(1, 4, 64);
+        for i in 0..4 {
+            assert!(push(&d, PoolBox::new(i)).is_none());
+        }
+        let Some(PushOutcome::Flush { buf, shard }) = push(&d, PoolBox::new(99)) else {
+            panic!("capped pool must flush through the shard locks");
+        };
+        // Keep = 2 newest + the incoming object; flush the 2 oldest.
+        assert_eq!(buf.iter().map(|b| **b).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(d.magazine_parked(), 3);
+        let mut buf = buf;
+        d.park_batch(shard, &mut buf);
+        let capacity = buf.capacity();
+        restore_flush_buf(&d, buf);
+        assert!(capacity >= 2);
+        // Next overflow reuses the same buffer: no fresh capacity needed.
+        push(&d, PoolBox::new(100)); // magazine back at cap
+        let Some(PushOutcome::Flush { buf, .. }) = push(&d, PoolBox::new(101)) else {
+            panic!("second overflow");
+        };
+        assert_eq!(buf.capacity(), capacity, "flush buffer must be recycled");
     }
 
     #[test]
     fn cap_one_magazine_never_exceeds_one() {
         let d = depot(1, 1);
-        assert!(push(&d, Box::new(1)).is_none());
-        let out = push(&d, Box::new(2)).expect("second push overflows");
-        assert_eq!(out.overflow.len(), 1);
+        assert!(push(&d, PoolBox::new(1)).is_none());
+        assert!(matches!(push(&d, PoolBox::new(2)), Some(PushOutcome::Parked)));
         assert_eq!(d.magazine_parked(), 1);
+        assert_eq!(d.depot_parked(), 1);
     }
 
     #[test]
     fn stale_epoch_drops_cache() {
         let d = depot(1, 8);
         for i in 0..3 {
-            push(&d, Box::new(i));
+            push(&d, PoolBox::new(i));
         }
         d.bump_trim_epoch();
         assert!(pop(&d).is_none(), "post-trim cache must not serve");
+        assert_eq!(d.magazine_parked(), 0);
+    }
+
+    #[test]
+    fn stale_depot_node_is_discarded_on_swap() {
+        let d = depot(1, 2);
+        for i in 0..3 {
+            push(&d, PoolBox::new(i)); // parks [0,1]
+        }
+        assert_eq!(d.depot_parked(), 2);
+        d.bump_trim_epoch();
+        // The live magazine invalidates; the parked node's epoch is stale
+        // too, so the swap must refuse to serve it.
+        assert!(pop(&d).is_none());
+        assert!(depot_swap(&d).is_none(), "pre-trim depot magazines must drop");
+        assert_eq!(d.depot_parked(), 0);
         assert_eq!(d.magazine_parked(), 0);
     }
 
@@ -378,7 +786,7 @@ mod tests {
         let d2 = Arc::clone(&d);
         std::thread::spawn(move || {
             for i in 0..5 {
-                push(&d2, Box::new(i));
+                push(&d2, PoolBox::new(i));
             }
         })
         .join()
@@ -386,14 +794,29 @@ mod tests {
         assert_eq!(d.magazine_parked(), 0, "exited thread's cache must flush");
         let shard_total: usize = d.shards.iter().map(ObjectPool::len).sum();
         assert_eq!(shard_total, 5, "flushed objects land in the shards");
+        assert_eq!(d.shard_parked(), 5, "the batch path counts the flush");
     }
 
     #[test]
     fn drain_local_does_not_create_magazines() {
         let d = depot(1, 8);
         assert!(drain_local(&d).is_empty());
-        push(&d, Box::new(1));
+        push(&d, PoolBox::new(1));
         assert_eq!(drain_local(&d).len(), 1);
         assert_eq!(d.magazine_parked(), 0);
+    }
+
+    #[test]
+    fn reserve_slots_hand_out_distinct_objects() {
+        let d = depot(1, 4);
+        assert!(take_reserve_slot(&d).is_none());
+        let mut reserve = SlabReserve::carve(d.slab_objects).expect("u32 slab");
+        let first = reserve.take().unwrap().fill(10);
+        stash_reserve(&d, reserve);
+        let second = take_reserve_slot(&d).expect("stashed reserve").fill(20);
+        assert_eq!((*first, *second), (10, 20));
+        // A trim clears the reserve along with the cache.
+        d.bump_trim_epoch();
+        assert!(take_reserve_slot(&d).is_none());
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::limits::PoolConfig;
 use crate::obs::pool_hist;
+use crate::pool_box::PoolBox;
 use crate::stats::PoolStats;
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -17,7 +18,7 @@ use std::sync::Arc;
 /// [`PoolConfig`] population cap.
 #[derive(Debug)]
 pub struct ObjectPool<T> {
-    free: Mutex<Vec<Box<T>>>,
+    free: Mutex<Vec<PoolBox<T>>>,
     config: PoolConfig,
     stats: Arc<PoolStats>,
 }
@@ -45,7 +46,7 @@ impl<T> ObjectPool<T> {
     /// The returned box keeps whatever state the last release left in it
     /// when served from the pool; callers re-initialize, mirroring the
     /// `init()` discipline of handmade pools.
-    pub fn acquire(&self, fresh: impl FnOnce() -> T) -> Box<T> {
+    pub fn acquire(&self, fresh: impl FnOnce() -> T) -> PoolBox<T> {
         let popped = {
             let mut free = self.free.lock();
             self.stats.record_lock();
@@ -58,14 +59,18 @@ impl<T> ObjectPool<T> {
             }
             None => {
                 self.stats.record_fresh();
-                Box::new(fresh())
+                PoolBox::new(fresh())
             }
         }
     }
 
     /// Like [`ObjectPool::acquire`], but re-initializes reused objects with
     /// `reinit` so callers always get a ready object.
-    pub fn acquire_with(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> Box<T> {
+    pub fn acquire_with(
+        &self,
+        fresh: impl FnOnce() -> T,
+        reinit: impl FnOnce(&mut T),
+    ) -> PoolBox<T> {
         let popped = {
             let mut free = self.free.lock();
             self.stats.record_lock();
@@ -79,7 +84,7 @@ impl<T> ObjectPool<T> {
             }
             None => {
                 self.stats.record_fresh();
-                Box::new(fresh())
+                PoolBox::new(fresh())
             }
         }
     }
@@ -89,7 +94,7 @@ impl<T> ObjectPool<T> {
     /// the signal ptmalloc-style sharding keys on). The unit error carries
     /// exactly the information there is: "contended, try elsewhere".
     #[allow(clippy::result_unit_err)]
-    pub fn try_acquire(&self) -> Result<Option<Box<T>>, ()> {
+    pub fn try_acquire(&self) -> Result<Option<PoolBox<T>>, ()> {
         match self.free.try_lock() {
             Some(mut free) => {
                 self.stats.record_lock();
@@ -110,7 +115,8 @@ impl<T> ObjectPool<T> {
 
     /// Return an object to the free list. If the pool is at its population
     /// cap the object is dropped (freed) instead.
-    pub fn release(&self, obj: Box<T>) {
+    pub fn release(&self, obj: impl Into<PoolBox<T>>) {
+        let obj = obj.into();
         let mut free = self.free.lock();
         self.stats.record_lock();
         if self.config.accepts_object(free.len()) {
@@ -127,7 +133,7 @@ impl<T> ObjectPool<T> {
 
     /// Try to return an object without blocking. On lock failure the object
     /// is handed back to the caller.
-    pub fn try_release(&self, obj: Box<T>) -> Result<(), Box<T>> {
+    pub fn try_release(&self, obj: PoolBox<T>) -> Result<(), PoolBox<T>> {
         match self.free.try_lock() {
             Some(mut free) => {
                 self.stats.record_lock();
@@ -150,7 +156,7 @@ impl<T> ObjectPool<T> {
     /// from the top of the free list (the most recently released, cache-warm
     /// end). Batch transfers count one lock acquisition and no per-object
     /// hits — the magazine layer does its own hit accounting.
-    pub(crate) fn take_batch(&self, max: usize, out: &mut Vec<Box<T>>) -> usize {
+    pub(crate) fn take_batch(&self, max: usize, out: &mut Vec<PoolBox<T>>) -> usize {
         let mut free = self.free.lock();
         self.stats.record_lock();
         let n = max.min(free.len());
@@ -163,7 +169,11 @@ impl<T> ObjectPool<T> {
     /// Non-blocking [`ObjectPool::take_batch`]. `Err(())` means the shard
     /// lock is held (recorded as a failed lock attempt).
     #[allow(clippy::result_unit_err)]
-    pub(crate) fn try_take_batch(&self, max: usize, out: &mut Vec<Box<T>>) -> Result<usize, ()> {
+    pub(crate) fn try_take_batch(
+        &self,
+        max: usize,
+        out: &mut Vec<PoolBox<T>>,
+    ) -> Result<usize, ()> {
         match self.free.try_lock() {
             Some(mut free) => {
                 self.stats.record_lock();
@@ -183,7 +193,7 @@ impl<T> ObjectPool<T> {
     /// Park a whole batch under one lock. Objects over the population cap
     /// are dropped (outside the lock — their destructors may be arbitrary
     /// user code). Returns how many were parked.
-    pub(crate) fn put_batch(&self, items: &mut Vec<Box<T>>) -> usize {
+    pub(crate) fn put_batch(&self, items: &mut Vec<PoolBox<T>>) -> usize {
         let total = items.len();
         let rejected = {
             let mut free = self.free.lock();
@@ -203,7 +213,7 @@ impl<T> ObjectPool<T> {
     /// Non-blocking [`ObjectPool::put_batch`]. On contention the items stay
     /// in `items` and the caller can spill to another shard.
     #[allow(clippy::result_unit_err)]
-    pub(crate) fn try_put_batch(&self, items: &mut Vec<Box<T>>) -> Result<usize, ()> {
+    pub(crate) fn try_put_batch(&self, items: &mut Vec<PoolBox<T>>) -> Result<usize, ()> {
         let total = items.len();
         let rejected = match self.free.try_lock() {
             Some(mut free) => {
@@ -229,9 +239,9 @@ impl<T> ObjectPool<T> {
     /// the caller to drop after releasing the lock.
     fn push_until_cap(
         config: &PoolConfig,
-        free: &mut Vec<Box<T>>,
-        items: &mut Vec<Box<T>>,
-    ) -> Vec<Box<T>> {
+        free: &mut Vec<PoolBox<T>>,
+        items: &mut Vec<PoolBox<T>>,
+    ) -> Vec<PoolBox<T>> {
         let mut rejected = Vec::new();
         for obj in items.drain(..) {
             if config.accepts_object(free.len()) {

@@ -18,9 +18,10 @@
 //! compare the fast path against.
 
 use crate::limits::PoolConfig;
-use crate::magazine::{self, Depot, DEFAULT_MAGAZINE_CAP};
+use crate::magazine::{self, Depot, PushOutcome, DEFAULT_MAGAZINE_CAP};
 use crate::object_pool::ObjectPool;
 use crate::obs::{pool_event, pool_hist};
+use crate::pool_box::{PoolBox, SlabReserve};
 use crate::stats::StatsSnapshot;
 use std::sync::Arc;
 
@@ -60,9 +61,23 @@ impl<T> ShardedPool<T> {
         self.depot.magazine_cap
     }
 
-    /// Total parked objects: shard free lists plus all thread magazines.
+    /// Total parked objects: shard free lists, the depot's parked
+    /// magazines, and all thread magazines.
     pub fn len(&self) -> usize {
-        self.depot.shards.iter().map(ObjectPool::len).sum::<usize>() + self.depot.magazine_parked()
+        self.depot.shards.iter().map(ObjectPool::len).sum::<usize>()
+            + self.depot.depot_parked()
+            + self.depot.magazine_parked()
+    }
+
+    /// Objects cached in thread magazines (conservation diagnostics).
+    pub fn magazine_parked(&self) -> usize {
+        self.depot.magazine_parked()
+    }
+
+    /// Objects parked in full magazines on the depot (conservation
+    /// diagnostics).
+    pub fn depot_parked(&self) -> usize {
+        self.depot.depot_parked()
     }
 
     /// True if no shard or magazine holds a parked object.
@@ -74,6 +89,8 @@ impl<T> ShardedPool<T> {
     /// path's hit/fresh/release counts.
     pub fn stats(&self) -> StatsSnapshot {
         let mut agg = self.depot.stats.snapshot();
+        let (mag_hits, mag_releases) = self.depot.magazine_hot_counts();
+        agg.add_magazine_counts(mag_hits, mag_releases);
         for s in self.depot.shards.iter() {
             agg.merge(&s.stats().snapshot());
         }
@@ -88,58 +105,105 @@ impl<T> ShardedPool<T> {
 }
 
 impl<T: 'static> ShardedPool<T> {
-    /// Acquire an object: magazine pop on the fast path, batch refill from
-    /// the first uncontended shard on a miss, fresh allocation when the
-    /// shards are empty too.
-    pub fn acquire(&self, fresh: impl FnOnce() -> T) -> Box<T> {
+    /// Acquire an object: magazine pop on the fast path, a one-CAS full
+    /// magazine swap from the depot on a miss, batch refill from the
+    /// shards after that, and slab-carved fresh allocation last.
+    pub fn acquire(&self, fresh: impl FnOnce() -> T) -> PoolBox<T> {
         self.acquire_with(fresh, |_| {})
     }
 
     /// Like [`ShardedPool::acquire`], but re-initializes reused objects
     /// with `reinit` so callers always get a ready object.
-    pub fn acquire_with(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> Box<T> {
+    pub fn acquire_with(
+        &self,
+        fresh: impl FnOnce() -> T,
+        reinit: impl FnOnce(&mut T),
+    ) -> PoolBox<T> {
         if self.depot.magazine_cap == 0 {
             return self.acquire_direct(fresh, reinit);
         }
         if let Some(mut obj) = magazine::pop(&self.depot) {
-            self.depot.stats.record_hit();
+            // The hit itself was counted inside `pop` (a plain field in the
+            // magazine — no shared-counter RMW on the fast path); only the
+            // telemetry event is emitted here.
+            pool_event!(AcquireHit);
             reinit(&mut obj);
             return obj;
         }
-        // Magazine empty: pull a batch from the shards under one lock.
-        let target = (self.depot.magazine_cap / 2).max(1);
-        let start = magazine::home_shard(&self.depot);
-        let mut batch = Vec::with_capacity(target);
-        let used = self.depot.refill_batch(start, target, &mut batch);
-        if let Some(mut obj) = batch.pop() {
-            self.depot.stats.record_hit();
-            pool_event!(MagazineRefill, batch.len() + 1);
-            pool_hist!("pools.magazine_occupancy", batch.len());
-            magazine::stash(&self.depot, used, batch);
-            reinit(&mut obj);
-            return obj;
-        }
-        if used != start {
-            magazine::set_home_shard(&self.depot, used);
-        }
-        self.depot.stats.record_fresh();
-        Box::new(fresh())
+        self.acquire_cold(fresh, reinit)
     }
 
-    /// Release an object into the thread's magazine; a full magazine
-    /// flushes its older half to a shard (spilling on contention).
-    pub fn release(&self, obj: Box<T>) {
+    /// The three-level miss path, outlined so the hit path stays small.
+    #[cold]
+    fn acquire_cold(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> PoolBox<T> {
+        // Level 2: swap the empty magazine for a full one from the depot —
+        // one CAS, no locks, no per-object moves.
+        if let Some(mut obj) = magazine::depot_swap(&self.depot) {
+            self.depot.stats.record_hit();
+            reinit(&mut obj);
+            return obj;
+        }
+        // Level 3: pull a batch from the shards under one lock (skipped
+        // entirely when the tracked shard population is zero — one relaxed
+        // load instead of a round of try-locks).
+        if self.depot.shard_parked() > 0 {
+            let target = (self.depot.magazine_cap / 2).max(1);
+            let start = magazine::home_shard(&self.depot);
+            let mut batch = Vec::with_capacity(target);
+            let used = self.depot.refill_batch(start, target, &mut batch);
+            if let Some(mut obj) = batch.pop() {
+                self.depot.stats.record_hit();
+                pool_event!(MagazineRefill, batch.len() + 1);
+                pool_hist!("pools.magazine_occupancy", batch.len());
+                magazine::stash(&self.depot, used, batch);
+                reinit(&mut obj);
+                return obj;
+            }
+            if used != start {
+                magazine::set_home_shard(&self.depot, used);
+            }
+        }
+        // Level 4: fresh allocation, carved from a contiguous slab so one
+        // heap call covers a whole magazine's worth of future misses. The
+        // constructor runs outside the magazine borrow (it is user code).
+        self.depot.stats.record_fresh();
+        if let Some(slot) = magazine::take_reserve_slot(&self.depot) {
+            return slot.fill(fresh());
+        }
+        if self.depot.slab_objects > 0 {
+            if let Some(mut reserve) = SlabReserve::carve(self.depot.slab_objects) {
+                self.depot.stats.record_slab_carve();
+                pool_event!(SlabCarve, self.depot.slab_objects);
+                pool_hist!("pools.slab_objects", self.depot.slab_objects);
+                let slot = reserve.take().expect("a fresh slab has at least two slots");
+                magazine::stash_reserve(&self.depot, reserve);
+                return slot.fill(fresh());
+            }
+        }
+        PoolBox::new(fresh())
+    }
+
+    /// Release an object into the thread's magazine; a full magazine parks
+    /// wholesale on the depot (uncapped pools, one CAS) or flushes its
+    /// older half to a shard (capped pools, spilling on contention).
+    pub fn release(&self, obj: impl Into<PoolBox<T>>) {
+        let obj = obj.into();
         if self.depot.magazine_cap == 0 {
             return self.release_direct(obj);
         }
-        self.depot.stats.record_release();
-        if let Some(mut out) = magazine::push(&self.depot, obj) {
-            pool_event!(MagazineFlush, out.overflow.len());
-            pool_hist!(
-                "pools.magazine_occupancy",
-                (self.depot.magazine_cap + 1).saturating_sub(out.overflow.len())
-            );
-            self.depot.park_batch(out.shard, &mut out.overflow);
+        // Counted inside `push` (plain magazine field); event only here.
+        pool_event!(Release);
+        match magazine::push(&self.depot, obj) {
+            None | Some(PushOutcome::Parked) => {}
+            Some(PushOutcome::Flush { mut buf, shard }) => {
+                pool_event!(MagazineFlush, buf.len());
+                pool_hist!(
+                    "pools.magazine_occupancy",
+                    (self.depot.magazine_cap + 1).saturating_sub(buf.len())
+                );
+                self.depot.park_batch(shard, &mut buf);
+                magazine::restore_flush_buf(&self.depot, buf);
+            }
         }
     }
 
@@ -151,8 +215,12 @@ impl<T: 'static> ShardedPool<T> {
         let local = magazine::drain_local(&self.depot);
         let n_local = local.len();
         drop(local);
+        // Drain the depot stacks before bumping the epoch: a magazine
+        // parked concurrently with the drain still carries the old epoch,
+        // so the next swap recognizes it as stale and drops it then.
+        let n_depot = self.depot.drain_depot();
         self.depot.bump_trim_epoch();
-        n_local + self.depot.shards.iter().map(ObjectPool::trim).sum::<usize>()
+        n_local + n_depot + self.depot.trim_shards()
     }
 
     /// Park the calling thread's magazine contents back into the shards
@@ -170,7 +238,7 @@ impl<T: 'static> ShardedPool<T> {
 
     /// The pre-magazine path: try-lock the home shard, spin to the next on
     /// contention, block on the home shard when all are contended.
-    fn acquire_direct(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> Box<T> {
+    fn acquire_direct(&self, fresh: impl FnOnce() -> T, reinit: impl FnOnce(&mut T)) -> PoolBox<T> {
         let n = self.depot.shards.len();
         let start = magazine::home_shard(&self.depot);
         for off in 0..n {
@@ -189,7 +257,7 @@ impl<T: 'static> ShardedPool<T> {
                         magazine::set_home_shard(&self.depot, idx);
                     }
                     self.depot.shards[idx].stats().record_fresh();
-                    return Box::new(fresh());
+                    return PoolBox::new(fresh());
                 }
                 Err(()) => continue, // contended: spin to the next shard
             }
@@ -197,7 +265,7 @@ impl<T: 'static> ShardedPool<T> {
         self.depot.shards[start].acquire_with(fresh, reinit)
     }
 
-    fn release_direct(&self, mut obj: Box<T>) {
+    fn release_direct(&self, mut obj: PoolBox<T>) {
         let n = self.depot.shards.len();
         let start = magazine::home_shard(&self.depot);
         for off in 0..n {
@@ -292,12 +360,34 @@ mod tests {
     }
 
     #[test]
-    fn magazine_overflow_flushes_to_shards() {
+    fn magazine_overflow_parks_on_depot() {
         let pool: ShardedPool<u32> = ShardedPool::with_magazines(2, PoolConfig::default(), 4);
         for i in 0..10 {
             pool.release(Box::new(i));
         }
+        assert_eq!(pool.len(), 10, "nothing lost across overflow parks");
+        assert!(pool.depot_parked() > 0, "overflow must park whole magazines on the depot");
+        assert!(pool.magazine_parked() <= pool.magazine_capacity());
+        // A miss swaps a parked magazine back in without touching a shard.
+        let mut drained = Vec::new();
+        for _ in 0..10 {
+            drained.push(pool.acquire(|| 999));
+        }
+        let mut got: Vec<u32> = drained.iter().map(|b| **b).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<u32>>(), "every object comes back exactly once");
+        assert_eq!(pool.stats().fresh_allocs(), 0, "depot swaps avoid fresh allocation");
+    }
+
+    #[test]
+    fn capped_magazine_overflow_flushes_to_shards() {
+        let config = PoolConfig { max_objects: Some(64), ..Default::default() };
+        let pool: ShardedPool<u32> = ShardedPool::with_magazines(2, config, 4);
+        for i in 0..10 {
+            pool.release(Box::new(i));
+        }
         assert_eq!(pool.len(), 10, "nothing lost across overflow flushes");
+        assert_eq!(pool.depot_parked(), 0, "capped pools bypass the depot");
         let in_shards: usize = pool.shard_lengths().iter().sum();
         assert!(in_shards > 0, "overflow must land in a shard free list");
         assert!(pool.len() - in_shards <= pool.magazine_capacity());

@@ -27,6 +27,9 @@ pub struct PoolStats {
     dropped: AtomicU64,
     failed_locks: AtomicU64,
     lock_acquisitions: AtomicU64,
+    depot_swaps: AtomicU64,
+    depot_parks: AtomicU64,
+    slab_carves: AtomicU64,
 }
 
 impl PoolStats {
@@ -39,6 +42,14 @@ impl PoolStats {
     pub(crate) fn record_hit(&self) {
         self.pool_hits.fetch_add(1, Ordering::Relaxed);
         pool_event!(AcquireHit);
+    }
+
+    /// Fold a retiring magazine's locally-counted hits and releases into the
+    /// shared counters (see `magazine::MagCells`). No events: the owning
+    /// thread already emitted one per operation.
+    pub(crate) fn fold_magazine_counts(&self, hits: u64, releases: u64) {
+        self.pool_hits.fetch_add(hits, Ordering::Relaxed);
+        self.releases.fetch_add(releases, Ordering::Relaxed);
     }
 
     #[inline]
@@ -76,6 +87,23 @@ impl PoolStats {
         self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn record_depot_swap(&self) {
+        self.depot_swaps.fetch_add(1, Ordering::Relaxed);
+        // The matching DepotSwap event carries the magazine size as its
+        // payload, so it is recorded at the swap site, not here.
+    }
+
+    #[inline]
+    pub(crate) fn record_depot_park(&self) {
+        self.depot_parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_slab_carve(&self) {
+        self.slab_carves.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Allocations served by reuse from the free list.
     pub fn pool_hits(&self) -> u64 {
         self.pool_hits.load(Ordering::Relaxed)
@@ -104,6 +132,21 @@ impl PoolStats {
     /// Successful lock acquisitions.
     pub fn lock_acquisitions(&self) -> u64 {
         self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Full magazines swapped in from the depot (O(1) cold refills).
+    pub fn depot_swaps(&self) -> u64 {
+        self.depot_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Full magazines parked on the depot (O(1) overflow flushes).
+    pub fn depot_parks(&self) -> u64 {
+        self.depot_parks.load(Ordering::Relaxed)
+    }
+
+    /// Contiguous slabs carved for fresh allocation.
+    pub fn slab_carves(&self) -> u64 {
+        self.slab_carves.load(Ordering::Relaxed)
     }
 
     /// Total allocation requests (hits + fresh).
@@ -137,6 +180,9 @@ impl PoolStats {
             dropped: self.dropped(),
             failed_locks: self.failed_locks(),
             lock_acquisitions: self.lock_acquisitions(),
+            depot_swaps: self.depot_swaps(),
+            depot_parks: self.depot_parks(),
+            slab_carves: self.slab_carves(),
         }
     }
 }
@@ -155,9 +201,20 @@ pub struct StatsSnapshot {
     dropped: u64,
     failed_locks: u64,
     lock_acquisitions: u64,
+    depot_swaps: u64,
+    depot_parks: u64,
+    slab_carves: u64,
 }
 
 impl StatsSnapshot {
+    /// Add hits/releases still held in live magazines' local counters
+    /// (published via `magazine::MagCells`, not yet folded into the shared
+    /// [`PoolStats`]).
+    pub(crate) fn add_magazine_counts(&mut self, hits: u64, releases: u64) {
+        self.pool_hits += hits;
+        self.releases += releases;
+    }
+
     /// Allocations served by reuse (method form, mirroring [`PoolStats`]).
     pub fn pool_hits(&self) -> u64 {
         self.pool_hits
@@ -188,6 +245,21 @@ impl StatsSnapshot {
         self.lock_acquisitions
     }
 
+    /// Full magazines swapped in from the depot.
+    pub fn depot_swaps(&self) -> u64 {
+        self.depot_swaps
+    }
+
+    /// Full magazines parked on the depot.
+    pub fn depot_parks(&self) -> u64 {
+        self.depot_parks
+    }
+
+    /// Contiguous slabs carved for fresh allocation.
+    pub fn slab_carves(&self) -> u64 {
+        self.slab_carves
+    }
+
     /// Total allocation requests (hits + fresh).
     pub fn total_allocs(&self) -> u64 {
         self.pool_hits + self.fresh_allocs
@@ -211,6 +283,9 @@ impl StatsSnapshot {
         self.dropped += other.dropped;
         self.failed_locks += other.failed_locks;
         self.lock_acquisitions += other.lock_acquisitions;
+        self.depot_swaps += other.depot_swaps;
+        self.depot_parks += other.depot_parks;
+        self.slab_carves += other.slab_carves;
     }
 }
 

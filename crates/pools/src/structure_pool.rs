@@ -11,6 +11,7 @@
 
 use crate::limits::PoolConfig;
 use crate::object_pool::ObjectPool;
+use crate::pool_box::PoolBox;
 use crate::sharded::ShardedPool;
 use crate::stats::StatsSnapshot;
 
@@ -107,7 +108,7 @@ impl<T: Reusable> StructurePool<T> {
 impl<T: Reusable + 'static> StructurePool<T> {
     /// Allocate a structure: one pool access regardless of how many
     /// sub-objects the structure contains.
-    pub fn alloc(&self, params: &T::Params) -> Box<T> {
+    pub fn alloc(&self, params: &T::Params) -> PoolBox<T> {
         match &self.inner {
             Backend::Plain(p) => p.acquire_with(|| T::fresh(params), |t| t.reinit(params)),
             Backend::Sharded(s) => s.acquire_with(|| T::fresh(params), |t| t.reinit(params)),
@@ -116,7 +117,8 @@ impl<T: Reusable + 'static> StructurePool<T> {
 
     /// Free a structure: run `recycle` (the destructor chain) and park the
     /// whole thing, links intact.
-    pub fn free(&self, mut structure: Box<T>) {
+    pub fn free(&self, structure: impl Into<PoolBox<T>>) {
+        let mut structure = structure.into();
         structure.recycle();
         match &self.inner {
             Backend::Plain(p) => p.release(structure),

@@ -31,7 +31,7 @@ fn churn(pool: &Arc<ShardedPool<u64>>, threads: u64, ops: u32) -> u64 {
                 let p = Arc::clone(pool);
                 s.spawn(move || {
                     let mut rng = Lcg(t * 2 + 1);
-                    let mut held: Vec<Box<u64>> = Vec::new();
+                    let mut held: Vec<pools::PoolBox<u64>> = Vec::new();
                     let mut counter = 0u64;
                     let mut acquires = 0u64;
                     for _ in 0..ops {

@@ -20,7 +20,7 @@ proptest! {
     fn object_pool_respects_cap(ops in ops(), cap in 1usize..8) {
         let pool: ObjectPool<u64> =
             ObjectPool::with_config(PoolConfig { max_objects: Some(cap), ..Default::default() });
-        let mut held: Vec<Box<u64>> = Vec::new();
+        let mut held: Vec<pools::PoolBox<u64>> = Vec::new();
         for op in ops {
             match op {
                 Op::Acquire => held.push(pool.acquire(|| 0)),
@@ -42,7 +42,7 @@ proptest! {
     #[test]
     fn object_pool_is_lifo(n in 1usize..20) {
         let pool: ObjectPool<usize> = ObjectPool::new();
-        let objs: Vec<Box<usize>> = (0..n).map(|i| pool.acquire(move || i)).collect();
+        let objs: Vec<pools::PoolBox<usize>> = (0..n).map(|i| pool.acquire(move || i)).collect();
         for o in objs {
             pool.release(o);
         }
@@ -83,7 +83,7 @@ proptest! {
     #[test]
     fn sharded_pool_conserves_objects(shards in 1usize..6, n in 1usize..40) {
         let pool: ShardedPool<usize> = ShardedPool::new(shards);
-        let objs: Vec<Box<usize>> = (0..n).map(|i| pool.acquire(move || i)).collect();
+        let objs: Vec<pools::PoolBox<usize>> = (0..n).map(|i| pool.acquire(move || i)).collect();
         let mut values: Vec<usize> = objs.iter().map(|b| **b).collect();
         for o in objs {
             pool.release(o);

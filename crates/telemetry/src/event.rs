@@ -55,11 +55,20 @@ pub enum EventKind {
     ShadowPark,
     /// A shadow slot revived a parked object (temporal-locality hit).
     ShadowReuse,
+    /// An empty thread magazine swapped for a full one from the depot in
+    /// one CAS; payload = objects gained.
+    DepotSwap,
+    /// A full thread magazine parked on the depot in one CAS; payload =
+    /// objects parked.
+    DepotPark,
+    /// A contiguous slab was carved into fresh-allocation reserve slots;
+    /// payload = slots carved.
+    SlabCarve,
 }
 
 impl EventKind {
     /// Every kind, in tag order (the order reports list counts in).
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::AcquireHit,
         EventKind::AcquireMiss,
         EventKind::Release,
@@ -70,6 +79,9 @@ impl EventKind {
         EventKind::ShardLockContention,
         EventKind::ShadowPark,
         EventKind::ShadowReuse,
+        EventKind::DepotSwap,
+        EventKind::DepotPark,
+        EventKind::SlabCarve,
     ];
 
     /// Stable wire/report name.
@@ -85,6 +97,9 @@ impl EventKind {
             EventKind::ShardLockContention => "shard_lock_contention",
             EventKind::ShadowPark => "shadow_park",
             EventKind::ShadowReuse => "shadow_reuse",
+            EventKind::DepotSwap => "depot_swap",
+            EventKind::DepotPark => "depot_park",
+            EventKind::SlabCarve => "slab_carve",
         }
     }
 
