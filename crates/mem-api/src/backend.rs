@@ -92,6 +92,7 @@ pub struct BackendStats {
     depot_swaps: u64,
     depot_parks: u64,
     slab_carves: u64,
+    fallback_allocs: u64,
 }
 
 impl BackendStats {
@@ -116,6 +117,7 @@ impl BackendStats {
             depot_swaps: 0,
             depot_parks: 0,
             slab_carves: 0,
+            fallback_allocs: 0,
         }
     }
 
@@ -130,6 +132,14 @@ impl BackendStats {
         self.depot_swaps = depot_swaps;
         self.depot_parks = depot_parks;
         self.slab_carves = slab_carves;
+        self
+    }
+
+    /// Attach the count of acquires that degraded to a plain heap `Box`
+    /// under injected allocation failure (builder style; stays 0 without
+    /// the `fault-inject` feature).
+    pub fn with_fallbacks(mut self, fallback_allocs: u64) -> Self {
+        self.fallback_allocs = fallback_allocs;
         self
     }
 
@@ -179,6 +189,13 @@ impl BackendStats {
     /// Contiguous slabs carved for fresh allocation.
     pub fn slab_carves(&self) -> u64 {
         self.slab_carves
+    }
+
+    /// Allocations that degraded gracefully to a plain heap `Box` under an
+    /// injected failure (a subset of `fresh_allocs`; deterministic for a
+    /// fixed fault seed, which the differential tests assert).
+    pub fn fallback_allocs(&self) -> u64 {
+        self.fallback_allocs
     }
 
     /// Fraction of allocations served by reuse, in `[0, 1]`.

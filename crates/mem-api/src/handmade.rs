@@ -41,6 +41,7 @@ pub struct HandmadeBackend<T> {
     fresh_allocs: AtomicU64,
     frees: AtomicU64,
     live_bytes: AtomicU64,
+    fallback_allocs: AtomicU64,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -61,6 +62,7 @@ impl<T: Structured> HandmadeBackend<T> {
             fresh_allocs: AtomicU64::new(0),
             frees: AtomicU64::new(0),
             live_bytes: AtomicU64::new(0),
+            fallback_allocs: AtomicU64::new(0),
             _marker: PhantomData,
         }
     }
@@ -101,6 +103,16 @@ impl<T: Structured> MemBackend<T> for HandmadeBackend<T> {
     }
 
     fn alloc(&self, params: &T::Params) -> Allocation<T> {
+        if pools::fault::fail_fresh_alloc() {
+            // Injected failure: a forced miss. The parked structure (if
+            // any) stays for the next alloc; this one builds fresh from
+            // the plain heap, counted as fresh + fallback.
+            self.fresh_allocs.fetch_add(1, Ordering::Relaxed);
+            self.fallback_allocs.fetch_add(1, Ordering::Relaxed);
+            let bytes = T::footprint(params);
+            self.live_bytes.fetch_add(bytes, Ordering::Relaxed);
+            return Allocation::new(PoolBox::new(T::fresh(params)), Vec::new(), bytes);
+        }
         let reused = self.with_free_list(|list| list.pop());
         let obj = match reused {
             Some(mut obj) => {
@@ -137,6 +149,7 @@ impl<T: Structured> MemBackend<T> for HandmadeBackend<T> {
             0, // by construction: the handmade pool never takes a lock
             self.live_bytes.load(Ordering::Relaxed),
         )
+        .with_fallbacks(self.fallback_allocs.load(Ordering::Relaxed))
     }
 
     fn trim(&self) {

@@ -20,6 +20,7 @@ pub struct MallocBackend {
     inner: Arc<dyn ParallelAllocator>,
     structures_allocated: AtomicU64,
     structures_freed: AtomicU64,
+    fallback_allocs: AtomicU64,
 }
 
 impl MallocBackend {
@@ -36,6 +37,7 @@ impl MallocBackend {
             inner,
             structures_allocated: AtomicU64::new(0),
             structures_freed: AtomicU64::new(0),
+            fallback_allocs: AtomicU64::new(0),
         }
     }
 
@@ -51,10 +53,18 @@ impl<T: Structured> MemBackend<T> for MallocBackend {
     }
 
     fn alloc(&self, params: &T::Params) -> Allocation<T> {
+        self.structures_allocated.fetch_add(1, Ordering::Relaxed);
+        if pools::fault::fail_fresh_alloc() {
+            // Injected failure of the modeled allocator: degrade to a plain
+            // heap object with no per-node handles. The caller sees the
+            // same structure (same checksum), just without the modeled
+            // arena traffic.
+            self.fallback_allocs.fetch_add(1, Ordering::Relaxed);
+            return Allocation::new(Box::new(T::fresh(params)), Vec::new(), T::footprint(params));
+        }
         let nodes = T::node_count(params);
         let blocks =
             (0..nodes).map(|i| self.inner.alloc(T::node_size(params, i))).collect::<Vec<_>>();
-        self.structures_allocated.fetch_add(1, Ordering::Relaxed);
         Allocation::new(Box::new(T::fresh(params)), blocks, T::footprint(params))
     }
 
@@ -80,6 +90,7 @@ impl<T: Structured> MemBackend<T> for MallocBackend {
             self.inner.contention_events(),
             self.inner.live_bytes(),
         )
+        .with_fallbacks(self.fallback_allocs.load(Ordering::Relaxed))
     }
 }
 

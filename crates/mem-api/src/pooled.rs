@@ -86,6 +86,7 @@ where
             self.live_bytes.load(Ordering::Relaxed),
         )
         .with_depot_detail(s.depot_swaps(), s.depot_parks(), s.slab_carves())
+        .with_fallbacks(s.fallback_allocs())
     }
 
     fn trim(&self) {

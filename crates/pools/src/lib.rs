@@ -41,6 +41,8 @@
 
 pub mod bit_shadow;
 mod depot;
+pub mod fault;
+mod guard;
 pub mod limits;
 pub mod magazine;
 pub mod object_pool;

@@ -34,6 +34,8 @@
 //!   recognized as stale at swap time and discarded then.
 
 use crate::depot::{DepotNode, MagStack};
+use crate::fault;
+use crate::guard;
 use crate::limits::PoolConfig;
 use crate::object_pool::ObjectPool;
 use crate::obs::{pool_event, pool_hist};
@@ -105,6 +107,9 @@ pub(crate) struct Depot<T> {
     /// Hits/fresh/releases recorded by the magazine fast path (shard-level
     /// stats only see batch lock traffic).
     pub(crate) stats: PoolStats,
+    /// Park/unpark/reclaim books, reconciled at drop (zero-sized no-op in
+    /// default release builds — see [`crate::guard`]).
+    pub(crate) guard: guard::Ledger,
 }
 
 impl<T> Depot<T> {
@@ -135,6 +140,7 @@ impl<T> Depot<T> {
             depot_enabled: magazine_cap > 0 && config.max_objects.is_none(),
             slab_objects,
             stats: PoolStats::new(),
+            guard: guard::Ledger::default(),
         }
     }
 
@@ -219,6 +225,7 @@ impl<T> Depot<T> {
         }
         let n = reclaimed.len();
         self.depot_parked.fetch_sub(n, Ordering::Relaxed);
+        self.guard.record_reclaim(n);
         drop(reclaimed); // user destructors run here, outside any stack op
         n
     }
@@ -231,6 +238,7 @@ impl<T> Depot<T> {
             self.shard_parked.fetch_sub(n, Ordering::Relaxed);
             total += n;
         }
+        self.guard.record_reclaim(total);
         total
     }
 
@@ -286,6 +294,22 @@ impl<T> Depot<T> {
 
 impl<T> Drop for Depot<T> {
     fn drop(&mut self) {
+        // Exact live-object accounting (guarded builds only): when no
+        // foreign magazine is still live, every parked object is visible
+        // from here — the shard free lists plus the items inside parked
+        // depot nodes — and the guard ledger must balance against that
+        // population and the cap-drop counters.
+        #[cfg(any(debug_assertions, feature = "fault-inject"))]
+        if self.mag_counts.get_mut().is_empty() {
+            let mut physically_parked: usize = self.shards.iter().map(ObjectPool::len).sum();
+            for &addr in self.nodes.get_mut().iter() {
+                // Sole owner: the node is ours to read.
+                physically_parked += unsafe { &*(addr as *const DepotNode<T>) }.items.len();
+            }
+            let cap_dropped =
+                self.stats.dropped() + self.shards.iter().map(|s| s.stats().dropped()).sum::<u64>();
+            self.guard.reconcile(physically_parked, cap_dropped);
+        }
         // Sole owner now: no thread can race a stack operation. Free every
         // node ever allocated; full ones drop their objects with their Vec.
         for &addr in self.nodes.get_mut().iter() {
@@ -343,6 +367,35 @@ impl<T> Drop for Magazine<T> {
         // already gone, the objects simply drop (and the depot has already
         // freed every node, spare included — don't touch it).
         if let Some(depot) = self.depot.upgrade() {
+            // Fold-on-drop must be panic-safe: parking the cached objects
+            // can run arbitrary user destructors (a capped shard drops the
+            // overflow), and if one of them panics the locally-counted
+            // hits/releases must still reach the shared stats. The fold
+            // lives in this guard's own `Drop`, which runs even while
+            // `park_batch` unwinds.
+            struct FoldOnDrop<'a, T> {
+                depot: &'a Depot<T>,
+                cells: &'a Arc<MagCells>,
+                hits: u64,
+                releases: u64,
+            }
+            impl<T> Drop for FoldOnDrop<'_, T> {
+                fn drop(&mut self) {
+                    // Fold the counts into the shared stats and retire the
+                    // cell in one critical section, so a stats reader
+                    // (which also locks `mag_counts`) never counts them
+                    // twice — and never loses them to a mid-park panic.
+                    let mut cells = self.depot.mag_counts.lock();
+                    self.depot.stats.fold_magazine_counts(self.hits, self.releases);
+                    cells.retain(|c| !Arc::ptr_eq(c, self.cells));
+                }
+            }
+            let _fold = FoldOnDrop {
+                depot: &depot,
+                cells: &self.cells,
+                hits: self.hits,
+                releases: self.releases,
+            };
             if let Some(node) = self.spare.take() {
                 depot.free_nodes.push(node);
             }
@@ -350,12 +403,6 @@ impl<T> Drop for Magazine<T> {
                 let mut items = std::mem::take(&mut self.items);
                 depot.park_batch(self.shard, &mut items);
             }
-            // Fold the local hit/release counts into the shared stats and
-            // retire the cell in one critical section, so a stats reader
-            // (which also locks `mag_counts`) never counts them twice.
-            let mut cells = depot.mag_counts.lock();
-            depot.stats.fold_magazine_counts(self.hits, self.releases);
-            cells.retain(|c| !Arc::ptr_eq(c, &self.cells));
         }
     }
 }
@@ -480,6 +527,10 @@ pub(crate) fn pop<T: 'static>(depot: &Arc<Depot<T>>) -> Option<PoolBox<T>> {
         mag.hits += obj.is_some() as u64;
         (obj, stale)
     });
+    if obj.is_some() {
+        depot.guard.record_unpark();
+    }
+    depot.guard.record_reclaim(stale.len());
     drop(stale); // outside the borrow: destructors may re-enter pool code
     obj
 }
@@ -497,7 +548,23 @@ pub(crate) fn depot_swap<T: 'static>(depot: &Arc<Depot<T>>) -> Option<PoolBox<T>
     let (obj, stale) = with_magazine(depot, |mag| {
         let mut stale = invalidate_if_stale(mag, depot);
         let mut got = None;
+        let mut forced_retry = fault::retry_depot();
         while let Some(node_ptr) = depot.pop_full(mag.shard) {
+            if forced_retry {
+                // Injected CAS race: hand the node straight back and pop
+                // again, exercising the version-tag (ABA) protection the
+                // way a concurrent winner would.
+                forced_retry = false;
+                depot.full[mag.shard].push(node_ptr);
+                continue;
+            }
+            if fault::bump_epoch() {
+                // Injected trim racing the swap: the epoch moves in the
+                // window between pop and validate. The popped node stays
+                // valid — its ownership transferred at the pop CAS, exactly
+                // as if the swap had completed before the trim began.
+                depot.bump_trim_epoch();
+            }
             // Owned after a successful pop; the depot keeps it allocated.
             let node = unsafe { &mut *node_ptr.as_ptr() };
             let n = node.items.len();
@@ -519,6 +586,10 @@ pub(crate) fn depot_swap<T: 'static>(depot: &Arc<Depot<T>>) -> Option<PoolBox<T>
         }
         (got, stale)
     });
+    if obj.is_some() {
+        depot.guard.record_unpark();
+    }
+    depot.guard.record_reclaim(stale.len());
     drop(stale);
     obj
 }
@@ -546,6 +617,12 @@ pub(crate) fn push<T: 'static>(depot: &Arc<Depot<T>>, obj: PoolBox<T>) -> Option
         let stale = invalidate_if_stale(mag, depot);
         let cap = depot.magazine_cap;
         let outcome = if mag.items.len() < cap {
+            None
+        } else if fault::delay_flush() {
+            // Injected flush delay: skip the park/flush once. The magazine
+            // runs past capacity; the next release sees it full again and
+            // handles the (now larger) overflow through the normal paths,
+            // which tolerate any length ≥ cap.
             None
         } else if depot.depot_enabled {
             // Park the whole magazine: swap its Vec into an empty node
@@ -578,6 +655,8 @@ pub(crate) fn push<T: 'static>(depot: &Arc<Depot<T>>, obj: PoolBox<T>) -> Option
         mag.releases += 1;
         (outcome, stale)
     });
+    depot.guard.record_park();
+    depot.guard.record_reclaim(stale.len());
     drop(stale);
     outcome
 }
@@ -599,6 +678,7 @@ pub(crate) fn take_reserve_slot<T: 'static>(depot: &Arc<Depot<T>>) -> Option<Sla
         }
         (slot, stale)
     });
+    depot.guard.record_reclaim(stale.len());
     drop(stale);
     slot
 }
@@ -609,6 +689,7 @@ pub(crate) fn stash_reserve<T: 'static>(depot: &Arc<Depot<T>>, reserve: SlabRese
         let stale = invalidate_if_stale(mag, depot);
         (mag.reserve.replace(reserve), stale)
     });
+    depot.guard.record_reclaim(stale.len());
     drop(old);
     drop(stale);
 }
@@ -622,6 +703,7 @@ pub(crate) fn stash<T: 'static>(depot: &Arc<Depot<T>>, shard: usize, items: Vec<
         mag.items.extend(items);
         stale
     });
+    depot.guard.record_reclaim(stale.len());
     drop(stale);
 }
 
@@ -804,6 +886,47 @@ mod tests {
         push(&d, PoolBox::new(1));
         assert_eq!(drain_local(&d).len(), 1);
         assert_eq!(d.magazine_parked(), 0);
+    }
+
+    #[test]
+    fn fold_survives_park_panic() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        struct Bomb;
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                if !std::thread::panicking() {
+                    panic!("bomb: destructor panics during park");
+                }
+            }
+        }
+
+        // Zero-capacity pool: parking rejects everything, and dropping the
+        // rejected Bomb panics in the middle of `park_batch`.
+        let config = PoolConfig { max_objects: Some(0), ..Default::default() };
+        let d: Arc<Depot<Bomb>> = Arc::new(Depot::new(1, config, 4));
+        let cells = Arc::new(MagCells::default());
+        d.mag_counts.lock().push(Arc::clone(&cells));
+        d.guard.record_park(); // the hand-built magazine below caches one object
+        let mag = Magazine {
+            depot: Arc::downgrade(&d),
+            items: vec![PoolBox::new(Bomb)],
+            cells,
+            hits: 5,
+            releases: 7,
+            shard: 0,
+            epoch: 0,
+            spare: None,
+            flush_buf: Vec::new(),
+            reserve: None,
+        };
+        assert!(catch_unwind(AssertUnwindSafe(|| drop(mag))).is_err());
+        // The panic unwound out of `park_batch`, but the locally-counted
+        // hits and releases must have folded into the shared stats anyway,
+        // and the magazine's counter cell must be retired.
+        assert_eq!(d.stats.pool_hits(), 5);
+        assert_eq!(d.stats.releases(), 7);
+        assert!(d.mag_counts.lock().is_empty(), "cell must retire despite the panic");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Per-class object pools: the free list behind Amplify's generated
 //! `operator new` / `operator delete`.
 
+use crate::fault;
 use crate::limits::PoolConfig;
 use crate::obs::pool_hist;
 use crate::pool_box::PoolBox;
@@ -47,21 +48,10 @@ impl<T> ObjectPool<T> {
     /// when served from the pool; callers re-initialize, mirroring the
     /// `init()` discipline of handmade pools.
     pub fn acquire(&self, fresh: impl FnOnce() -> T) -> PoolBox<T> {
-        let popped = {
-            let mut free = self.free.lock();
-            self.stats.record_lock();
-            free.pop()
-        };
-        match popped {
-            Some(b) => {
-                self.stats.record_hit();
-                b
-            }
-            None => {
-                self.stats.record_fresh();
-                PoolBox::new(fresh())
-            }
+        if fault::fail_fresh_alloc() {
+            return self.acquire_fallback(fresh);
         }
+        self.acquire_with_inner(fresh, |_| {}).0
     }
 
     /// Like [`ObjectPool::acquire`], but re-initializes reused objects with
@@ -71,6 +61,22 @@ impl<T> ObjectPool<T> {
         fresh: impl FnOnce() -> T,
         reinit: impl FnOnce(&mut T),
     ) -> PoolBox<T> {
+        if fault::fail_fresh_alloc() {
+            return self.acquire_fallback(fresh);
+        }
+        self.acquire_with_inner(fresh, reinit).0
+    }
+
+    /// [`ObjectPool::acquire_with`] minus the fault-site draw, reporting
+    /// whether the object came from the free list. Used by the sharded
+    /// blocking fallback, which draws its fault decision at *its* entry —
+    /// a second draw here would make the injection schedule depend on
+    /// which shards happened to be contended.
+    pub(crate) fn acquire_with_inner(
+        &self,
+        fresh: impl FnOnce() -> T,
+        reinit: impl FnOnce(&mut T),
+    ) -> (PoolBox<T>, bool) {
         let popped = {
             let mut free = self.free.lock();
             self.stats.record_lock();
@@ -80,13 +86,23 @@ impl<T> ObjectPool<T> {
             Some(mut b) => {
                 self.stats.record_hit();
                 reinit(&mut b);
-                b
+                (b, true)
             }
             None => {
                 self.stats.record_fresh();
-                PoolBox::new(fresh())
+                (PoolBox::new(fresh()), false)
             }
         }
+    }
+
+    /// Graceful degradation under an injected allocation failure: bypass
+    /// the free list entirely and hand back a plain heap object, counted
+    /// as a fresh alloc *plus* a fallback (see [`crate::fault`]).
+    #[cold]
+    fn acquire_fallback(&self, fresh: impl FnOnce() -> T) -> PoolBox<T> {
+        self.stats.record_fresh();
+        self.stats.record_fallback();
+        PoolBox::new(fresh())
     }
 
     /// Try to take an object without blocking. Returns `Err(())` if the

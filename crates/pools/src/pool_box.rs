@@ -22,6 +22,87 @@ use std::ops::{Deref, DerefMut};
 use std::ptr::NonNull;
 use std::sync::Arc;
 
+#[cfg(any(debug_assertions, feature = "fault-inject"))]
+use crate::guard;
+
+/// Guarded slab-slot layout (debug / `fault-inject` builds only): the value
+/// first — so a `NonNull<T>` to the slot *is* a `NonNull<T>` to the value
+/// and the release-build pointer math is unchanged — then a canary word
+/// keyed on the slot address and a generation tag whose low bit is the
+/// live/dead state ([`guard::GEN_LIVE`]) and whose remaining bits count
+/// fills, so a stale handle from before a reuse is distinguishable.
+#[cfg(any(debug_assertions, feature = "fault-inject"))]
+#[repr(C)]
+struct GuardSlot<T> {
+    value: std::mem::MaybeUninit<T>,
+    canary: u64,
+    generation: u64,
+}
+
+/// Bytes between consecutive slab slots. With the guard compiled out this
+/// is exactly `size_of::<T>()` — guarded builds pay for the two guard words
+/// per slot, release builds pay nothing.
+#[inline]
+fn slot_stride<T>() -> usize {
+    #[cfg(any(debug_assertions, feature = "fault-inject"))]
+    {
+        std::mem::size_of::<GuardSlot<T>>()
+    }
+    #[cfg(not(any(debug_assertions, feature = "fault-inject")))]
+    {
+        std::mem::size_of::<T>()
+    }
+}
+
+/// Allocation layout for a slab of `objects` slots (guard-aware).
+fn slab_layout<T>(objects: usize) -> Option<Layout> {
+    #[cfg(any(debug_assertions, feature = "fault-inject"))]
+    {
+        Layout::array::<GuardSlot<T>>(objects).ok()
+    }
+    #[cfg(not(any(debug_assertions, feature = "fault-inject")))]
+    {
+        Layout::array::<T>(objects).ok()
+    }
+}
+
+/// Read a guarded slot's generation tag (tests of the guard machinery).
+///
+/// # Safety
+/// `ptr` must point at a slot carved by [`SlabReserve::carve`] whose slab
+/// is still allocated.
+#[cfg(all(test, any(debug_assertions, feature = "fault-inject")))]
+pub(crate) unsafe fn slot_generation<T>(ptr: NonNull<T>) -> u64 {
+    let slot = ptr.as_ptr().cast::<GuardSlot<T>>();
+    unsafe { std::ptr::addr_of!((*slot).generation).read() }
+}
+
+/// Validate a guarded slot's canary and liveness, panicking on corruption,
+/// on a dead slot when `expect_live`, or on a live one otherwise.
+///
+/// # Safety
+/// Same contract as [`slot_generation`].
+#[cfg(any(debug_assertions, feature = "fault-inject"))]
+unsafe fn check_slot<T>(ptr: NonNull<T>, expect_live: bool, what: &str) -> u64 {
+    let slot = ptr.as_ptr().cast::<GuardSlot<T>>();
+    let canary = unsafe { std::ptr::addr_of!((*slot).canary).read() };
+    assert_eq!(
+        canary,
+        guard::canary_for(slot as usize),
+        "pool guard: slab slot canary clobbered at {what} (heap corruption near {slot:p})",
+    );
+    let generation = unsafe { std::ptr::addr_of!((*slot).generation).read() };
+    let live = generation & guard::GEN_LIVE != 0;
+    assert_eq!(
+        live,
+        expect_live,
+        "pool guard: {what} on a {} slab slot at {slot:p} \
+         (double release, or use of a stale handle after reuse)",
+        if live { "live" } else { "dead" },
+    );
+    generation
+}
+
 /// The raw backing buffer of one slab: `capacity` uninitialized `T` slots.
 ///
 /// Never touches the slots itself — it is purely a deallocation token.
@@ -42,7 +123,7 @@ impl<T> Drop for SlabStorage<T> {
     fn drop(&mut self) {
         // All slots are either never initialized (unused reserve) or were
         // dropped in place by their PoolBox before its Arc released.
-        let layout = Layout::array::<T>(self.capacity).expect("layout fit at carve time");
+        let layout = slab_layout::<T>(self.capacity).expect("layout fit at carve time");
         unsafe { dealloc(self.buf.as_ptr().cast(), layout) };
     }
 }
@@ -72,7 +153,7 @@ impl<T> SlabReserve<T> {
         if std::mem::size_of::<T>() == 0 || objects < 2 {
             return None;
         }
-        let layout = Layout::array::<T>(objects).ok()?;
+        let layout = slab_layout::<T>(objects)?;
         let buf = NonNull::new(unsafe { alloc(layout) }.cast::<T>())?;
         Some(SlabReserve { slab: Arc::new(SlabStorage { buf, capacity: objects }), next: 0 })
     }
@@ -84,7 +165,21 @@ impl<T> SlabReserve<T> {
             return None;
         }
         // In bounds by the check above; the slab outlives the slot via Arc.
-        let ptr = unsafe { NonNull::new_unchecked(self.slab.buf.as_ptr().add(self.next)) };
+        // Slots are `slot_stride` apart — identical to `add(next)` in
+        // release builds, guard-word-aware in debug/fault-inject builds.
+        let ptr = unsafe {
+            NonNull::new_unchecked(
+                self.slab.buf.as_ptr().cast::<u8>().add(self.next * slot_stride::<T>()).cast::<T>(),
+            )
+        };
+        #[cfg(any(debug_assertions, feature = "fault-inject"))]
+        unsafe {
+            // Arm the guard words before the slot is ever handed out. Raw
+            // field writes: the slot memory is still uninitialized.
+            let slot = ptr.as_ptr().cast::<GuardSlot<T>>();
+            std::ptr::addr_of_mut!((*slot).canary).write(guard::canary_for(slot as usize));
+            std::ptr::addr_of_mut!((*slot).generation).write(0);
+        }
         self.next += 1;
         Some(SlabSlot { ptr, slab: Arc::clone(&self.slab) })
     }
@@ -111,6 +206,15 @@ pub(crate) struct SlabSlot<T> {
 impl<T> SlabSlot<T> {
     /// Placement-write `value` into the slot, producing a live [`PoolBox`].
     pub(crate) fn fill(self, value: T) -> PoolBox<T> {
+        #[cfg(any(debug_assertions, feature = "fault-inject"))]
+        unsafe {
+            // The canary must have survived since `take` (catches a stray
+            // write between carve and fill) and the slot must be dead.
+            let generation = check_slot(self.ptr, false, "fill");
+            let slot = self.ptr.as_ptr().cast::<GuardSlot<T>>();
+            std::ptr::addr_of_mut!((*slot).generation)
+                .write(generation.wrapping_add(2) | guard::GEN_LIVE);
+        }
         unsafe { self.ptr.as_ptr().write(value) };
         PoolBox { ptr: self.ptr, slab: Some(self.slab) }
     }
@@ -167,6 +271,15 @@ impl<T> Drop for PoolBox<T> {
             // Reconstitute the Box: value drops and the allocation frees.
             None => drop(unsafe { Box::from_raw(self.ptr.as_ptr()) }),
             Some(slab) => {
+                // Guarded builds verify the canary and the live bit *before*
+                // running the destructor: a double release panics here
+                // instead of double-dropping the value.
+                #[cfg(any(debug_assertions, feature = "fault-inject"))]
+                unsafe {
+                    let generation = check_slot(self.ptr, true, "drop");
+                    let slot = self.ptr.as_ptr().cast::<GuardSlot<T>>();
+                    std::ptr::addr_of_mut!((*slot).generation).write(generation & !guard::GEN_LIVE);
+                }
                 unsafe { std::ptr::drop_in_place(self.ptr.as_ptr()) };
                 drop(slab); // last sibling out frees the whole slab
             }
@@ -248,6 +361,36 @@ mod tests {
         assert!(SlabReserve::<u64>::carve(0).is_none());
         assert!(SlabReserve::<u64>::carve(1).is_none());
         assert!(SlabReserve::<()>::carve(16).is_none(), "ZSTs take the Box path");
+    }
+
+    /// A dead slot revived through a forged handle must trip the guard
+    /// before the destructor runs twice.
+    #[cfg(any(debug_assertions, feature = "fault-inject"))]
+    #[test]
+    fn guard_detects_double_release_of_a_slab_slot() {
+        let mut reserve: SlabReserve<u64> = SlabReserve::carve(2).expect("small slab");
+        let b = reserve.take().unwrap().fill(5);
+        let (ptr, slab) = (b.ptr, b.slab.clone());
+        drop(b); // the slot is now dead (live bit cleared)
+        let forged = PoolBox { ptr, slab };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(forged)));
+        assert!(outcome.is_err(), "double release must panic in guarded builds");
+    }
+
+    /// The generation tag counts fills and tracks liveness, so a stale
+    /// handle from before a reuse is distinguishable from the live one.
+    #[cfg(any(debug_assertions, feature = "fault-inject"))]
+    #[test]
+    fn guard_generation_tracks_fill_and_drop() {
+        let mut reserve: SlabReserve<u32> = SlabReserve::carve(2).expect("small slab");
+        let b = reserve.take().unwrap().fill(1);
+        let ptr = b.ptr;
+        let live_gen = unsafe { slot_generation(ptr) };
+        assert_eq!(live_gen & guard::GEN_LIVE, guard::GEN_LIVE);
+        drop(b); // reserve keeps the slab alive; the slot goes dead
+        let dead_gen = unsafe { slot_generation(ptr) };
+        assert_eq!(dead_gen, live_gen & !guard::GEN_LIVE);
+        assert_eq!(dead_gen >> 1, 1, "one fill so far");
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl ShadowBuf {
     ///
     /// Blocks above `max_shadow_bytes` are freed instead of parked.
     pub fn release(&mut self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            // A zero-capacity block owns no allocation and can serve no
+            // request better than a fresh `Vec`; parking it would only
+            // occupy the shadow slot (and, under the half-size rule, a
+            // 0-cap block can serve nothing but another 0-byte request).
+            return;
+        }
         if self.config.accepts_shadow(buf.capacity()) {
             self.peak_bytes = self.peak_bytes.max(buf.capacity());
             self.parked = Some(buf);
@@ -157,6 +164,50 @@ mod tests {
         let _b3 = s.acquire(parked / 2 - 1);
         assert_eq!(s.hits(), 1);
         assert_eq!(s.misses(), 2);
+    }
+
+    #[test]
+    fn zero_length_request_against_parked_block() {
+        let mut s = ShadowBuf::new();
+        let b = s.acquire(64);
+        s.release(b);
+        // A zero-byte request is below half of any parked capacity: the
+        // shadow is freed and a fresh empty buffer returned. (No division
+        // hazard in the rule — the divisor is the constant 2.)
+        let b0 = s.acquire(0);
+        assert_eq!(b0.len(), 0);
+        assert_eq!(s.hits(), 0);
+        assert_eq!(s.misses(), 2);
+        assert!(!s.has_parked());
+    }
+
+    #[test]
+    fn zero_capacity_buffer_is_never_parked() {
+        let mut s = ShadowBuf::new();
+        let b0 = s.acquire(0);
+        assert_eq!(b0.capacity(), 0);
+        s.release(b0);
+        assert!(!s.has_parked(), "a 0-cap buffer must not occupy the shadow slot");
+        assert_eq!(s.dropped(), 0, "nothing was freed by the size cap");
+        s.release(Vec::new());
+        assert!(!s.has_parked());
+    }
+
+    #[test]
+    fn capacity_one_block_reuse_window() {
+        let mut s = ShadowBuf::new();
+        let mut b = s.acquire(1);
+        b.shrink_to_fit();
+        assert_eq!(b.capacity(), 1);
+        s.release(b);
+        // Exactly 1 byte reuses the block (ceil(1/2) == 1) ...
+        let b1 = s.acquire(1);
+        assert_eq!(s.hits(), 1);
+        s.release(b1);
+        // ... but 0 bytes must not: the parked block is freed instead.
+        let _b0 = s.acquire(0);
+        assert_eq!(s.hits(), 1);
+        assert!(!s.has_parked());
     }
 
     #[test]

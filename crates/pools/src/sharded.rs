@@ -17,6 +17,7 @@
 //! try-lock-and-spill sharding — the baseline the Criterion benchmarks
 //! compare the fast path against.
 
+use crate::fault;
 use crate::limits::PoolConfig;
 use crate::magazine::{self, Depot, PushOutcome, DEFAULT_MAGAZINE_CAP};
 use crate::object_pool::ObjectPool;
@@ -119,6 +120,12 @@ impl<T: 'static> ShardedPool<T> {
         fresh: impl FnOnce() -> T,
         reinit: impl FnOnce(&mut T),
     ) -> PoolBox<T> {
+        // The fault decision is drawn once, at entry, so an injection
+        // schedule depends only on (seed, thread, op ordinal) — never on
+        // which cache level would have served the request.
+        if fault::fail_fresh_alloc() {
+            return self.acquire_fallback(fresh);
+        }
         if self.depot.magazine_cap == 0 {
             return self.acquire_direct(fresh, reinit);
         }
@@ -152,6 +159,7 @@ impl<T: 'static> ShardedPool<T> {
             let mut batch = Vec::with_capacity(target);
             let used = self.depot.refill_batch(start, target, &mut batch);
             if let Some(mut obj) = batch.pop() {
+                self.depot.guard.record_unpark();
                 self.depot.stats.record_hit();
                 pool_event!(MagazineRefill, batch.len() + 1);
                 pool_hist!("pools.magazine_occupancy", batch.len());
@@ -170,7 +178,7 @@ impl<T: 'static> ShardedPool<T> {
         if let Some(slot) = magazine::take_reserve_slot(&self.depot) {
             return slot.fill(fresh());
         }
-        if self.depot.slab_objects > 0 {
+        if self.depot.slab_objects > 0 && !fault::fail_slab_carve() {
             if let Some(mut reserve) = SlabReserve::carve(self.depot.slab_objects) {
                 self.depot.stats.record_slab_carve();
                 pool_event!(SlabCarve, self.depot.slab_objects);
@@ -180,6 +188,17 @@ impl<T: 'static> ShardedPool<T> {
                 return slot.fill(fresh());
             }
         }
+        PoolBox::new(fresh())
+    }
+
+    /// Graceful degradation under an injected allocation failure: skip
+    /// every cache level and hand back a plain heap object, counted as a
+    /// fresh alloc *plus* a fallback (see [`crate::fault`]) — never a
+    /// panic, and never a change to what the caller observes.
+    #[cold]
+    fn acquire_fallback(&self, fresh: impl FnOnce() -> T) -> PoolBox<T> {
+        self.depot.stats.record_fresh();
+        self.depot.stats.record_fallback();
         PoolBox::new(fresh())
     }
 
@@ -214,6 +233,7 @@ impl<T: 'static> ShardedPool<T> {
     pub fn trim(&self) -> usize {
         let local = magazine::drain_local(&self.depot);
         let n_local = local.len();
+        self.depot.guard.record_reclaim(n_local);
         drop(local);
         // Drain the depot stacks before bumping the epoch: a magazine
         // parked concurrently with the drain still carries the old epoch,
@@ -248,6 +268,7 @@ impl<T: 'static> ShardedPool<T> {
                     if off != 0 {
                         magazine::set_home_shard(&self.depot, idx);
                     }
+                    self.depot.guard.record_unpark();
                     reinit(&mut obj);
                     return obj;
                 }
@@ -262,10 +283,17 @@ impl<T: 'static> ShardedPool<T> {
                 Err(()) => continue, // contended: spin to the next shard
             }
         }
-        self.depot.shards[start].acquire_with(fresh, reinit)
+        // Blocking fallback: no fault draw (the entry already decided), and
+        // the hit flag keeps the guard ledger exact.
+        let (obj, hit) = self.depot.shards[start].acquire_with_inner(fresh, reinit);
+        if hit {
+            self.depot.guard.record_unpark();
+        }
+        obj
     }
 
     fn release_direct(&self, mut obj: PoolBox<T>) {
+        self.depot.guard.record_park();
         let n = self.depot.shards.len();
         let start = magazine::home_shard(&self.depot);
         for off in 0..n {
@@ -414,6 +442,29 @@ mod tests {
         let b = pool.acquire(|| 2);
         assert_eq!(*b, 1, "direct mode reuses via the home shard");
         assert_eq!(pool.stats().pool_hits(), 1);
+    }
+
+    #[test]
+    fn panicking_thread_still_folds_magazine_counts() {
+        let pool: Arc<ShardedPool<u64>> = Arc::new(ShardedPool::new(2));
+        let p = Arc::clone(&pool);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                let b = p.acquire(|| i);
+                p.release(b);
+            }
+            panic!("worker dies mid-churn");
+        });
+        assert!(t.join().is_err());
+        // The worker's magazine folded its locally-counted hits and
+        // releases during the panic's TLS teardown — none may be lost.
+        let stats = pool.stats();
+        assert_eq!(
+            stats.pool_hits() + stats.fresh_allocs(),
+            100,
+            "hits + fresh must equal allocs even when the thread panicked"
+        );
+        assert_eq!(stats.releases(), 100);
     }
 
     #[test]

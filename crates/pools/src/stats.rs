@@ -30,6 +30,7 @@ pub struct PoolStats {
     depot_swaps: AtomicU64,
     depot_parks: AtomicU64,
     slab_carves: AtomicU64,
+    fallback_allocs: AtomicU64,
 }
 
 impl PoolStats {
@@ -104,6 +105,16 @@ impl PoolStats {
         self.slab_carves.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An acquire degraded gracefully to a plain heap `Box` (injected
+    /// allocation failure — see [`crate::fault`]). Counted *in addition to*
+    /// [`PoolStats::record_fresh`], so `pool_hits + fresh_allocs` still
+    /// equals total allocation requests under any fault schedule.
+    #[inline]
+    pub(crate) fn record_fallback(&self) {
+        self.fallback_allocs.fetch_add(1, Ordering::Relaxed);
+        pool_event!(FallbackAlloc, 1);
+    }
+
     /// Allocations served by reuse from the free list.
     pub fn pool_hits(&self) -> u64 {
         self.pool_hits.load(Ordering::Relaxed)
@@ -149,6 +160,13 @@ impl PoolStats {
         self.slab_carves.load(Ordering::Relaxed)
     }
 
+    /// Acquires that degraded to a plain heap `Box` under injected
+    /// allocation failure (a subset of [`PoolStats::fresh_allocs`]; always
+    /// 0 without the `fault-inject` feature).
+    pub fn fallback_allocs(&self) -> u64 {
+        self.fallback_allocs.load(Ordering::Relaxed)
+    }
+
     /// Total allocation requests (hits + fresh).
     pub fn total_allocs(&self) -> u64 {
         self.pool_hits() + self.fresh_allocs()
@@ -183,6 +201,7 @@ impl PoolStats {
             depot_swaps: self.depot_swaps(),
             depot_parks: self.depot_parks(),
             slab_carves: self.slab_carves(),
+            fallback_allocs: self.fallback_allocs(),
         }
     }
 }
@@ -204,6 +223,7 @@ pub struct StatsSnapshot {
     depot_swaps: u64,
     depot_parks: u64,
     slab_carves: u64,
+    fallback_allocs: u64,
 }
 
 impl StatsSnapshot {
@@ -260,6 +280,12 @@ impl StatsSnapshot {
         self.slab_carves
     }
 
+    /// Acquires that degraded to a plain heap `Box` under injected
+    /// allocation failure (a subset of `fresh_allocs`).
+    pub fn fallback_allocs(&self) -> u64 {
+        self.fallback_allocs
+    }
+
     /// Total allocation requests (hits + fresh).
     pub fn total_allocs(&self) -> u64 {
         self.pool_hits + self.fresh_allocs
@@ -286,6 +312,7 @@ impl StatsSnapshot {
         self.depot_swaps += other.depot_swaps;
         self.depot_parks += other.depot_parks;
         self.slab_carves += other.slab_carves;
+        self.fallback_allocs += other.fallback_allocs;
     }
 }
 

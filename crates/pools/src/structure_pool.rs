@@ -8,6 +8,11 @@
 //! [`Reusable`] trait supplies the two member functions handmade pools add
 //! to every class (§3.1): `recycle` (the `destroy()` replacement for the
 //! destructor) and `reinit` (the `init()` replacement for the constructor).
+//!
+//! Both layouts route `alloc` through their inner pool's acquire entry, so
+//! under the `fault-inject` feature an injected allocation failure degrades
+//! to a plain heap structure there (see [`crate::fault`]) — `alloc` never
+//! fails and never panics, whatever the fault schedule.
 
 use crate::limits::PoolConfig;
 use crate::object_pool::ObjectPool;

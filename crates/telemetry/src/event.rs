@@ -64,11 +64,17 @@ pub enum EventKind {
     /// A contiguous slab was carved into fresh-allocation reserve slots;
     /// payload = slots carved.
     SlabCarve,
+    /// An acquire degraded gracefully to a plain heap `Box` under injected
+    /// allocation failure (the `fault-inject` feature).
+    FallbackAlloc,
+    /// The fault layer injected a failure; payload = fault-site index
+    /// (see `pools::fault`).
+    FaultInjected,
 }
 
 impl EventKind {
     /// Every kind, in tag order (the order reports list counts in).
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::AcquireHit,
         EventKind::AcquireMiss,
         EventKind::Release,
@@ -82,6 +88,8 @@ impl EventKind {
         EventKind::DepotSwap,
         EventKind::DepotPark,
         EventKind::SlabCarve,
+        EventKind::FallbackAlloc,
+        EventKind::FaultInjected,
     ];
 
     /// Stable wire/report name.
@@ -100,6 +108,8 @@ impl EventKind {
             EventKind::DepotSwap => "depot_swap",
             EventKind::DepotPark => "depot_park",
             EventKind::SlabCarve => "slab_carve",
+            EventKind::FallbackAlloc => "fallback_alloc",
+            EventKind::FaultInjected => "fault_injected",
         }
     }
 

@@ -125,6 +125,11 @@ pub fn run_workload<T: Structured>(
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move || {
+                    // Pin the worker's fault-injection ordinal to its stable
+                    // workload index: under `fault-inject` the injected
+                    // schedule then depends only on (seed, t, op sequence),
+                    // never on OS thread identity. No-op otherwise.
+                    pools::fault::set_thread_ordinal(t as u64);
                     op_hists!(alloc_h, free_h);
                     let mut live: Vec<Option<Allocation<T>>> = (0..slots).map(|_| None).collect();
                     let mut sum = 0u64;

@@ -5,8 +5,18 @@
 
 use mem_api::BackendRegistry;
 use proptest::prelude::*;
+use std::sync::Mutex;
 use workloads::exec::run_workload;
 use workloads::trace::{Chunk, Trace, TraceOp, TraceWorkload};
+
+/// Fault-injection state is process-global, so every test in this binary
+/// serializes on this lock: the fault-free differential property must not
+/// observe a schedule installed by the determinism test below.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Random well-formed traces: interleaved alloc/free bursts over a small
 /// slot space, closed out so every handle dies before the trace ends.
@@ -45,6 +55,7 @@ proptest! {
     /// Every backend agrees on every trace.
     #[test]
     fn all_backends_agree_on_any_trace(traces in proptest::collection::vec(trace_strategy(), 1..4)) {
+        let _g = fault_lock();
         for t in &traces {
             prop_assert!(t.validate().is_ok());
         }
@@ -72,6 +83,53 @@ proptest! {
                 r.stats.allocs(),
                 "{}", name
             );
+        }
+    }
+}
+
+// Under `fault-inject`, replaying the same trace twice with the same seed
+// must be *bitwise* reproducible: identical per-thread checksums (the
+// heap fallback hands back indistinguishable structures) and an identical
+// number of injected allocation failures per backend. The fault-free run
+// pins the checksums themselves: injection degrades the allocator, never
+// the result.
+#[cfg(feature = "fault-inject")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn same_seed_fault_schedule_replays_identically(
+        traces in proptest::collection::vec(trace_strategy(), 1..3)
+    ) {
+        use pools::fault::{self, FaultConfig};
+
+        let _g = fault_lock();
+        let workload = TraceWorkload::new(&traces);
+        let registry: BackendRegistry<Chunk> = BackendRegistry::standard();
+        for name in registry.names() {
+            fault::clear();
+            let clean = run_workload(&*registry.build(name).unwrap(), &workload);
+
+            fault::install(FaultConfig::uniform(0xD1FF_5EED, 0.1));
+            let r1 = run_workload(&*registry.build(name).unwrap(), &workload);
+            let r2 = run_workload(&*registry.build(name).unwrap(), &workload);
+            fault::clear();
+
+            // Same seed ⇒ byte-identical checksums and the same number of
+            // injected allocation failures (site 0 draws once per acquire
+            // *entry*, so the count is interleaving-independent).
+            prop_assert_eq!(&r1.checksums, &r2.checksums, "{}", name);
+            prop_assert_eq!(
+                r1.stats.fallback_allocs(),
+                r2.stats.fallback_allocs(),
+                "{}", name
+            );
+            // Degradation is invisible in the results: the faulted runs
+            // produce exactly the fault-free checksums.
+            prop_assert_eq!(&r1.checksums, &clean.checksums, "{}", name);
+            // And the runs stay balanced — no leak on the fallback path.
+            prop_assert_eq!(r1.stats.allocs(), r1.stats.frees(), "{}", name);
+            prop_assert_eq!(r1.stats.live_bytes(), 0, "{}", name);
         }
     }
 }
