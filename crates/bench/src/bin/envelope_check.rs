@@ -1,9 +1,11 @@
-//! The `BENCH_pools.json` envelope gate: measures the sharded+magazine
-//! acquire/release hit pair and the acquire-miss pair, renders both
-//! against the recorded envelopes, and **exits non-zero when either path
-//! regressed** (measured slower than recorded by more than the gate
-//! tolerance). Being faster than the record never fails — the envelopes
-//! were taken on a particular host, and a quicker machine is not a bug.
+//! The recorded-envelope gate: measures the sharded+magazine
+//! acquire/release hit pair, the acquire-miss pair (`BENCH_pools.json`)
+//! and the size-class front-end's raw alloc/dealloc pair
+//! (`BENCH_global_alloc.json`), renders each against the recorded
+//! envelopes, and **exits non-zero when any path regressed** (measured
+//! slower than recorded by more than the gate tolerance). Being faster
+//! than the record never fails — the envelopes were taken on a
+//! particular host, and a quicker machine is not a bug.
 //!
 //! ```text
 //! cargo run --release -p bench --bin envelope_check                # strict ±10%
@@ -15,7 +17,9 @@
 //! feature modes: the 3.3× pre-depot miss cliff trips even a generous
 //! gate, while ordinary host-to-host jitter does not.
 
-use bench::native::{check_hit_pair_envelope, check_miss_pair_envelope};
+use bench::native::{
+    check_global_pair_envelope, check_hit_pair_envelope, check_miss_pair_envelope,
+};
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -36,17 +40,20 @@ fn main() {
         .unwrap_or(20_000_000);
 
     eprintln!(
-        "[envelope_check] telemetry {}, {pairs} pairs, regression gate +{:.0}%",
+        "[envelope_check] telemetry {}, global-alloc {}, {pairs} pairs, regression gate +{:.0}%",
         cfg!(feature = "telemetry"),
+        cfg!(feature = "global-alloc"),
         100.0 * gate
     );
     let hit = check_hit_pair_envelope(pairs);
     println!("{}", hit.render());
     let miss = check_miss_pair_envelope(pairs / 4);
     println!("{}", miss.render());
+    let global = check_global_pair_envelope(pairs);
+    println!("{}", global.render());
 
     let mut failed = false;
-    for check in [hit, miss] {
+    for check in [hit, miss, global] {
         if check.regressed(gate) {
             eprintln!(
                 "[envelope_check] FAIL: {} measured {:.2} ns, more than +{:.0}% over the \
@@ -62,5 +69,5 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
-    eprintln!("[envelope_check] OK: both paths within the regression gate");
+    eprintln!("[envelope_check] OK: all paths within the regression gate");
 }

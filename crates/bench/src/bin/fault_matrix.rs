@@ -25,10 +25,7 @@
 
 #[cfg(not(feature = "fault-inject"))]
 fn main() {
-    eprintln!(
-        "[fault_matrix] built without the `fault-inject` feature; nothing to sweep. \
-         Rebuild with `--features fault-inject`."
-    );
+    eprintln!("{}", bench::feature_gate_hint("fault_matrix", "fault-inject"));
 }
 
 #[cfg(feature = "fault-inject")]

@@ -1,0 +1,266 @@
+//! The `BENCH_global_alloc.json` comparison: the same allocation-heavy
+//! tree churn ([`workloads::heap::HeapTree`] — plain `Box` nodes, no
+//! pools) timed under whatever `#[global_allocator]` this build carries.
+//!
+//! Each invocation fills the half it was compiled as (`system_alloc`
+//! without the feature, `global_alloc` with `--features global-alloc`,
+//! which installs [`pools::GlobalPool`]) and carries the other half over
+//! from an existing `BENCH_global_alloc.json`; run both builds back to
+//! back to get the `speedup_pct` comparison:
+//!
+//! ```text
+//! cargo run --release -p bench --bin global_alloc_bench
+//! cargo run --release -p bench --features global-alloc --bin global_alloc_bench
+//! ```
+//!
+//! The workload: producer threads build full depth-5 binary trees
+//! (63 × 32-byte nodes each); half of every producer's trees are handed
+//! to consumer threads over *bounded* channels and dropped *there*, so
+//! half the frees are cross-thread — the traffic the front-end's
+//! remote-free queues exist for — while backpressure keeps the live set
+//! steady. Checksums are asserted identical across compile states (same
+//! seeds ⇒ same trees, whoever allocates them).
+//!
+//! `--smoke` shrinks the run for CI; `[output_dir]` defaults to `.`.
+
+use serde::Value;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use workloads::heap::HeapTree;
+
+/// Producers (also the "≥ 4 threads" of the recorded claim).
+const PRODUCERS: usize = 4;
+/// Consumers draining the cross-thread half.
+const CONSUMERS: usize = 2;
+const DEPTH: u32 = 5;
+/// Nodes per tree: 2^(DEPTH+1) - 1.
+const NODES_PER_TREE: u64 = (1 << (DEPTH + 1)) - 1;
+/// In-flight trees per consumer channel. Bounded so producers cannot run
+/// arbitrarily far ahead of the frees: backpressure keeps the live set
+/// (and thus the comparison) about allocator throughput, not about how
+/// gracefully each allocator degrades under an ever-growing heap.
+const CHANNEL_BACKLOG: usize = 256;
+
+struct RunResult {
+    elapsed: Duration,
+    trees: u64,
+    nodes: u64,
+    checksum: u64,
+}
+
+/// One timed run: `PRODUCERS` threads each build `trees_per_thread`
+/// depth-`DEPTH` trees; odd-indexed trees are checksummed and dropped
+/// locally, even-indexed ones are sent to a consumer and dropped there.
+fn run_once(trees_per_thread: u64) -> RunResult {
+    let t0 = Instant::now();
+    let mut consumer_txs = Vec::with_capacity(CONSUMERS);
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let (tx, rx) = mpsc::sync_channel::<HeapTree>(CHANNEL_BACKLOG);
+            consumer_txs.push(tx);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for tree in rx {
+                    sum = sum.wrapping_add(tree.checksum());
+                    drop(tree);
+                }
+                sum
+            })
+        })
+        .collect();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let txs = consumer_txs.clone();
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for i in 0..trees_per_thread {
+                    let seed = (p as u64 * trees_per_thread + i) as u32;
+                    let tree = HeapTree::build(DEPTH, seed);
+                    if i % 2 == 0 {
+                        // Cross-thread half: the consumer checksums and
+                        // frees this tree's 63 nodes remotely.
+                        txs[(p + i as usize) % CONSUMERS].send(tree).expect("consumer alive");
+                    } else {
+                        sum = sum.wrapping_add(tree.checksum());
+                    }
+                }
+                sum
+            })
+        })
+        .collect();
+    drop(consumer_txs);
+
+    let mut checksum = 0u64;
+    for h in producers {
+        checksum = checksum.wrapping_add(h.join().expect("producer"));
+    }
+    for h in consumers {
+        checksum = checksum.wrapping_add(h.join().expect("consumer"));
+    }
+    let trees = PRODUCERS as u64 * trees_per_thread;
+    RunResult { elapsed: t0.elapsed(), trees, nodes: trees * NODES_PER_TREE, checksum }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn round2(v: f64) -> Value {
+    Value::Float((v * 100.0).round() / 100.0)
+}
+
+/// The other compile state's half, carried over from an existing
+/// `BENCH_global_alloc.json` — but only when it measured the same
+/// workload shape (a stale smoke half must not fake a comparison).
+fn carried_over(path: &std::path::Path, half: &str, workload: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    let h = &v[half];
+    match &h["workload"] {
+        Value::String(w) if w == workload => Some(h.clone()),
+        _ => None,
+    }
+}
+
+fn half_f64(half: &Value, key: &str) -> Option<f64> {
+    match half[key] {
+        Value::Float(f) => Some(f),
+        Value::UInt(u) => Some(u as f64),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let dir = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+    let dir = std::path::Path::new(dir.as_deref().unwrap_or("."));
+
+    let feature_on = cfg!(feature = "global-alloc");
+    let (this_half, other_half) = if feature_on {
+        ("global_alloc", "system_alloc")
+    } else {
+        ("system_alloc", "global_alloc")
+    };
+    let trees_per_thread: u64 = if smoke { 200 } else { 20_000 };
+    let rounds = if smoke { 2 } else { 5 };
+    let workload = format!(
+        "heap-tree d{DEPTH} x{trees_per_thread}/thread, {PRODUCERS} producers + {CONSUMERS} \
+         consumers, half the frees cross-thread, backlog {CHANNEL_BACKLOG}"
+    );
+
+    eprintln!(
+        "[global_alloc_bench] allocator: {} ({this_half}); {workload}; best of {rounds}",
+        if feature_on { "pools::GlobalPool" } else { "system" }
+    );
+
+    let stats_before = pools::global::stats();
+    let mut best: Option<RunResult> = None;
+    for round in 0..rounds {
+        let r = run_once(trees_per_thread);
+        eprintln!(
+            "[global_alloc_bench]   round {}: {:.1} ms, {:.2} ns/node pair",
+            round + 1,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.elapsed.as_nanos() as f64 / r.nodes as f64
+        );
+        if let Some(b) = &best {
+            assert_eq!(r.checksum, b.checksum, "checksums must not vary across rounds");
+        }
+        if best.as_ref().is_none_or(|b| r.elapsed < b.elapsed) {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("at least one round");
+    let stats_after = pools::global::stats();
+    let ns_per_pair = best.elapsed.as_nanos() as f64 / best.nodes as f64;
+
+    // With the allocator installed, the run's node traffic shows up on the
+    // size-class ledger; feature-off the heap trees never touch it.
+    let allocator = if feature_on {
+        let d = |a: u64, b: u64| Value::UInt(a.saturating_sub(b));
+        obj(vec![
+            ("class_allocs", d(stats_after.class_allocs, stats_before.class_allocs)),
+            ("cache_hits", d(stats_after.cache_hits, stats_before.cache_hits)),
+            ("class_refills", d(stats_after.class_refills, stats_before.class_refills)),
+            ("remote_frees", d(stats_after.remote_frees, stats_before.remote_frees)),
+            ("remote_drained", d(stats_after.remote_drained, stats_before.remote_drained)),
+            ("slabs_carved", Value::UInt(stats_after.slabs_carved)),
+        ])
+    } else {
+        Value::Null
+    };
+
+    let mine = obj(vec![
+        ("workload", Value::String(workload.clone())),
+        ("elapsed_ms", round2(best.elapsed.as_secs_f64() * 1e3)),
+        ("trees", Value::UInt(best.trees)),
+        ("nodes", Value::UInt(best.nodes)),
+        ("ns_per_node_pair", round2(ns_per_pair)),
+        ("checksum", Value::UInt(best.checksum)),
+    ]);
+
+    let out_path = dir.join("BENCH_global_alloc.json");
+    let theirs = carried_over(&out_path, other_half, &workload);
+    let speedup_pct = match &theirs {
+        Some(other) => {
+            // Same seeds must mean the same trees under either allocator.
+            if let Value::UInt(c) = other["checksum"] {
+                assert_eq!(c, best.checksum, "checksum differs across compile states");
+            }
+            let (sys, glo) = if feature_on {
+                (half_f64(other, "ns_per_node_pair"), Some(ns_per_pair))
+            } else {
+                (Some(ns_per_pair), half_f64(other, "ns_per_node_pair"))
+            };
+            match (sys, glo) {
+                (Some(sys), Some(glo)) if sys > 0.0 => {
+                    Value::Float(((1.0 - glo / sys) * 1000.0).round() / 10.0)
+                }
+                _ => Value::Null,
+            }
+        }
+        None => Value::Null,
+    };
+
+    let (system_half, global_half) = {
+        let theirs = theirs.unwrap_or(Value::Null);
+        if feature_on {
+            (theirs, mine)
+        } else {
+            (mine, theirs)
+        }
+    };
+    let report = obj(vec![
+        ("schema", Value::String("global-alloc-bench-v1".into())),
+        ("measured", Value::String(this_half.into())),
+        ("system_alloc", system_half),
+        ("global_alloc", global_half),
+        ("speedup_pct", speedup_pct.clone()),
+        ("allocator", allocator),
+    ]);
+    let mut json = serde_json::to_string_pretty(&report).expect("bench json");
+    json.push('\n');
+    std::fs::create_dir_all(dir).expect("create output dir");
+    std::fs::write(&out_path, &json).expect("write BENCH_global_alloc.json");
+
+    eprintln!(
+        "[global_alloc_bench] best: {:.1} ms, {ns_per_pair:.2} ns/node pair -> {}",
+        best.elapsed.as_secs_f64() * 1e3,
+        out_path.display()
+    );
+    match speedup_pct {
+        Value::Float(pct) => {
+            eprintln!("[global_alloc_bench] front-end vs system: {pct:+.1}% wall-clock")
+        }
+        _ => eprintln!(
+            "[global_alloc_bench] `{this_half}` measured; run the {} build to complete \
+             the comparison",
+            if feature_on { "feature-off" } else { "`--features global-alloc`" }
+        ),
+    }
+
+    pools::global::publish_telemetry();
+    bench::metrics::emit_if_requested("global_alloc_bench", Vec::new());
+}

@@ -1,18 +1,21 @@
 //! Machine-readable perf snapshot: writes `BENCH_pools.json` (ns/op for the
 //! pool acquire/release hit and miss paths, magazine fast path versus the
-//! mutex-per-op baseline, and the telemetry-feature overhead) and
-//! `BENCH_repro.json` (harness wall-clock, serial versus `--jobs N`), so
-//! future changes can track the perf trajectory.
+//! mutex-per-op baseline, the telemetry-feature overhead, and the
+//! size-class front-end's same-thread / cross-thread pair costs with its
+//! hit/refill/remote-free counters) and `BENCH_repro.json` (harness
+//! wall-clock, serial versus `--jobs N`), so future changes can track the
+//! perf trajectory.
 //!
-//! The `telemetry` section needs two compile states. Each invocation fills
-//! the half it was compiled as (`feature_off` without `--features
-//! telemetry`, `feature_on` with) and carries the other half over from an
-//! existing `BENCH_pools.json`; run both builds back to back to get the
-//! `overhead_pct` comparison:
+//! The `telemetry` and `global_alloc` sections each need two compile
+//! states. Each invocation fills the half it was compiled as
+//! (`feature_off` / `feature_on`, keyed on that section's feature) and
+//! carries the other half over from an existing `BENCH_pools.json`; run
+//! the builds back to back to complete the comparisons:
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_json
 //! cargo run --release -p bench --features telemetry --bin perf_json
+//! cargo run --release -p bench --features global-alloc --bin perf_json
 //! ```
 //!
 //! Usage: `perf_json [output_dir]` (default: current directory).
@@ -73,17 +76,65 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-/// The other compile state's value for `key` (`hit_pair_ns` or
-/// `miss_pair_ns`), carried over from an existing `BENCH_pools.json` so
-/// alternating builds converge on a complete `telemetry` section.
-fn carried_over(path: &std::path::Path, half: &str, key: &str) -> Option<f64> {
+/// The other compile state's value for `key`, carried over from an
+/// existing `BENCH_pools.json` (`section` is `telemetry` or
+/// `global_alloc`) so alternating builds converge on complete two-state
+/// sections.
+fn carried_over(path: &std::path::Path, section: &str, half: &str, key: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let v: Value = serde_json::from_str(&text).ok()?;
-    match v["telemetry"][half][key] {
+    match v[section][half][key] {
         Value::Float(f) => Some(f),
         Value::UInt(u) => Some(u as f64),
         _ => None,
     }
+}
+
+/// The size-class front-end's same-thread pair: raw alloc/dealloc on a
+/// 64-byte layout, thread-cache hit after priming.
+fn global_pair_ns() -> f64 {
+    let layout = std::alloc::Layout::from_size_align(64, 8).expect("bench layout");
+    for _ in 0..10_000 {
+        let p = pools::global::raw_alloc(layout);
+        black_box(p);
+        unsafe { pools::global::raw_dealloc(p, layout) };
+    }
+    measure_ns(|| {
+        let p = pools::global::raw_alloc(layout);
+        black_box(p);
+        unsafe { pools::global::raw_dealloc(p, layout) };
+    })
+}
+
+/// The cross-thread pair: this thread allocates, a worker thread frees —
+/// every free is a remote-queue push, every refill here drains the queue
+/// back. Pipelined throughput (batches of 1024 addresses over a channel),
+/// reported as ns per pair on the allocating side.
+fn global_remote_pair_ns() -> f64 {
+    const BATCH: usize = 1024;
+    let layout = std::alloc::Layout::from_size_align(64, 8).expect("bench layout");
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<usize>>();
+    let worker = std::thread::spawn(move || {
+        for batch in rx {
+            for addr in batch {
+                // SAFETY: each address is a live raw_alloc(layout) block,
+                // shipped here to be freed exactly once.
+                unsafe { pools::global::raw_dealloc(addr as *mut u8, layout) };
+            }
+        }
+    });
+    let mut batch: Vec<usize> = Vec::with_capacity(BATCH);
+    let ns = measure_ns(|| {
+        batch.push(pools::global::raw_alloc(layout) as usize);
+        if batch.len() == BATCH {
+            let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH));
+            tx.send(full).expect("free worker alive");
+        }
+    });
+    tx.send(std::mem::take(&mut batch)).expect("free worker alive");
+    drop(tx);
+    worker.join().expect("free worker");
+    ns
 }
 
 fn main() {
@@ -116,8 +167,8 @@ fn main() {
     let pools_path = dir.join("BENCH_pools.json");
     let (this_half, other_half) =
         if feature_on { ("feature_on", "feature_off") } else { ("feature_off", "feature_on") };
-    let other_hit = carried_over(&pools_path, other_half, "hit_pair_ns");
-    let other_miss = carried_over(&pools_path, other_half, "miss_pair_ns");
+    let other_hit = carried_over(&pools_path, "telemetry", other_half, "hit_pair_ns");
+    let other_miss = carried_over(&pools_path, "telemetry", other_half, "miss_pair_ns");
     let (off_hit, on_hit) =
         if feature_on { (other_hit, Some(hit_after)) } else { (Some(hit_after), other_hit) };
     let (off_miss, on_miss) =
@@ -135,8 +186,30 @@ fn main() {
         obj(vec![("hit_pair_ns", half_value(hit)), ("miss_pair_ns", half_value(miss))])
     };
 
+    // --- Size-class front-end --------------------------------------------
+    let ga_on = cfg!(feature = "global-alloc");
+    eprintln!(
+        "[perf_json] measuring the size-class front-end (global-alloc {})...",
+        if ga_on { "ON" } else { "OFF" }
+    );
+    let ga_stats0 = pools::global::stats();
+    let ga_pair = global_pair_ns();
+    let ga_remote_pair = global_remote_pair_ns();
+    let ga_stats1 = pools::global::stats();
+    let (ga_this, ga_other) =
+        if ga_on { ("feature_on", "feature_off") } else { ("feature_off", "feature_on") };
+    let ga_other_pair = carried_over(&pools_path, "global_alloc", ga_other, "pair_ns");
+    let ga_other_remote = carried_over(&pools_path, "global_alloc", ga_other, "remote_pair_ns");
+    let (ga_off_pair, ga_on_pair) =
+        if ga_on { (ga_other_pair, Some(ga_pair)) } else { (Some(ga_pair), ga_other_pair) };
+    let (ga_off_remote, ga_on_remote) = if ga_on {
+        (ga_other_remote, Some(ga_remote_pair))
+    } else {
+        (Some(ga_remote_pair), ga_other_remote)
+    };
+
     let report = obj(vec![
-        ("schema", Value::String("pools-perf-v3".into())),
+        ("schema", Value::String("pools-perf-v4".into())),
         ("object", Value::String("[u8; 64]".into())),
         ("shards", Value::UInt(4)),
         ("magazine_cap", Value::UInt(DEFAULT_MAGAZINE_CAP as u64)),
@@ -167,7 +240,55 @@ fn main() {
                 ("miss_overhead_pct", miss_overhead_pct),
             ]),
         ),
+        (
+            "global_alloc",
+            obj(vec![
+                ("installed", Value::Bool(ga_on)),
+                ("measured", Value::String(ga_this.into())),
+                (
+                    "feature_off",
+                    obj(vec![
+                        ("pair_ns", half_value(ga_off_pair)),
+                        ("remote_pair_ns", half_value(ga_off_remote)),
+                    ]),
+                ),
+                (
+                    "feature_on",
+                    obj(vec![
+                        ("pair_ns", half_value(ga_on_pair)),
+                        ("remote_pair_ns", half_value(ga_on_remote)),
+                    ]),
+                ),
+                // Installed-vs-not delta on the same raw path: the cost of
+                // the front-end also serving the harness's own heap.
+                ("pair_overhead_pct", overhead(ga_off_pair, ga_on_pair)),
+                (
+                    "counters",
+                    obj(vec![
+                        ("cache_hits", Value::UInt(ga_stats1.cache_hits - ga_stats0.cache_hits)),
+                        (
+                            "class_refills",
+                            Value::UInt(ga_stats1.class_refills - ga_stats0.class_refills),
+                        ),
+                        (
+                            "remote_frees",
+                            Value::UInt(ga_stats1.remote_frees - ga_stats0.remote_frees),
+                        ),
+                        (
+                            "remote_drained",
+                            Value::UInt(ga_stats1.remote_drained - ga_stats0.remote_drained),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
     ]);
+    eprintln!(
+        "[perf_json] front-end pair: {ga_pair:.2} ns same-thread, {ga_remote_pair:.2} ns \
+         cross-thread ({} remote frees)",
+        ga_stats1.remote_frees - ga_stats0.remote_frees
+    );
+
     let mut pools_json = serde_json::to_string_pretty(&report).expect("perf json");
     pools_json.push('\n');
     std::fs::write(&pools_path, &pools_json).expect("write BENCH_pools.json");

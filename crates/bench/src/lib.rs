@@ -11,3 +11,33 @@ pub mod native;
 pub mod parallel;
 
 pub use figures::{FigureData, Series};
+
+/// The note a feature-gated bench bin prints when built without its
+/// feature: names the missing flag and gives the exact rebuild command,
+/// so "nothing happened" is never a dead end. Exit code stays 0 — CI
+/// invokes these bins unconditionally in both feature modes.
+pub fn feature_gate_hint(bin: &str, feature: &str) -> String {
+    format!(
+        "[{bin}] built without the `{feature}` feature; nothing to do. \
+         Rebuild with: cargo run --release -p bench --features {feature} --bin {bin}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_gate_hint_names_the_flag_and_the_rebuild_command() {
+        let hint = feature_gate_hint("fault_matrix", "fault-inject");
+        assert!(hint.contains("`fault-inject`"), "{hint}");
+        assert!(
+            hint.contains(
+                "cargo run --release -p bench --features fault-inject --bin fault_matrix"
+            ),
+            "hint must carry a copy-pastable rebuild command: {hint}"
+        );
+        let other = feature_gate_hint("global_alloc_bench", "global-alloc");
+        assert!(other.contains("--features global-alloc --bin global_alloc_bench"), "{other}");
+    }
+}

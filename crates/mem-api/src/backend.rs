@@ -39,6 +39,10 @@ pub trait Structured: Reusable + Send + 'static {
 pub struct Allocation<T> {
     obj: PoolBox<T>,
     pub(crate) blocks: Vec<BlockRef>,
+    /// Raw per-node blocks from the size-class front-end (`(address,
+    /// size)`; the `global` backend's analogue of `blocks`). Addresses are
+    /// carried as `usize` so the allocation stays `Send`.
+    pub(crate) raw_nodes: Vec<(usize, u32)>,
     pub(crate) bytes: u64,
 }
 
@@ -47,7 +51,14 @@ impl<T> Allocation<T> {
     /// plain `Box<T>` or a pool-served [`PoolBox<T>`] (which may live in a
     /// slab rather than its own heap block).
     pub fn new(obj: impl Into<PoolBox<T>>, blocks: Vec<BlockRef>, bytes: u64) -> Self {
-        Allocation { obj: obj.into(), blocks, bytes }
+        Allocation { obj: obj.into(), blocks, raw_nodes: Vec::new(), bytes }
+    }
+
+    /// Attach raw size-class blocks (builder style, for the `global`
+    /// backend).
+    pub(crate) fn with_raw_nodes(mut self, raw_nodes: Vec<(usize, u32)>) -> Self {
+        self.raw_nodes = raw_nodes;
+        self
     }
 
     /// Payload bytes this structure accounts for.

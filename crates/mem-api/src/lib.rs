@@ -13,9 +13,11 @@
 //! * [`MemBackend`] is the one trait all strategies implement:
 //!   [`MallocBackend`] wraps any `ParallelAllocator` (serial/ptmalloc/
 //!   hoard), [`PooledBackend`] wraps a `StructurePool` in its three Amplify
-//!   layouts (local, sharded, sharded+magazines), and [`HandmadeBackend`]
-//!   is the native port of the simulator's per-thread lock-free pool
-//!   (Figure 10's "theoretical maximum");
+//!   layouts (local, sharded, sharded+magazines), [`GlobalBackend`] routes
+//!   per-node traffic through the size-class malloc front-end
+//!   (`pools::global`, the `#[global_allocator]` candidate), and
+//!   [`HandmadeBackend`] is the native port of the simulator's per-thread
+//!   lock-free pool (Figure 10's "theoretical maximum");
 //! * [`BackendRegistry`] resolves the paper's strategy names
 //!   ("solaris-default", "ptmalloc", "hoard", "amplify", "handmade", …) to
 //!   live backends, and [`sim_name`] maps each registry name onto the
@@ -23,12 +25,14 @@
 //!   up in reports.
 
 pub mod backend;
+pub mod global;
 pub mod handmade;
 pub mod malloc;
 pub mod pooled;
 pub mod registry;
 
 pub use backend::{Allocation, BackendStats, MemBackend, Structured};
+pub use global::GlobalBackend;
 pub use handmade::HandmadeBackend;
 pub use malloc::MallocBackend;
 pub use pooled::PooledBackend;

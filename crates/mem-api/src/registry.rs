@@ -3,6 +3,7 @@
 //! the simulator's `ModelKind` vocabulary.
 
 use crate::backend::{MemBackend, Structured};
+use crate::global::GlobalBackend;
 use crate::handmade::HandmadeBackend;
 use crate::malloc::MallocBackend;
 use crate::pooled::PooledBackend;
@@ -14,11 +15,13 @@ use std::sync::Arc;
 pub const STANDARD_WAYS: usize = 8;
 
 /// Every name [`BackendRegistry::standard`] registers, in table order:
-/// the five-way comparison with Amplify split into its three layouts.
-pub const STANDARD_BACKENDS: [&str; 7] = [
+/// the five-way comparison with Amplify split into its three layouts,
+/// plus the native size-class front-end (`"global"`).
+pub const STANDARD_BACKENDS: [&str; 8] = [
     "solaris-default",
     "ptmalloc",
     "hoard",
+    "global",
     "amplify-local",
     "amplify-sharded",
     "amplify",
@@ -28,10 +31,13 @@ pub const STANDARD_BACKENDS: [&str; 7] = [
 /// Map a registry backend name onto the simulator's `ModelKind` name (the
 /// string `smp_sim::ModelKind::name()` returns), so native rows and
 /// simulated rows line up in joint reports. The three Amplify layouts are
-/// the same simulated strategy.
+/// the same simulated strategy; the size-class front-end simulates as
+/// Hoard, whose shape (per-CPU heaps, size classes, cross-thread returns)
+/// it implements natively.
 pub fn sim_name(backend: &str) -> &str {
     match backend {
         "amplify-local" | "amplify-sharded" | "amplify" => "amplify",
+        "global" => "hoard",
         other => other,
     }
 }
@@ -76,6 +82,7 @@ impl<T: Structured> BackendRegistry<T> {
         r.register("hoard", || {
             Arc::new(MallocBackend::new(Arc::new(HoardAllocator::new(STANDARD_WAYS))))
         });
+        r.register("global", || Arc::new(GlobalBackend::new()));
         r.register("amplify-local", || Arc::new(PooledBackend::local()));
         r.register("amplify-sharded", || Arc::new(PooledBackend::sharded(STANDARD_WAYS)));
         r.register("amplify", || Arc::new(PooledBackend::with_magazines(STANDARD_WAYS)));
@@ -188,6 +195,7 @@ mod tests {
         assert_eq!(sim_name("amplify-sharded"), "amplify");
         assert_eq!(sim_name("amplify"), "amplify");
         assert_eq!(sim_name("hoard"), "hoard");
+        assert_eq!(sim_name("global"), "hoard", "the front-end simulates as Hoard");
         assert_eq!(sim_name("solaris-default"), "solaris-default");
     }
 }

@@ -151,7 +151,13 @@ mod tests {
     #[test]
     fn kill_then_revive_reuses_allocation() {
         let mut s = BitShadow::new();
-        s.set(Box::new(vec![1, 2, 3]));
+        // Reserve room for the post-revive push up front: the assertion is
+        // about the *shadow* reusing the parked Vec, so the buffer must not
+        // be reallocated by growth (which only keeps the pointer on
+        // allocators that happen to extend in place).
+        let mut v = Vec::with_capacity(4);
+        v.extend([1, 2, 3]);
+        s.set(Box::new(v));
         let addr = s.get().unwrap().as_ptr();
         s.kill();
         assert!(s.is_parked());

@@ -20,7 +20,12 @@
 //!   objects are carved from contiguous slabs ([`pool_box::PoolBox`]);
 //! * in single-threaded programs all locks are elided
 //!   ([`object_pool::LocalPool`]), which is why the paper's Figure 4 shows a
-//!   1-thread Amplify advantage.
+//!   1-thread Amplify advantage;
+//! * the same magazine/depot/slab machinery, re-keyed by **size class**
+//!   instead of type, serves untyped allocations as a malloc front-end —
+//!   [`global::GlobalPool`] — installable process-wide as
+//!   `#[global_allocator]` via the `global-alloc` feature, with MPSC
+//!   remote-free queues so cross-thread `dealloc` is one CAS.
 //!
 //! All pools expose [`stats::PoolStats`] counters (hits, misses, failed lock
 //! attempts) — the observability the paper used to conclude that Amplify's
@@ -42,6 +47,7 @@
 pub mod bit_shadow;
 mod depot;
 pub mod fault;
+pub mod global;
 mod guard;
 pub mod limits;
 pub mod magazine;
@@ -53,10 +59,12 @@ pub mod shadow;
 pub mod shadow_buf;
 pub mod shadow_vec;
 pub mod sharded;
+pub mod size_class;
 pub mod stats;
 pub mod structure_pool;
 
 pub use bit_shadow::BitShadow;
+pub use global::GlobalPool;
 pub use limits::PoolConfig;
 pub use magazine::DEFAULT_MAGAZINE_CAP;
 pub use object_pool::{LocalPool, ObjectPool};

@@ -165,7 +165,12 @@ mod tests {
     #[test]
     fn kill_then_revive_reuses_allocation() {
         let mut s = Shadow::new();
-        s.set(Box::new(vec![1, 2, 3]));
+        // Capacity for the post-revive push: the point is that the shadow
+        // revives the parked Vec itself; growth reallocation would only
+        // preserve the pointer on allocators that extend in place.
+        let mut v = Vec::with_capacity(4);
+        v.extend([1, 2, 3]);
+        s.set(Box::new(v));
         let addr_before = s.get().unwrap().as_ptr();
         s.kill();
         assert!(s.is_parked());

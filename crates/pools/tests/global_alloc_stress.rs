@@ -1,0 +1,215 @@
+//! Cross-thread free stress for the size-class front-end: producers
+//! allocate, a dedicated consumer frees, so every release rides the
+//! remote-free queue (the path `run_workload`'s free-where-you-allocate
+//! discipline never exercises).
+//!
+//! Home-shard pinning makes the ledger exact: producers live on shards
+//! 0..P, the consumer on the last shard, and the consumer never performs a
+//! classed allocation — so no slab is ever stamped with the consumer's
+//! shard, every consumer free files into a foreign bucket, and every
+//! bucket ships to a remote queue (at a batch boundary or teardown).
+//! Producers never free, so nothing else touches the remote ledger.
+//!
+//! Exact-equality accounting only holds feature-off (with `global-alloc`
+//! installed, the test harness's own heap traffic shares the process-wide
+//! ledger); installed builds assert the same invariants as lower bounds.
+//! The double-hand-out and id-uniqueness checks are exact in every mode.
+//!
+//! Tests in this binary serialize on one lock: the ledger is process-wide.
+
+use pools::global::{self, CLASS_SHARDS};
+use std::alloc::Layout;
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn ledger_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const BLOCK_LAYOUT: Layout = match Layout::from_size_align(64, 8) {
+    Ok(l) => l,
+    Err(_) => panic!("static layout"),
+};
+
+/// Producers alloc + stamp + send; the consumer checks, frees remotely,
+/// and tracks liveness. Returns (blocks moved, distinct ids seen).
+fn producer_consumer_run(producers: usize, per_producer: usize) -> (usize, usize) {
+    assert!(producers < CLASS_SHARDS, "need a consumer shard disjoint from producers");
+    let (tx, rx) = mpsc::channel::<usize>();
+    std::thread::scope(|s| {
+        for p in 0..producers {
+            let tx = tx.clone();
+            s.spawn(move || {
+                assert!(global::pin_home_shard(p), "producer {p} must get a cache");
+                for i in 0..per_producer {
+                    let block = global::raw_alloc(BLOCK_LAYOUT);
+                    assert!(!block.is_null());
+                    let id = ((p as u64) << 32) | i as u64;
+                    unsafe { *(block as *mut u64) = id };
+                    tx.send(block as usize).expect("consumer alive");
+                }
+            });
+        }
+        drop(tx);
+        let consumer = s.spawn(move || {
+            // The consumer allocates nothing classed; its cache exists only
+            // so `dealloc` sees home != block-shard and goes remote.
+            assert!(global::pin_home_shard(CLASS_SHARDS - 1));
+            let mut live: HashSet<usize> = HashSet::new();
+            let mut ids: HashSet<u64> = HashSet::new();
+            let mut freed = 0usize;
+            while let Ok(addr) = rx.recv() {
+                assert!(
+                    live.insert(addr),
+                    "block {addr:#x} handed out twice while live (double hand-out)"
+                );
+                let id = unsafe { *(addr as *const u64) };
+                assert!(ids.insert(id), "id {id:#x} seen twice: two owners stamped one block");
+                // Free *before* un-tracking: once freed the block may
+                // recirculate, but its re-send is a later message, ordered
+                // after the remove below on this single consumer thread.
+                unsafe { global::raw_dealloc(addr as *mut u8, BLOCK_LAYOUT) };
+                live.remove(&addr);
+                freed += 1;
+            }
+            assert!(live.is_empty(), "{} blocks received but never freed", live.len());
+            (freed, ids.len())
+        });
+        consumer.join().expect("consumer panicked")
+    })
+}
+
+#[test]
+fn cross_thread_frees_conserve_blocks_and_reconcile_the_remote_ledger() {
+    let _g = ledger_lock();
+    let before = global::stats();
+    const PRODUCERS: usize = 4;
+    const PER: usize = 20_000;
+    let (freed, distinct_ids) = producer_consumer_run(PRODUCERS, PER);
+    let total = (PRODUCERS * PER) as u64;
+    assert_eq!(freed as u64, total);
+    assert_eq!(distinct_ids as u64, total);
+
+    // All workers have exited: their plain-field counters are folded, so
+    // the snapshot is exact (feature-off) or a floor (installed harness).
+    let after = global::stats();
+    let allocs = after.class_allocs - before.class_allocs;
+    let frees = after.class_frees - before.class_frees;
+    let remote = after.remote_frees - before.remote_frees;
+    if global::installed() {
+        assert!(allocs >= total, "classed allocs {allocs} < {total}");
+        assert!(frees >= total, "classed frees {frees} < {total}");
+        assert!(remote >= total, "remote frees {remote} < {total}");
+    } else {
+        // Conservation: every block allocated was freed, exactly once...
+        assert_eq!(allocs, total, "alloc count off");
+        assert_eq!(frees, total, "free count off");
+        // ...and every single free was a remote push (the consumer's home
+        // shard never stamps a slab, so each free files into a foreign
+        // bucket and ships to the owner's queue at a batch boundary or
+        // teardown), reconciling the telemetry counter exactly against
+        // the operation count. Producers only allocate, so they never
+        // bucket anything; their flushes all land on central stacks.
+        assert_eq!(remote, total, "remote_free ledger must equal consumer frees");
+    }
+    // The queue ledger itself always balances: pushed = drained + pending.
+    assert_eq!(
+        after.remote_frees,
+        after.remote_drained + after.remote_pending,
+        "remote queue ledger out of balance"
+    );
+    // Zero live bytes from this run's classed traffic: allocs == frees
+    // above is exactly that statement (blocks live in slabs either way;
+    // slab memory is process-lifetime by design).
+}
+
+#[test]
+fn exited_threads_fold_their_counters_into_the_snapshot() {
+    let _g = ledger_lock();
+    let before = global::stats();
+    std::thread::spawn(|| {
+        for _ in 0..500 {
+            let p = global::raw_alloc(BLOCK_LAYOUT);
+            assert!(!p.is_null());
+            unsafe { global::raw_dealloc(p, BLOCK_LAYOUT) };
+        }
+    })
+    .join()
+    .unwrap();
+    let after = global::stats();
+    // The thread is gone; its 500 pairs must be visible from here.
+    assert!(after.class_allocs - before.class_allocs >= 500);
+    assert!(after.class_frees - before.class_frees >= 500);
+    assert!(after.cache_hits > before.cache_hits, "steady-state loop must hit its cache");
+}
+
+/// The acceptance bar: remote-free conservation must survive deterministic
+/// fault injection. The injected sites live in the *typed* pool ladder
+/// (fresh-alloc failures, depot retries, epoch bumps on trim), so a typed
+/// `ShardedPool` churns and trims concurrently with the producer/consumer
+/// traffic while a uniform fault schedule is armed — epoch bumps and CAS
+/// retries must never leak into the untyped front-end's ledger, and the
+/// typed pool itself must stay balanced under the same schedule.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn epoch_bumps_under_fault_injection_do_not_disturb_conservation() {
+    use pools::fault::{self, FaultConfig};
+    use pools::ShardedPool;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let _g = ledger_lock();
+    fault::clear();
+    fault::reset_counts();
+    fault::install(FaultConfig::uniform(0xC0FF_EE00, 0.05));
+
+    let before = global::stats();
+    let stop = AtomicBool::new(false);
+    let (freed, distinct) = std::thread::scope(|s| {
+        let churn = s.spawn(|| {
+            fault::set_thread_ordinal(900);
+            let pool: ShardedPool<[u8; 64]> = ShardedPool::new(4);
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let a = pool.acquire(|| [0u8; 64]);
+                let b = pool.acquire(|| [1u8; 64]);
+                pool.release(a);
+                pool.release(b);
+                n += 1;
+                if n.is_multiple_of(512) {
+                    // Bump the trim epoch: the exact window the injected
+                    // epoch-bump site races against.
+                    pool.trim();
+                }
+            }
+            pool.trim();
+            let stats = pool.stats();
+            assert_eq!(
+                stats.total_allocs(),
+                stats.releases(),
+                "typed pool unbalanced under faults"
+            );
+        });
+        let result = producer_consumer_run(3, 4_000);
+        stop.store(true, Ordering::Relaxed);
+        churn.join().expect("churn thread panicked");
+        result
+    });
+    fault::clear();
+
+    let total = 3 * 4_000;
+    assert_eq!(freed, total);
+    assert_eq!(distinct, total);
+    let after = global::stats();
+    let allocs = after.class_allocs - before.class_allocs;
+    let frees = after.class_frees - before.class_frees;
+    if global::installed() {
+        assert!(allocs >= total as u64);
+        assert!(frees >= total as u64);
+    } else {
+        assert_eq!(allocs, total as u64);
+        assert_eq!(frees, total as u64);
+    }
+    assert_eq!(after.remote_frees, after.remote_drained + after.remote_pending);
+}

@@ -70,11 +70,18 @@ pub enum EventKind {
     /// The fault layer injected a failure; payload = fault-site index
     /// (see `pools::fault`).
     FaultInjected,
+    /// A cross-thread `dealloc` in the size-class front-end pushed a block
+    /// onto a remote-free queue; payload = blocks pushed (aggregated).
+    RemoteFree,
+    /// The size-class front-end refilled a thread cache from its depot
+    /// levels (remote drain / central stack / slab carve); payload =
+    /// refills (aggregated).
+    ClassRefill,
 }
 
 impl EventKind {
     /// Every kind, in tag order (the order reports list counts in).
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::AcquireHit,
         EventKind::AcquireMiss,
         EventKind::Release,
@@ -90,6 +97,8 @@ impl EventKind {
         EventKind::SlabCarve,
         EventKind::FallbackAlloc,
         EventKind::FaultInjected,
+        EventKind::RemoteFree,
+        EventKind::ClassRefill,
     ];
 
     /// Stable wire/report name.
@@ -110,6 +119,8 @@ impl EventKind {
             EventKind::SlabCarve => "slab_carve",
             EventKind::FallbackAlloc => "fallback_alloc",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::RemoteFree => "remote_free",
+            EventKind::ClassRefill => "class_refill",
         }
     }
 

@@ -1,0 +1,118 @@
+//! A plain-`Box` binary tree: the §4 tree workload *without* any pool —
+//! every node is an ordinary heap allocation, so whoever is installed as
+//! `#[global_allocator]` serves all of it.
+//!
+//! This is the measurement vehicle for `BENCH_global_alloc.json`: the same
+//! build/checksum/drop loop runs once against the system allocator and
+//! once with `pools::global::GlobalPool` installed (the `global-alloc`
+//! feature), and the wall-clock ratio is the front-end's end-to-end win.
+//! Unlike [`crate::tree::PoolTree`], nothing here knows about pools — the
+//! point is that *unmodified* allocation-heavy code speeds up.
+
+/// One tree node: two child pointers plus payload — 24 bytes, landing in
+/// the front-end's 32-byte class (the paper's "each node was 20 bytes").
+#[derive(Debug)]
+pub struct HeapNode {
+    left: Option<Box<HeapNode>>,
+    right: Option<Box<HeapNode>>,
+    pub data: u32,
+}
+
+impl HeapNode {
+    fn build(depth: u32, seed: u32) -> Box<HeapNode> {
+        let (left, right) = if depth > 0 {
+            (
+                Some(Self::build(depth - 1, seed.wrapping_mul(2).wrapping_add(1))),
+                Some(Self::build(depth - 1, seed.wrapping_mul(2).wrapping_add(2))),
+            )
+        } else {
+            (None, None)
+        };
+        Box::new(HeapNode { left, right, data: seed })
+    }
+
+    fn checksum(&self) -> u64 {
+        let mut s = self.data as u64;
+        if let Some(l) = &self.left {
+            s += l.checksum();
+        }
+        if let Some(r) = &self.right {
+            s += r.checksum();
+        }
+        s
+    }
+
+    fn count(&self) -> u32 {
+        1 + self.left.as_ref().map_or(0, |n| n.count())
+            + self.right.as_ref().map_or(0, |n| n.count())
+    }
+}
+
+/// A whole tree of [`HeapNode`]s — `2^(depth+1) - 1` heap allocations,
+/// all freed on drop (possibly by a different thread than built it, which
+/// is exactly the remote-free traffic the front-end's queues exist for).
+#[derive(Debug)]
+pub struct HeapTree {
+    root: Box<HeapNode>,
+}
+
+impl HeapTree {
+    /// Build a full binary tree of `depth` seeded with `seed` (the same
+    /// node-seed recurrence as [`crate::tree::PoolTree`], so checksums are
+    /// comparable across workloads).
+    pub fn build(depth: u32, seed: u32) -> HeapTree {
+        HeapTree { root: HeapNode::build(depth, seed) }
+    }
+
+    /// Deterministic digest (the "initialize and use" pass).
+    pub fn checksum(&self) -> u64 {
+        self.root.checksum()
+    }
+
+    /// Nodes in the tree: `2^(depth+1) - 1`.
+    pub fn node_count(&self) -> u32 {
+        self.root.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_1() {
+        assert_eq!(HeapTree::build(1, 0).node_count(), 3);
+        assert_eq!(HeapTree::build(3, 0).node_count(), 15);
+        assert_eq!(HeapTree::build(5, 0).node_count(), 63);
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_seed_sensitive() {
+        let a = HeapTree::build(4, 7);
+        let b = HeapTree::build(4, 7);
+        assert_eq!(a.checksum(), b.checksum());
+        let c = HeapTree::build(4, 8);
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn heap_and_pool_trees_agree_on_checksums() {
+        use crate::tree::{PoolTree, TreeParams};
+        use pools::structure_pool::Reusable;
+        for (depth, seed) in [(1u32, 3u32), (3, 99), (5, 0xDEAD)] {
+            let heap = HeapTree::build(depth, seed);
+            let pool = PoolTree::fresh(&TreeParams { depth, seed });
+            assert_eq!(heap.checksum(), pool.checksum(), "depth {depth} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cross_thread_drop_is_sound() {
+        // Build here, drop on another thread — the remote-free pattern the
+        // global front-end optimizes; must be correct under any allocator.
+        let trees: Vec<HeapTree> = (0..32).map(|i| HeapTree::build(5, i)).collect();
+        let sums: Vec<u64> = trees.iter().map(HeapTree::checksum).collect();
+        std::thread::spawn(move || drop(trees)).join().unwrap();
+        assert_eq!(sums.len(), 32);
+    }
+}

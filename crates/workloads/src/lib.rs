@@ -21,6 +21,7 @@
 
 pub mod bgw;
 pub mod exec;
+pub mod heap;
 pub mod locality;
 pub mod sim_bridge;
 pub mod trace;
