@@ -1,7 +1,8 @@
 //! The recorded-envelope gate: measures the sharded+magazine
-//! acquire/release hit pair, the acquire-miss pair (`BENCH_pools.json`)
-//! and the size-class front-end's raw alloc/dealloc pair
-//! (`BENCH_global_alloc.json`), renders each against the recorded
+//! acquire/release hit pair, the acquire-miss pair (`BENCH_pools.json`),
+//! the size-class front-end's raw alloc/dealloc pair
+//! (`BENCH_global_alloc.json`), and that same pair with the heap
+//! profiler actively sampling, renders each against the recorded
 //! envelopes, and **exits non-zero when any path regressed** (measured
 //! slower than recorded by more than the gate tolerance). Being faster
 //! than the record never fails — the envelopes were taken on a
@@ -19,6 +20,7 @@
 
 use bench::native::{
     check_global_pair_envelope, check_hit_pair_envelope, check_miss_pair_envelope,
+    check_profiled_global_pair_envelope,
 };
 
 fn arg_value(name: &str) -> Option<String> {
@@ -51,9 +53,14 @@ fn main() {
     println!("{}", miss.render());
     let global = check_global_pair_envelope(pairs);
     println!("{}", global.render());
+    // Same pair loop with the heap profiler sampling: the profiled-mode
+    // tax must fit the same recorded envelope (tentpole acceptance:
+    // within +10% on the global pair).
+    let profiled = check_profiled_global_pair_envelope(pairs);
+    println!("{}", profiled.render());
 
     let mut failed = false;
-    for check in [hit, miss, global] {
+    for check in [hit, miss, global, profiled] {
         if check.regressed(gate) {
             eprintln!(
                 "[envelope_check] FAIL: {} measured {:.2} ns, more than +{:.0}% over the \

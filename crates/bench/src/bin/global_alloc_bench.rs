@@ -59,6 +59,9 @@ fn run_once(trees_per_thread: u64) -> RunResult {
             let (tx, rx) = mpsc::sync_channel::<HeapTree>(CHANNEL_BACKLOG);
             consumer_txs.push(tx);
             std::thread::spawn(move || {
+                let _tag = pools::heap_profile::TagGuard::new(pools::heap_profile::register_tag(
+                    "tree-consumer",
+                ));
                 let mut sum = 0u64;
                 for tree in rx {
                     sum = sum.wrapping_add(tree.checksum());
@@ -73,6 +76,11 @@ fn run_once(trees_per_thread: u64) -> RunResult {
         .map(|p| {
             let txs = consumer_txs.clone();
             std::thread::spawn(move || {
+                // Attribute this thread's sampled allocations (free when
+                // `--heap-profile` is off: sampling never ticks).
+                let _tag = pools::heap_profile::TagGuard::new(pools::heap_profile::register_tag(
+                    "tree-producer",
+                ));
                 let mut sum = 0u64;
                 for i in 0..trees_per_thread {
                     let seed = (p as u64 * trees_per_thread + i) as u32;
@@ -134,7 +142,15 @@ fn half_f64(half: &Value, key: &str) -> Option<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let dir = args.iter().skip(1).find(|a| !a.starts_with("--")).cloned();
+    let profile = bench::heapprof::heap_profile_from(&args);
+    // The output dir is the first free-standing operand: not a flag, and
+    // not the value of a value-taking flag like `--metrics-out <path>`.
+    let dir = args
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(i, a)| !a.starts_with("--") && args.get(i - 1).is_none_or(|p| p != "--metrics-out"))
+        .map(|(_, a)| a.clone());
     let dir = std::path::Path::new(dir.as_deref().unwrap_or("."));
 
     let feature_on = cfg!(feature = "global-alloc");
@@ -156,6 +172,7 @@ fn main() {
     );
 
     let stats_before = pools::global::stats();
+    let profiler = profile.then(bench::heapprof::HeapProfiler::start_default);
     let mut best: Option<RunResult> = None;
     for round in 0..rounds {
         let r = run_once(trees_per_thread);
@@ -173,6 +190,7 @@ fn main() {
         }
     }
     let best = best.expect("at least one round");
+    let heap_profile = profiler.map(bench::heapprof::HeapProfiler::finish);
     let stats_after = pools::global::stats();
     let ns_per_pair = best.elapsed.as_nanos() as f64 / best.nodes as f64;
 
@@ -261,6 +279,56 @@ fn main() {
         ),
     }
 
+    if let Some(hp) = &heap_profile {
+        write_heap_baseline(dir, &workload, hp);
+    }
+
     pools::global::publish_telemetry();
-    bench::metrics::emit_if_requested("global_alloc_bench", Vec::new());
+    bench::metrics::emit_with_heap_profile("global_alloc_bench", Vec::new(), heap_profile);
+}
+
+/// The occupancy baseline (`BENCH_heap_profile.json`): peak mapped/live
+/// bytes per class on the depth-5 cross-thread workload — the seed
+/// trajectory for Mesh-style reclamation work (ROADMAP item 2).
+fn write_heap_baseline(
+    dir: &std::path::Path,
+    workload: &str,
+    hp: &telemetry::report::HeapProfileSection,
+) {
+    let classes: Vec<Value> = hp
+        .classes
+        .iter()
+        .filter(|c| c.mapped_bytes > 0 || c.peak_live_bytes > 0)
+        .map(|c| {
+            obj(vec![
+                ("class", Value::UInt(c.class as u64)),
+                ("block_bytes", Value::UInt(c.block_bytes)),
+                ("peak_mapped_bytes", Value::UInt(c.mapped_bytes)),
+                ("peak_live_bytes", Value::UInt(c.peak_live_bytes)),
+                ("end_live_bytes", Value::UInt(c.live_bytes)),
+                ("parked_bytes", Value::UInt(c.parked_bytes)),
+            ])
+        })
+        .collect();
+    let peak_live: u64 = hp.classes.iter().map(|c| c.peak_live_bytes).sum();
+    let report = obj(vec![
+        ("schema", Value::String("heap-profile-baseline-v1".into())),
+        (
+            "measured",
+            Value::String(
+                if cfg!(feature = "global-alloc") { "global_alloc" } else { "system_alloc" }.into(),
+            ),
+        ),
+        ("workload", Value::String(workload.into())),
+        ("sample_period", Value::UInt(hp.sample_period)),
+        ("snapshots", Value::UInt(hp.timeline.len() as u64)),
+        ("total_mapped_bytes", Value::UInt(hp.total_mapped_bytes())),
+        ("total_peak_live_bytes", Value::UInt(peak_live)),
+        ("classes", Value::Array(classes)),
+    ]);
+    let mut json = serde_json::to_string_pretty(&report).expect("baseline json");
+    json.push('\n');
+    let path = dir.join("BENCH_heap_profile.json");
+    std::fs::write(&path, &json).expect("write BENCH_heap_profile.json");
+    eprintln!("[global_alloc_bench] heap-occupancy baseline -> {}", path.display());
 }

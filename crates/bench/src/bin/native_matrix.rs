@@ -4,13 +4,17 @@
 //! ```text
 //! cargo run --release -p bench --bin native_matrix            # full sweep
 //! cargo run --release -p bench --bin native_matrix -- --smoke # CI-sized
+//! cargo run --release -p bench --bin native_matrix -- --heap-profile
 //! ```
 //!
 //! Prints the per-depth tables, writes `results/native_matrix.csv`,
 //! checks the sharded+magazine hit and miss paths against the
 //! `BENCH_pools.json` envelopes, and (with `--metrics-out <path>`) emits
 //! a `telemetry-v1` report whose `native_runs` section carries every cell
-//! tagged by backend name.
+//! tagged by backend name. `--heap-profile` runs the matrix under the
+//! allocator's heap profiler and attaches the `heap-profile-v1` section
+//! (per-class occupancy, sampled sites, occupancy timeline) to that
+//! report.
 
 use bench::native::{
     ascii_tables, check_hit_pair_envelope, check_miss_pair_envelope, run_matrix, write_csv,
@@ -20,9 +24,21 @@ use std::path::Path;
 use telemetry::Report;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let profile = bench::heapprof::heap_profile_from(&args);
     let config = if smoke { MatrixConfig::smoke() } else { MatrixConfig::standard() };
-    let runs = run_matrix(&config);
+
+    let profiler = profile.then(bench::heapprof::HeapProfiler::start_default);
+    let runs = {
+        // Attribute the matrix's sampled allocations to one site tag
+        // (per-cell tags would need plumbing into the workload executor's
+        // worker threads; the matrix is one workload family anyway).
+        let _tag =
+            pools::heap_profile::TagGuard::new(pools::heap_profile::register_tag("native-matrix"));
+        run_matrix(&config)
+    };
+    let heap_profile = profiler.map(bench::heapprof::HeapProfiler::finish);
     print!("{}", ascii_tables(&runs, &config));
 
     match write_csv(&runs, Path::new("results")) {
@@ -39,6 +55,7 @@ fn main() {
     if let Some(path) = bench::metrics::metrics_out_from_args() {
         let mut report = Report::gather("native_matrix");
         report.native_runs = runs;
+        report.heap_profile = heap_profile;
         debug_assert!(report.validate().is_ok());
         match bench::metrics::write_report(&path, &report) {
             Ok(()) => eprintln!("[native_matrix] telemetry report -> {}", path.display()),

@@ -1,37 +1,65 @@
 //! Render a `telemetry-v1` report (written by any bin's `--metrics-out`)
 //! as human-readable text: pool hit rates, contention hot spots, event
-//! totals, histogram sparklines, and the simulator-run table.
+//! totals, histogram sparklines, the simulator-run table, and (when
+//! present) the `heap-profile-v1` occupancy section.
 //!
 //! ```text
 //! cargo run --release -p bench --bin pool_report -- metrics.json
+//! cargo run --release -p bench --bin pool_report -- --diff old.json new.json
 //! ```
+//!
+//! `--diff` prints per-counter deltas between two reports instead of
+//! rendering them — the trajectory view for comparing runs.
 
 use std::process::ExitCode;
 use telemetry::Report;
 
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Report::from_json(&text)
+        .and_then(|r| r.validate().map(|()| r))
+        .map_err(|e| format!("{path} is not a telemetry-v1 report: {e}"))
+}
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
-    if paths.is_empty() {
-        eprintln!("usage: pool_report <metrics.json> [more.json ...]");
-        return ExitCode::FAILURE;
-    }
-    let mut status = ExitCode::SUCCESS;
-    for path in paths {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("pool_report: cannot read {path}: {e}");
-                status = ExitCode::FAILURE;
-                continue;
-            }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let diff = args.iter().position(|a| a == "--diff").map(|i| args.remove(i)).is_some();
+
+    if diff {
+        let [old_path, new_path] = args.as_slice() else {
+            eprintln!("usage: pool_report --diff <old.json> <new.json>");
+            return ExitCode::FAILURE;
         };
-        match Report::from_json(&text).and_then(|r| r.validate().map(|()| r)) {
-            Ok(report) => print!("{}", report.render()),
-            Err(e) => {
-                eprintln!("pool_report: {path} is not a telemetry-v1 report: {e}");
-                status = ExitCode::FAILURE;
+        match (load(old_path), load(new_path)) {
+            (Ok(old), Ok(new)) => {
+                print!("{}", old.diff(&new));
+                ExitCode::SUCCESS
+            }
+            (old, new) => {
+                for r in [old, new] {
+                    if let Err(e) = r {
+                        eprintln!("pool_report: {e}");
+                    }
+                }
+                ExitCode::FAILURE
             }
         }
+    } else {
+        if args.is_empty() {
+            eprintln!("usage: pool_report <metrics.json> [more.json ...]");
+            eprintln!("       pool_report --diff <old.json> <new.json>");
+            return ExitCode::FAILURE;
+        }
+        let mut status = ExitCode::SUCCESS;
+        for path in &args {
+            match load(path) {
+                Ok(report) => print!("{}", report.render()),
+                Err(e) => {
+                    eprintln!("pool_report: {e}");
+                    status = ExitCode::FAILURE;
+                }
+            }
+        }
+        status
     }
-    status
 }

@@ -6,6 +6,7 @@
 //! binary runs the whole evaluation and checks the paper's headline claims.
 
 pub mod figures;
+pub mod heapprof;
 pub mod metrics;
 pub mod native;
 pub mod parallel;

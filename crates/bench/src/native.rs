@@ -308,6 +308,34 @@ pub fn check_global_pair_envelope(pairs: u64) -> EnvelopeCheck {
     EnvelopeCheck::against("global-pair", best, expected_global_pair_ns())
 }
 
+/// The same pair loop as [`check_global_pair_envelope`], but with the
+/// heap profiler *enabled* (site sampling at the bench default period),
+/// checked against the same recorded baseline: the profiled-mode tax
+/// must stay within the envelope's +10%. The idle-profiler cost is
+/// covered by [`check_global_pair_envelope`] itself — the countdown
+/// check is compiled into the pair path unconditionally.
+pub fn check_profiled_global_pair_envelope(pairs: u64) -> EnvelopeCheck {
+    let layout = std::alloc::Layout::from_size_align(64, 8).expect("bench layout");
+    pools::heap_profile::set_sample_period(crate::heapprof::DEFAULT_SAMPLE_PERIOD);
+    for _ in 0..(pairs / 20).max(1_000) {
+        let p = pools::global::raw_alloc(layout);
+        black_box(p);
+        unsafe { pools::global::raw_dealloc(p, layout) };
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..pairs {
+            let p = pools::global::raw_alloc(layout);
+            black_box(p);
+            unsafe { pools::global::raw_dealloc(p, layout) };
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / pairs as f64);
+    }
+    pools::heap_profile::set_sample_period(0);
+    EnvelopeCheck::against("global-pair-profiled", best, expected_global_pair_ns())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +418,14 @@ mod tests {
         let line = check.render();
         assert!(line.starts_with("global-pair envelope:"), "{line}");
         assert!(line.contains("PASS") || line.contains("WARN"), "{line}");
+    }
+
+    #[test]
+    fn profiled_envelope_check_reports_without_failing() {
+        let check = check_profiled_global_pair_envelope(10_000);
+        assert!(check.measured_ns > 0.0);
+        let line = check.render();
+        assert!(line.starts_with("global-pair-profiled envelope:"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! End-to-end checks for the `pool_report` binary: render a report with
+//! a heap-profile section, and diff two fixture reports.
+
+use std::path::PathBuf;
+use std::process::Command;
+use telemetry::report::{
+    EventCount, HeapClassGauges, HeapProfileSection, HeapSiteSample, HeapTimelinePoint,
+    PoolSnapshot, HEAP_PROFILE_SCHEMA,
+};
+use telemetry::Report;
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pool_report_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    dir
+}
+
+fn base_report() -> Report {
+    let mut r = Report::new("fixture");
+    r.pools.push(PoolSnapshot {
+        name: "trees".into(),
+        parked: 4,
+        pool_hits: 100,
+        fresh_allocs: 10,
+        releases: 105,
+        dropped: 0,
+        failed_locks: 1,
+        lock_acquisitions: 109,
+    });
+    r.events.push(EventCount { kind: "acquire_hit".into(), count: 100 });
+    r
+}
+
+fn heap_section() -> HeapProfileSection {
+    HeapProfileSection {
+        schema: HEAP_PROFILE_SCHEMA.into(),
+        sample_period: 64,
+        classes: vec![HeapClassGauges {
+            class: 3,
+            block_bytes: 64,
+            mapped_bytes: 131072,
+            live_bytes: 64000,
+            peak_live_bytes: 70016,
+            parked_bytes: 1280,
+            fallback_bytes: 0,
+        }],
+        sites: vec![HeapSiteSample {
+            class: 3,
+            block_bytes: 64,
+            tag: "fixture-site".into(),
+            samples: 11,
+            est_bytes: 11 * 64 * 64,
+        }],
+        timeline: vec![
+            HeapTimelinePoint { seq: 1, mapped_bytes: 65536, live_bytes: 3200 },
+            HeapTimelinePoint { seq: 2, mapped_bytes: 131072, live_bytes: 64000 },
+        ],
+    }
+}
+
+#[test]
+fn renders_a_report_with_a_heap_profile() {
+    let dir = fixture_dir("render");
+    let mut r = base_report();
+    r.heap_profile = Some(heap_section());
+    let path = dir.join("report.json");
+    std::fs::write(&path, r.to_json()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .arg(&path)
+        .output()
+        .expect("run pool_report");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("heap profile (heap-profile-v1"), "{stdout}");
+    assert!(stdout.contains("fixture-site"), "{stdout}");
+    assert!(stdout.contains("live over time"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_mode_prints_per_counter_deltas() {
+    let dir = fixture_dir("diff");
+    let old = {
+        let mut r = base_report();
+        r.heap_profile = Some(heap_section());
+        r
+    };
+    let new = {
+        let mut r = old.clone();
+        r.pools[0].pool_hits = 150;
+        r.events[0].count = 160;
+        let hp = r.heap_profile.as_mut().unwrap();
+        hp.classes[0].live_bytes = 32000;
+        r
+    };
+    let old_path = dir.join("old.json");
+    let new_path = dir.join("new.json");
+    std::fs::write(&old_path, old.to_json()).unwrap();
+    std::fs::write(&new_path, new.to_json()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .args(["--diff"])
+        .args([&old_path, &new_path])
+        .output()
+        .expect("run pool_report --diff");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("hits +50"), "{stdout}");
+    assert!(stdout.contains("acquire_hit"), "{stdout}");
+    assert!(stdout.contains("+60"), "{stdout}");
+    assert!(stdout.contains("class 3"), "{stdout}");
+    assert!(stdout.contains("live -32000"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_mode_rejects_missing_operands() {
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .args(["--diff", "only-one.json"])
+        .output()
+        .expect("run pool_report --diff");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"), "usage hint expected");
+}

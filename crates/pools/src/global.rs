@@ -74,11 +74,24 @@
 //! Slab memory is process-lifetime (blocks recirculate forever, which is
 //! what makes the Treiber `next` reads safe — type-stable memory, as in
 //! the depot). Returning cold slabs to the OS is ROADMAP work.
+//!
+//! # Observability (the heap-profile layer)
+//!
+//! Per-class gauges (mapped, live, peak and parked bytes) are derived
+//! from the owner-only counters above by [`collect_raw_gauges`]'s
+//! two-pass fold — all alloc counters, then all free counters, then the
+//! mapped-slab counts last — which keeps `live_bytes <= mapped_bytes`
+//! true for every snapshot without adding a single locked RMW to the
+//! alloc/dealloc paths. A sampled allocation-site profiler piggybacks one
+//! countdown branch on `alloc_class`; everything user-facing (sample
+//! period, caller tags, the snapshot ring) lives in
+//! [`crate::heap_profile`].
 
+use crate::heap_profile::{HEAP_PROFILE_TAGS, HEAP_PROFILE_THREAD_SLOTS};
 use crate::size_class::{class_bytes, class_for, NUM_CLASSES};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Slab size and alignment: ownership-by-address-mask needs them equal.
 pub const SLAB_BYTES: usize = 64 * 1024;
@@ -92,6 +105,11 @@ pub const CLASS_SHARDS: usize = 8;
 /// Slab header bytes; block 0 starts here, preserving [`CLASS_ALIGN`].
 const HEADER_BYTES: usize = 16;
 const SLAB_MAGIC: u32 = 0x9F00_11AB;
+/// Header magic for fault-injected carve fallbacks: System-allocated,
+/// slab-aligned single-block carriers (see [`fallback_alloc`]). Distinct
+/// from [`SLAB_MAGIC`] so `dealloc` routes them back to [`System`] instead
+/// of into slab accounting.
+const FALLBACK_MAGIC: u32 = 0xFA11_BACC;
 
 // Tagged-pointer packing, identical to `depot::MagStack`: 48-bit address,
 // 16-bit version tag bumped by every successful CAS.
@@ -258,8 +276,6 @@ static CLASSES: [ClassState; NUM_CLASSES] = [const { ClassState::new() }; NUM_CL
 /// Counters that left per-thread caches (exited threads, cache-less
 /// paths). `stats()` adds the calling thread's live cache on top.
 struct Folded {
-    class_allocs: AtomicU64,
-    class_frees: AtomicU64,
     cache_hits: AtomicU64,
     class_refills: AtomicU64,
     slabs_carved: AtomicU64,
@@ -268,14 +284,79 @@ struct Folded {
 }
 
 static FOLDED: Folded = Folded {
-    class_allocs: AtomicU64::new(0),
-    class_frees: AtomicU64::new(0),
     cache_hits: AtomicU64::new(0),
     class_refills: AtomicU64::new(0),
     slabs_carved: AtomicU64::new(0),
     passthrough_allocs: AtomicU64::new(0),
     passthrough_frees: AtomicU64::new(0),
 };
+
+/// A minimal test-and-set spinlock for the cache registry and the
+/// profiler's shared tables. Holders never allocate and never block, so
+/// contention is bounded by a registry walk or a ring append.
+pub(crate) struct Spin(AtomicBool);
+
+impl Spin {
+    pub(crate) const fn new() -> Self {
+        Spin(AtomicBool::new(false))
+    }
+
+    pub(crate) fn lock(&self) -> SpinGuard<'_> {
+        while self
+            .0
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        SpinGuard(self)
+    }
+}
+
+pub(crate) struct SpinGuard<'a>(&'a Spin);
+
+impl Drop for SpinGuard<'_> {
+    fn drop(&mut self) {
+        (self.0).0.store(false, Ordering::Release);
+    }
+}
+
+/// Per-class counters folded out of exited caches, plus the cache-less
+/// (DEAD-path) increments. Writers use `Release`, the gauge collector
+/// reads with `Acquire` — the per-class half of the fold protocol.
+struct ClassFold {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+static FOLDED_CLASS: [ClassFold; NUM_CLASSES] =
+    [const { ClassFold { allocs: AtomicU64::new(0), frees: AtomicU64::new(0) } }; NUM_CLASSES];
+
+/// Slabs carved per class, bumped inside [`carve_slab`] *before* the first
+/// block of the slab can be served — so any observer that sees a block's
+/// alloc count (via the release/acquire counter chain) also sees its slab
+/// mapped. Reading this array *last* in a gauge collection is what makes
+/// `live_bytes <= mapped_bytes` hold for every snapshot.
+static MAPPED_SLABS: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
+
+/// High-water mark of the per-class live-byte estimate, folded on every
+/// gauge collection (a sampled peak: exact at the collection instants).
+static PEAK_LIVE_BYTES: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
+
+/// Fault-injected carve fallbacks outstanding per class. These chunks
+/// never enter slab accounting; the gauge keeps the live/mapped
+/// reconciliation exact while faults are armed.
+static FALLBACK_ALLOCS: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
+static FALLBACK_FREES: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
+
+/// Live-cache registry: an intrusive singly-linked list of every
+/// registered [`ThreadCache`], guarded by [`REGISTRY`]. Gauge collection
+/// walks it to read live threads' owner-only counters; teardown unlinks
+/// and folds under the same hold, so a concurrent collection sees each
+/// cache's counters exactly once (never both live and folded).
+static REGISTRY: Spin = Spin::new();
+static REGISTRY_HEAD: AtomicUsize = AtomicUsize::new(0);
+static CACHE_ORDINALS: AtomicU32 = AtomicU32::new(0);
 
 /// Live caches homed on each shard. New caches claim the least-occupied
 /// slot (see [`claim_home_shard`]): successive thread generations inherit
@@ -308,7 +389,10 @@ fn claim_home_shard() -> usize {
 
 struct LocalClass {
     head: *mut u8,
-    count: u32,
+    /// Population of `head`'s list. Owner-written with plain load/store
+    /// pairs (never a locked RMW); atomic only so gauge collection can
+    /// read the parked-magazine population cross-thread.
+    count: AtomicU32,
     /// An adopted remote chain, served lazily: a refill parks the kept
     /// prefix here *without walking it* (see the Level-2 zero-touch
     /// adoption in [`refill`]); each block's link is read only when that
@@ -317,7 +401,18 @@ struct LocalClass {
     /// on allocation, so the chain drains only when the hot list is dry.
     chain: *mut u8,
     chain_tail: *mut u8,
-    chain_left: u32,
+    chain_left: AtomicU32,
+    /// Slab blocks allocated / freed in this class by this thread.
+    /// Owner-only writes: a relaxed load and a *release* store — the
+    /// release pairs with the collector's acquire read so that any
+    /// observed count implies the underlying slab is already visible in
+    /// [`MAPPED_SLABS`] (the gauge fold protocol, DESIGN.md §9). Bumped
+    /// *after* a block is served, never before.
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    /// Allocations until the next profiler tick; 0 means the next alloc
+    /// takes the cold [`sample_tick`] (which resets it).
+    sample_down: u32,
 }
 
 /// Foreign-free bucket: an intrusive chain of blocks stamped with one
@@ -342,13 +437,21 @@ struct ThreadCache {
     /// threads ever touch their row.
     foreign: [[ForeignBucket; CLASS_SHARDS]; NUM_CLASSES],
     home: usize,
-    // Plain fields — no atomic RMW on the hit path. Folded on exit.
+    /// Registry link (guarded by [`REGISTRY`]) and a process-unique
+    /// ordinal for thread attribution in the profiler.
+    next: *mut ThreadCache,
+    ordinal: u32,
+    // Owner-only counters (relaxed load + store, no locked RMW on any
+    // alloc path); atomic so gauge collection can read them cross-thread.
     // Cache hits are not counted directly: every classed alloc either
     // pops the local list or takes `refill`, so hits = allocs - refills.
-    allocs: u64,
-    frees: u64,
-    refills: u64,
-    slabs: u64,
+    refills: AtomicU64,
+    slabs: AtomicU64,
+    /// Sampled allocation-site counts per (class, caller tag): the
+    /// profiler's per-thread table, folded on exit and summed in place by
+    /// a live collection.
+    samples: [[AtomicU32; HEAP_PROFILE_TAGS]; NUM_CLASSES],
+    sample_total: AtomicU64,
 }
 
 /// Post-teardown sentinel: "this thread had a cache and it is gone".
@@ -383,7 +486,15 @@ fn init_cache() -> *mut ThreadCache {
     if cache.is_null() {
         return DEAD;
     }
-    unsafe { (*cache).home = claim_home_shard() };
+    unsafe {
+        (*cache).home = claim_home_shard();
+        (*cache).ordinal = CACHE_ORDINALS.fetch_add(1, Ordering::Relaxed);
+    }
+    {
+        let _g = REGISTRY.lock();
+        unsafe { (*cache).next = REGISTRY_HEAD.load(Ordering::Relaxed) as *mut ThreadCache };
+        REGISTRY_HEAD.store(cache as usize, Ordering::Relaxed);
+    }
     CACHE.set(cache);
     // Register the flush guard *after* the cache pointer is in place. If
     // the thread is already past TLS teardown the registration fails —
@@ -404,15 +515,98 @@ fn teardown_cache() {
     let cache_ref = unsafe { &mut *cache };
     flush_all(cache_ref);
     SHARD_OCCUPANCY[cache_ref.home].fetch_sub(1, Ordering::Relaxed);
-    FOLDED.class_allocs.fetch_add(cache_ref.allocs, Ordering::Relaxed);
-    FOLDED.class_frees.fetch_add(cache_ref.frees, Ordering::Relaxed);
-    FOLDED.cache_hits.fetch_add(cache_ref.allocs - cache_ref.refills, Ordering::Relaxed);
-    FOLDED.class_refills.fetch_add(cache_ref.refills, Ordering::Relaxed);
-    FOLDED.slabs_carved.fetch_add(cache_ref.slabs, Ordering::Relaxed);
+    // Unlink and fold under one registry hold: a concurrent gauge
+    // collection sees this cache's counters exactly once — still linked,
+    // or already folded, never neither and never both.
+    {
+        let _g = REGISTRY.lock();
+        let mut prev: *mut ThreadCache = std::ptr::null_mut();
+        let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *mut ThreadCache;
+        while !cur.is_null() {
+            if cur == cache {
+                let next = unsafe { (*cur).next };
+                if prev.is_null() {
+                    REGISTRY_HEAD.store(next as usize, Ordering::Relaxed);
+                } else {
+                    unsafe { (*prev).next = next };
+                }
+                break;
+            }
+            prev = cur;
+            cur = unsafe { (*cur).next };
+        }
+        let mut allocs_total = 0u64;
+        for (class, lc) in cache_ref.classes.iter().enumerate() {
+            let a = lc.allocs.load(Ordering::Relaxed);
+            allocs_total += a;
+            FOLDED_CLASS[class].allocs.fetch_add(a, Ordering::Release);
+            FOLDED_CLASS[class]
+                .frees
+                .fetch_add(lc.frees.load(Ordering::Relaxed), Ordering::Release);
+        }
+        let refills = cache_ref.refills.load(Ordering::Relaxed);
+        FOLDED.cache_hits.fetch_add(allocs_total.saturating_sub(refills), Ordering::Relaxed);
+        FOLDED.class_refills.fetch_add(refills, Ordering::Relaxed);
+        FOLDED.slabs_carved.fetch_add(cache_ref.slabs.load(Ordering::Relaxed), Ordering::Relaxed);
+        crate::heap_profile::fold_thread_samples(
+            &cache_ref.samples,
+            cache_ref.ordinal,
+            cache_ref.sample_total.load(Ordering::Relaxed),
+        );
+    }
     unsafe { System.dealloc(cache as *mut u8, Layout::new::<ThreadCache>()) };
 }
 
-/// Classed allocation entry: thread-cache hit or the cold ladder.
+/// Owner-only counter bump: a relaxed load and a release store — one
+/// plain increment on x86, never a locked RMW. The release half is what
+/// lets the gauge collector's acquire read order this count against the
+/// slab-mapping increments that preceded it (DESIGN.md §9).
+#[inline]
+fn owner_bump(counter: &AtomicU64) {
+    counter.store(counter.load(Ordering::Relaxed).wrapping_add(1), Ordering::Release);
+}
+
+/// Owner-only adjustment of a parked-population gauge (order-insensitive:
+/// readers treat these as approximate, so relaxed stores suffice).
+#[inline]
+fn owner_add32(counter: &AtomicU32, n: u32) {
+    counter.store(counter.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+}
+
+#[inline]
+fn owner_sub32(counter: &AtomicU32, n: u32) {
+    counter.store(counter.load(Ordering::Relaxed).wrapping_sub(n), Ordering::Relaxed);
+}
+
+/// While the profiler is disabled, re-check its period only once per this
+/// many classed allocs per (thread, class) — the whole disabled-mode cost
+/// is one countdown branch per alloc plus that rare cold call.
+const SAMPLE_RECHECK: u32 = 512;
+
+/// Profiler tick: reached every `sample_period` classed allocs per
+/// (thread, class) while enabled, every [`SAMPLE_RECHECK`] while not.
+/// Attributes the sampled alloc to (class, current caller tag, thread).
+/// Re-entrancy-safe by construction: it touches only the thread's own
+/// cache and two const-init TLS cells, never the heap.
+#[cold]
+fn sample_tick(cache: &mut ThreadCache, class: usize) {
+    let period = crate::heap_profile::sample_period();
+    if period == 0 {
+        cache.classes[class].sample_down = SAMPLE_RECHECK;
+        return;
+    }
+    cache.classes[class].sample_down = period - 1;
+    let tag = crate::heap_profile::current_tag() as usize % HEAP_PROFILE_TAGS;
+    let cell = &cache.samples[class][tag];
+    cell.store(cell.load(Ordering::Relaxed).wrapping_add(1), Ordering::Release);
+    let total = &cache.sample_total;
+    total.store(total.load(Ordering::Relaxed).wrapping_add(1), Ordering::Release);
+}
+
+/// Classed allocation entry: thread-cache hit or the cold ladder. The
+/// per-class alloc count is bumped *after* a block is in hand (and never
+/// for fault-fallback chunks), so a counted block always has its slab
+/// already visible in [`MAPPED_SLABS`].
 #[inline]
 fn alloc_class(class: usize) -> *mut u8 {
     let cache = CACHE.get();
@@ -420,21 +614,34 @@ fn alloc_class(class: usize) -> *mut u8 {
         return alloc_class_cold_entry(class, cache);
     }
     let cache = unsafe { &mut *cache };
-    cache.allocs += 1;
+    let lc = &mut cache.classes[class];
+    let ticked = lc.sample_down == 0;
+    if !ticked {
+        lc.sample_down -= 1;
+    }
+    if ticked {
+        sample_tick(cache, class);
+    }
     let lc = &mut cache.classes[class];
     let head = lc.head;
     if !head.is_null() {
         lc.head = unsafe { *(head as *mut *mut u8) };
-        lc.count -= 1;
+        owner_sub32(&lc.count, 1);
+        owner_bump(&lc.allocs);
         return head;
     }
     let chain = lc.chain;
     if !chain.is_null() {
         lc.chain = unsafe { *(chain as *mut *mut u8) };
-        lc.chain_left -= 1;
+        owner_sub32(&lc.chain_left, 1);
+        owner_bump(&lc.allocs);
         return chain;
     }
-    refill(cache, class)
+    let block = refill(cache, class);
+    if !(block.is_null() || (cfg!(feature = "fault-inject") && is_fallback(block))) {
+        owner_bump(&cache.classes[class].allocs);
+    }
+    block
 }
 
 #[cold]
@@ -442,17 +649,26 @@ fn alloc_class_cold_entry(class: usize, cache: *mut ThreadCache) -> *mut u8 {
     if cache == DEAD {
         // TLS teardown already ran; serve straight from the shared levels
         // and count against the folded ledger.
-        FOLDED.class_allocs.fetch_add(1, Ordering::Relaxed);
         FOLDED.class_refills.fetch_add(1, Ordering::Relaxed);
-        return alloc_shared(class, 0);
+        return alloc_shared_counted(class);
     }
     let cache = init_cache();
     if cache == DEAD {
-        FOLDED.class_allocs.fetch_add(1, Ordering::Relaxed);
         FOLDED.class_refills.fetch_add(1, Ordering::Relaxed);
-        return alloc_shared(class, 0);
+        return alloc_shared_counted(class);
     }
     alloc_class(class)
+}
+
+/// DEAD-path alloc, counted against the folded per-class ledger *after*
+/// the block exists (mapped-before-counted, like the cached path) and
+/// never for fallback chunks.
+fn alloc_shared_counted(class: usize) -> *mut u8 {
+    let block = alloc_shared(class, 0);
+    if !(block.is_null() || (cfg!(feature = "fault-inject") && is_fallback(block))) {
+        FOLDED_CLASS[class].allocs.fetch_add(1, Ordering::Release);
+    }
+    block
 }
 
 /// Cache-less single-block acquire (DEAD paths): remote drain of one
@@ -512,7 +728,7 @@ fn chain_measure(head: *mut u8) -> (usize, *mut u8) {
 /// Thread-cache refill: remote drain → central pops → slab carve.
 #[cold]
 fn refill(cache: &mut ThreadCache, class: usize) -> *mut u8 {
-    cache.refills += 1;
+    owner_bump(&cache.refills);
     let cap = MAG_CAP[class] as usize;
     let state = &CLASSES[class];
     let home = cache.home;
@@ -558,7 +774,7 @@ fn refill(cache: &mut ThreadCache, class: usize) -> *mut u8 {
         debug_assert!(lc.chain.is_null(), "refill with a live adopted chain");
         lc.chain = unsafe { *(chain as *mut *mut u8) };
         lc.chain_tail = cut_tail;
-        lc.chain_left = (kept - 1) as u32;
+        lc.chain_left.store((kept - 1) as u32, Ordering::Relaxed);
         return chain;
     }
 
@@ -632,7 +848,7 @@ fn link_batch(cache: &mut ThreadCache, class: usize, batch: &mut [*mut u8]) -> *
     }
     if n > 1 {
         lc.head = batch[1];
-        lc.count += (n - 1) as u32;
+        owner_add32(&lc.count, (n - 1) as u32);
     }
     batch[0]
 }
@@ -731,7 +947,10 @@ fn adopt_chain(
 /// Carve a slab for the cache's home shard: first block served, up to
 /// `cap - 1` into the local list, the rest to the central stack.
 fn carve(cache: &mut ThreadCache, class: usize) -> *mut u8 {
-    cache.slabs += 1;
+    if crate::fault::fail_slab_carve() {
+        return fallback_alloc(class);
+    }
+    owner_bump(&cache.slabs);
     let home = cache.home;
     let cap = MAG_CAP[class] as usize;
     let Some(base) = carve_slab(class, home) else { return std::ptr::null_mut() };
@@ -744,8 +963,8 @@ fn carve(cache: &mut ThreadCache, class: usize) -> *mut u8 {
         let b = block_at(i);
         unsafe { *(b as *mut *mut u8) = lc.head };
         lc.head = b;
-        lc.count += 1;
     }
+    owner_add32(&lc.count, keep as u32);
     if keep + 1 < nblocks {
         // Chain the remainder in place and donate it central.
         let first_rest = block_at(keep + 1);
@@ -764,6 +983,9 @@ fn carve(cache: &mut ThreadCache, class: usize) -> *mut u8 {
 
 /// Cache-less carve: everything beyond the served block goes central.
 fn carve_shared(class: usize, home: usize) -> *mut u8 {
+    if crate::fault::fail_slab_carve() {
+        return fallback_alloc(class);
+    }
     FOLDED.slabs_carved.fetch_add(1, Ordering::Relaxed);
     let Some(base) = carve_slab(class, home) else { return std::ptr::null_mut() };
     let bytes = class_bytes(class);
@@ -799,7 +1021,59 @@ fn carve_slab(class: usize, home: usize) -> Option<*mut u8> {
         (*header).shard = AtomicU16::new(home as u16);
         (*header)._pad = 0;
     }
+    // Mapped before any block can be counted: every alloc-count store is
+    // sequenced after this (same thread) or chained through the
+    // release/acquire hand-offs of the free stacks (other threads), so a
+    // collector that reads counts first and this array last can never see
+    // live bytes exceed mapped bytes.
+    MAPPED_SLABS[class].fetch_add(1, Ordering::Relaxed);
     Some(base)
+}
+
+/// Layout of a fault-fallback chunk for `class`: one block behind a
+/// slab-aligned header, so `dealloc`'s address-mask header recovery works
+/// on it unchanged.
+fn fallback_layout(class: usize) -> Layout {
+    Layout::from_size_align(HEADER_BYTES + class_bytes(class), SLAB_BYTES)
+        .expect("static fallback layout")
+}
+
+/// Injected-carve fallback: serve the request from a [`System`] chunk
+/// stamped [`FALLBACK_MAGIC`]. The chunk never enters slab accounting —
+/// it is counted on the per-class fallback gauge instead — and never
+/// recirculates through caches, central stacks or remote queues: its
+/// free goes straight back to [`System`].
+#[cold]
+fn fallback_alloc(class: usize) -> *mut u8 {
+    let base = unsafe { System.alloc(fallback_layout(class)) };
+    if base.is_null() {
+        return std::ptr::null_mut();
+    }
+    let header = base as *mut SlabHeader;
+    unsafe {
+        (*header).magic = FALLBACK_MAGIC;
+        (*header).class = class as u16;
+        (*header).shard = AtomicU16::new(0);
+        (*header)._pad = 0;
+    }
+    FALLBACK_ALLOCS[class].fetch_add(1, Ordering::Release);
+    unsafe { base.add(HEADER_BYTES) }
+}
+
+/// Whether `ptr` is a fallback chunk's block (one header load — the same
+/// line the free path reads for shard routing anyway). Only ever called
+/// under `cfg!(feature = "fault-inject")`; without faults no chunk exists.
+#[inline]
+fn is_fallback(ptr: *mut u8) -> bool {
+    let header = ((ptr as usize) & !SLAB_MASK) as *const SlabHeader;
+    unsafe { (*header).magic == FALLBACK_MAGIC }
+}
+
+#[cold]
+fn fallback_free(ptr: *mut u8, class: usize) {
+    let base = ((ptr as usize) & !SLAB_MASK) as *mut u8;
+    FALLBACK_FREES[class].fetch_add(1, Ordering::Release);
+    unsafe { System.dealloc(base, fallback_layout(class)) };
 }
 
 /// The owning shard stamped in `ptr`'s slab header. One load in release
@@ -821,17 +1095,23 @@ fn shard_of(ptr: *mut u8, class: usize) -> usize {
 /// Only a cache-less thread pays a per-block remote CAS.
 #[inline]
 fn dealloc_class(ptr: *mut u8, class: usize) {
+    // Fault builds only: route fallback chunks straight back to System
+    // before they can touch the slab ledger (compiled out otherwise).
+    if cfg!(feature = "fault-inject") && is_fallback(ptr) {
+        return fallback_free(ptr, class);
+    }
     let cache = CACHE.get();
     if !cache.is_null() && cache != DEAD {
         let cache = unsafe { &mut *cache };
-        cache.frees += 1;
         let shard = shard_of(ptr, class);
+        owner_bump(&cache.classes[class].frees);
         if shard == cache.home {
             let lc = &mut cache.classes[class];
             unsafe { *(ptr as *mut *mut u8) = lc.head };
             lc.head = ptr;
-            lc.count += 1;
-            if lc.count > MAG_CAP[class] {
+            let count = lc.count.load(Ordering::Relaxed) + 1;
+            lc.count.store(count, Ordering::Relaxed);
+            if count > MAG_CAP[class] {
                 flush_surplus(cache, class);
             }
         } else {
@@ -842,7 +1122,7 @@ fn dealloc_class(ptr: *mut u8, class: usize) {
     // No cache (never allocated) or DEAD (teardown done): the owner's
     // remote queue is exactly the right mailbox — drained by whoever
     // refills there next.
-    FOLDED.class_frees.fetch_add(1, Ordering::Relaxed);
+    FOLDED_CLASS[class].frees.fetch_add(1, Ordering::Release);
     remote_push(class, shard_of(ptr, class), ptr);
 }
 
@@ -891,14 +1171,15 @@ fn flush_bucket(class: usize, shard_idx: usize, b: &mut ForeignBucket) {
 #[cold]
 fn flush_surplus(cache: &mut ThreadCache, class: usize) {
     let lc = &mut cache.classes[class];
-    let flush = (lc.count / 2).max(1);
+    let count = lc.count.load(Ordering::Relaxed);
+    let flush = (count / 2).max(1);
     let head = lc.head;
     let mut tail = head;
     for _ in 1..flush {
         tail = unsafe { *(tail as *mut *mut u8) };
     }
     lc.head = unsafe { *(tail as *mut *mut u8) };
-    lc.count -= flush;
+    lc.count.store(count - flush, Ordering::Relaxed);
     let shard = &CLASSES[class].shards[cache.home];
     shard.free.push_chain(head, tail);
     shard.free_len.fetch_add(flush as usize, Ordering::Relaxed);
@@ -913,22 +1194,28 @@ fn flush_all(cache: &mut ThreadCache) {
     for (class, (lc, buckets)) in classes.iter_mut().zip(foreign.iter_mut()).enumerate() {
         if !lc.head.is_null() {
             let (n, tail) = chain_measure(lc.head);
-            debug_assert_eq!(n, lc.count as usize, "local list count drifted");
+            debug_assert_eq!(
+                n,
+                lc.count.load(Ordering::Relaxed) as usize,
+                "local list count drifted"
+            );
             let shard = &CLASSES[class].shards[home];
             shard.free.push_chain(lc.head, tail);
             shard.free_len.fetch_add(n, Ordering::Relaxed);
             lc.head = std::ptr::null_mut();
-            lc.count = 0;
+            lc.count.store(0, Ordering::Relaxed);
         }
         if !lc.chain.is_null() {
             // A lazily-served adopted chain: its count and tail were
             // tracked at adoption, so returning it central needs no walk.
             let shard = &CLASSES[class].shards[home];
             shard.free.push_chain(lc.chain, lc.chain_tail);
-            shard.free_len.fetch_add(lc.chain_left as usize, Ordering::Relaxed);
+            shard
+                .free_len
+                .fetch_add(lc.chain_left.load(Ordering::Relaxed) as usize, Ordering::Relaxed);
             lc.chain = std::ptr::null_mut();
             lc.chain_tail = std::ptr::null_mut();
-            lc.chain_left = 0;
+            lc.chain_left.store(0, Ordering::Relaxed);
         }
         for (s, b) in buckets.iter_mut().enumerate() {
             if !b.head.is_null() {
@@ -1030,13 +1317,21 @@ pub struct GlobalAllocStats {
     /// Requests that bypassed the classes (too big / over-aligned).
     pub passthrough_allocs: u64,
     pub passthrough_frees: u64,
+    /// Fault-injected carve fallbacks: classed requests served from
+    /// System chunks outside slab accounting (`fault-inject` builds with
+    /// an armed schedule only; always zero otherwise).
+    pub fallback_allocs: u64,
+    pub fallback_frees: u64,
+    /// Bytes outstanding in fallback chunks (block payload; headers and
+    /// alignment slack excluded).
+    pub fallback_bytes: u64,
 }
 
-/// Snapshot the ledger (see [`GlobalAllocStats`] for visibility caveats).
+/// Snapshot the ledger. Unlike the original fold-on-exit-only snapshot,
+/// this reads *every* live cache through the registry, so it is exact at
+/// quiescence and a bounded-skew estimate mid-run.
 pub fn stats() -> GlobalAllocStats {
     let mut s = GlobalAllocStats {
-        class_allocs: FOLDED.class_allocs.load(Ordering::Relaxed),
-        class_frees: FOLDED.class_frees.load(Ordering::Relaxed),
         cache_hits: FOLDED.cache_hits.load(Ordering::Relaxed),
         class_refills: FOLDED.class_refills.load(Ordering::Relaxed),
         slabs_carved: FOLDED.slabs_carved.load(Ordering::Relaxed),
@@ -1044,14 +1339,34 @@ pub fn stats() -> GlobalAllocStats {
         passthrough_frees: FOLDED.passthrough_frees.load(Ordering::Relaxed),
         ..GlobalAllocStats::default()
     };
-    let cache = CACHE.get();
-    if !cache.is_null() && cache != DEAD {
-        let cache = unsafe { &*cache };
-        s.class_allocs += cache.allocs;
-        s.class_frees += cache.frees;
-        s.cache_hits += cache.allocs - cache.refills;
-        s.class_refills += cache.refills;
-        s.slabs_carved += cache.slabs;
+    for fold in &FOLDED_CLASS {
+        s.class_allocs += fold.allocs.load(Ordering::Acquire);
+        s.class_frees += fold.frees.load(Ordering::Acquire);
+    }
+    {
+        let _g = REGISTRY.lock();
+        let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
+        while !cur.is_null() {
+            let cache = unsafe { &*cur };
+            let mut allocs = 0u64;
+            for lc in &cache.classes {
+                allocs += lc.allocs.load(Ordering::Acquire);
+                s.class_frees += lc.frees.load(Ordering::Acquire);
+            }
+            let refills = cache.refills.load(Ordering::Relaxed);
+            s.class_allocs += allocs;
+            s.cache_hits += allocs.saturating_sub(refills);
+            s.class_refills += refills;
+            s.slabs_carved += cache.slabs.load(Ordering::Relaxed);
+            cur = cache.next;
+        }
+    }
+    for (class, (fa, ff)) in FALLBACK_ALLOCS.iter().zip(FALLBACK_FREES.iter()).enumerate() {
+        let fa = fa.load(Ordering::Acquire);
+        let ff = ff.load(Ordering::Acquire);
+        s.fallback_allocs += fa;
+        s.fallback_frees += ff;
+        s.fallback_bytes += fa.saturating_sub(ff) * class_bytes(class) as u64;
     }
     for class in &CLASSES {
         for shard in &class.shards {
@@ -1068,6 +1383,120 @@ pub fn stats() -> GlobalAllocStats {
     s
 }
 
+/// Raw per-class gauge counters, collected by [`collect_raw_gauges`].
+/// Block counts, not bytes — [`crate::heap_profile`] scales them.
+pub(crate) struct RawGauges {
+    pub allocs: [u64; NUM_CLASSES],
+    pub frees: [u64; NUM_CLASSES],
+    /// Blocks parked in thread-cache magazines (local lists + adopted
+    /// chains), summed over live caches.
+    pub cache_parked: [u64; NUM_CLASSES],
+    /// Blocks parked on central free stacks, summed over shards.
+    pub central_parked: [u64; NUM_CLASSES],
+    /// Blocks pending on remote-free queues, summed over shards.
+    pub remote_pending: [u64; NUM_CLASSES],
+    pub mapped_slabs: [u64; NUM_CLASSES],
+    pub peak_live_bytes: [u64; NUM_CLASSES],
+    /// Fault-fallback blocks outstanding (allocs - frees, clamped).
+    pub fallback_blocks: [u64; NUM_CLASSES],
+}
+
+/// The two-pass gauge fold (DESIGN.md §9). Read order is the invariant:
+///
+/// 1. every alloc counter (folded, then each live cache, `Acquire`),
+/// 2. every free counter (strictly after all allocs — frees observed
+///    beyond pass 1's allocs only *lower* the live estimate),
+/// 3. the mapped-slab counts last (monotone; carves between passes only
+///    raise the bound).
+///
+/// So `live = allocs - frees` (clamped at zero) can under- but never
+/// over-estimate against the mapped bound: `live_bytes <= mapped_bytes`
+/// holds for every snapshot, and both are exact at quiescence. The
+/// registry hold spans both counter passes, which also blocks teardown
+/// folds from moving counters between the passes.
+pub(crate) fn collect_raw_gauges() -> RawGauges {
+    let mut g = RawGauges {
+        allocs: [0; NUM_CLASSES],
+        frees: [0; NUM_CLASSES],
+        cache_parked: [0; NUM_CLASSES],
+        central_parked: [0; NUM_CLASSES],
+        remote_pending: [0; NUM_CLASSES],
+        mapped_slabs: [0; NUM_CLASSES],
+        peak_live_bytes: [0; NUM_CLASSES],
+        fallback_blocks: [0; NUM_CLASSES],
+    };
+    {
+        let _hold = REGISTRY.lock();
+        // Pass 1: allocations (plus the order-insensitive parked gauges).
+        for (class, fold) in FOLDED_CLASS.iter().enumerate() {
+            g.allocs[class] = fold.allocs.load(Ordering::Acquire);
+        }
+        let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
+        while !cur.is_null() {
+            let cache = unsafe { &*cur };
+            for (class, lc) in cache.classes.iter().enumerate() {
+                g.allocs[class] += lc.allocs.load(Ordering::Acquire);
+                g.cache_parked[class] += lc.count.load(Ordering::Relaxed) as u64
+                    + lc.chain_left.load(Ordering::Relaxed) as u64;
+            }
+            cur = cache.next;
+        }
+        // Pass 2: frees, strictly after every alloc counter.
+        for (class, fold) in FOLDED_CLASS.iter().enumerate() {
+            g.frees[class] = fold.frees.load(Ordering::Acquire);
+        }
+        let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
+        while !cur.is_null() {
+            let cache = unsafe { &*cur };
+            for (class, lc) in cache.classes.iter().enumerate() {
+                g.frees[class] += lc.frees.load(Ordering::Acquire);
+            }
+            cur = cache.next;
+        }
+    }
+    for (class, state) in CLASSES.iter().enumerate() {
+        for shard in &state.shards {
+            g.central_parked[class] += shard.free_len.load(Ordering::Relaxed) as u64;
+            let pushes = shard.remote_pushes.load(Ordering::Relaxed);
+            let drained = shard.remote_drained.load(Ordering::Relaxed);
+            g.remote_pending[class] += pushes.saturating_sub(drained);
+        }
+        g.fallback_blocks[class] = FALLBACK_ALLOCS[class]
+            .load(Ordering::Acquire)
+            .saturating_sub(FALLBACK_FREES[class].load(Ordering::Acquire));
+    }
+    // Mapped last (see above), then fold the peak watermark.
+    for class in 0..NUM_CLASSES {
+        g.mapped_slabs[class] = MAPPED_SLABS[class].load(Ordering::Relaxed);
+        let live_bytes = g.allocs[class].saturating_sub(g.frees[class]) * class_bytes(class) as u64;
+        PEAK_LIVE_BYTES[class].fetch_max(live_bytes, Ordering::AcqRel);
+        g.peak_live_bytes[class] = PEAK_LIVE_BYTES[class].load(Ordering::Relaxed);
+    }
+    g
+}
+
+/// Add every live cache's sample table (and per-thread totals) into the
+/// caller's accumulators — the live half of the profiler's aggregates;
+/// [`crate::heap_profile`] owns the folded half.
+pub(crate) fn collect_live_samples(
+    sites: &mut [[u64; HEAP_PROFILE_TAGS]; NUM_CLASSES],
+    threads: &mut [u64; HEAP_PROFILE_THREAD_SLOTS],
+) {
+    let _hold = REGISTRY.lock();
+    let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
+    while !cur.is_null() {
+        let cache = unsafe { &*cur };
+        for (class, row) in cache.samples.iter().enumerate() {
+            for (tag, cell) in row.iter().enumerate() {
+                sites[class][tag] += cell.load(Ordering::Acquire) as u64;
+            }
+        }
+        threads[cache.ordinal as usize % HEAP_PROFILE_THREAD_SLOTS] +=
+            cache.sample_total.load(Ordering::Acquire);
+        cur = cache.next;
+    }
+}
+
 /// Emit the aggregate `remote_free` / `class_refill` counters as telemetry
 /// events. Hot allocator paths never touch the telemetry ring (its lazy
 /// ring registration allocates, which would recurse through the installed
@@ -1077,6 +1506,7 @@ pub fn publish_telemetry() {
     let s = stats();
     crate::obs::pool_event!(RemoteFree, s.remote_frees);
     crate::obs::pool_event!(ClassRefill, s.class_refills);
+    crate::obs::pool_event!(FallbackAlloc, s.fallback_allocs);
 }
 
 /// Whether this build installs [`GlobalPool`] as `#[global_allocator]`.

@@ -49,6 +49,7 @@ mod depot;
 pub mod fault;
 pub mod global;
 mod guard;
+pub mod heap_profile;
 pub mod limits;
 pub mod magazine;
 pub mod object_pool;

@@ -103,6 +103,47 @@ impl<T> ShardedPool<T> {
     pub fn shard_lengths(&self) -> Vec<usize> {
         self.depot.shards.iter().map(ObjectPool::len).collect()
     }
+
+    /// Where this pool's parked memory sits right now, tier by tier —
+    /// the typed-pool analogue of the global front-end's parked gauges,
+    /// so a heap profile can attribute "allocated but idle" bytes to
+    /// thread magazines vs depot stacks vs shard free lists.
+    pub fn parked_breakdown(&self) -> ParkedBreakdown {
+        ParkedBreakdown {
+            object_bytes: std::mem::size_of::<T>(),
+            magazine_objects: self.depot.magazine_parked(),
+            depot_objects: self.depot.depot_parked(),
+            shard_objects: self.depot.shards.iter().map(ObjectPool::len).sum(),
+        }
+    }
+}
+
+/// Tiered parked-object accounting for one [`ShardedPool`] (a point-in-time
+/// observation: concurrent traffic moves objects between tiers, but every
+/// parked object is in exactly one tier at any instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParkedBreakdown {
+    /// `size_of::<T>()`: the scale factor for [`Self::parked_bytes`].
+    pub object_bytes: usize,
+    /// Objects cached in live thread magazines.
+    pub magazine_objects: usize,
+    /// Objects inside full magazines parked on the depot stacks.
+    pub depot_objects: usize,
+    /// Objects on shard free lists.
+    pub shard_objects: usize,
+}
+
+impl ParkedBreakdown {
+    /// All parked objects across the three tiers.
+    pub fn total_objects(&self) -> usize {
+        self.magazine_objects + self.depot_objects + self.shard_objects
+    }
+
+    /// Payload bytes held by parked objects (excludes `Vec`/node overhead:
+    /// this is the reuse-value of the cache, not its exact footprint).
+    pub fn parked_bytes(&self) -> usize {
+        self.total_objects() * self.object_bytes
+    }
 }
 
 impl<T: 'static> ShardedPool<T> {
@@ -405,6 +446,22 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<u32>>(), "every object comes back exactly once");
         assert_eq!(pool.stats().fresh_allocs(), 0, "depot swaps avoid fresh allocation");
+    }
+
+    #[test]
+    fn parked_breakdown_tiers_sum_to_len() {
+        let pool: ShardedPool<u64> = ShardedPool::with_magazines(2, PoolConfig::default(), 4);
+        for i in 0..10 {
+            pool.release(Box::new(i));
+        }
+        let b = pool.parked_breakdown();
+        assert_eq!(b.total_objects(), pool.len(), "tiers must partition the parked set");
+        assert_eq!(b.object_bytes, 8);
+        assert_eq!(b.parked_bytes(), pool.len() * 8);
+        assert!(b.magazine_objects + b.depot_objects > 0, "magazines took the overflow");
+        pool.trim();
+        pool.flush_local_magazine();
+        assert_eq!(pool.parked_breakdown().total_objects(), pool.len());
     }
 
     #[test]

@@ -204,12 +204,18 @@ fn epoch_bumps_under_fault_injection_do_not_disturb_conservation() {
     let after = global::stats();
     let allocs = after.class_allocs - before.class_allocs;
     let frees = after.class_frees - before.class_frees;
+    // Injected carve failures divert blocks to the System-chunk fallback,
+    // which lives *outside* the classed ledger — conservation holds with
+    // the fallback gauges added back in (satellite: fallback exclusion).
+    let fb_allocs = after.fallback_allocs - before.fallback_allocs;
+    let fb_frees = after.fallback_frees - before.fallback_frees;
+    assert_eq!(fb_allocs, fb_frees, "every fallback block was freed at quiesce");
     if global::installed() {
-        assert!(allocs >= total as u64);
-        assert!(frees >= total as u64);
+        assert!(allocs + fb_allocs >= total as u64);
+        assert!(frees + fb_frees >= total as u64);
     } else {
-        assert_eq!(allocs, total as u64);
-        assert_eq!(frees, total as u64);
+        assert_eq!(allocs + fb_allocs, total as u64);
+        assert_eq!(frees + fb_frees, total as u64);
     }
     assert_eq!(after.remote_frees, after.remote_drained + after.remote_pending);
 }

@@ -1,0 +1,270 @@
+//! Concurrent consistency checks for the heap-profile gauges: under
+//! multi-thread churn with cross-thread frees, *every* snapshot must
+//! satisfy `live_bytes <= mapped_bytes` per class (the gauge fold
+//! protocol's ordering guarantee, DESIGN.md §9), and at quiesce the
+//! gauges must reconcile exactly against an alloc/free ledger kept by
+//! the test itself.
+//!
+//! Exact-equality reconciliation only holds feature-off (with
+//! `global-alloc` installed the harness's own heap traffic shares the
+//! process-wide counters); installed builds assert the same invariants
+//! as floors. Tests serialize on one lock: the gauges are process-wide.
+
+use pools::global::{self, CLASS_SHARDS};
+use pools::heap_profile as hp;
+use std::alloc::Layout;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn ledger_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const BLOCK_LAYOUT: Layout = match Layout::from_size_align(64, 8) {
+    Ok(l) => l,
+    Err(_) => panic!("static layout"),
+};
+
+/// The 64-byte class's index: gauges report per class, the test allocates
+/// one layout, so find where its traffic lands.
+fn block_class() -> usize {
+    pools::size_class::class_for(64, 8).expect("64B is classed")
+}
+
+fn class_live_bytes(g: &hp::HeapGauges, class: usize) -> u64 {
+    g.classes[class].live_bytes
+}
+
+/// Every-snapshot invariant plus quiesce reconciliation, under the same
+/// producer/consumer shape as the front-end stress suite: producers
+/// allocate on shards `0..P`, a consumer frees everything remotely, and a
+/// dedicated observer thread snapshots the gauges as fast as it can the
+/// whole time.
+#[test]
+fn every_snapshot_bounds_live_by_mapped_and_quiesce_reconciles() {
+    let _g = ledger_lock();
+    let class = block_class();
+    let before = hp::gauges();
+    let before_stats = global::stats();
+
+    const PRODUCERS: usize = 4;
+    const PER: usize = 15_000;
+    const { assert!(PRODUCERS < CLASS_SHARDS) };
+
+    let stop = AtomicBool::new(false);
+    let snapshots_taken = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // The observer: concurrent gauge collection against live traffic.
+        // Any `live > mapped` observation is a fold-ordering bug.
+        let observer = s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                let g = hp::gauges();
+                for c in &g.classes {
+                    assert!(
+                        c.live_bytes <= c.mapped_bytes,
+                        "snapshot violates the bound: class {} live {} > mapped {}",
+                        c.class,
+                        c.live_bytes,
+                        c.mapped_bytes
+                    );
+                    assert!(
+                        c.peak_live_bytes <= c.mapped_bytes,
+                        "peak watermark above mapped: class {}",
+                        c.class
+                    );
+                }
+                hp::capture_snapshot();
+                snapshots_taken.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        let (tx, rx) = mpsc::channel::<usize>();
+        for p in 0..PRODUCERS {
+            let tx = tx.clone();
+            s.spawn(move || {
+                assert!(global::pin_home_shard(p));
+                for _ in 0..PER {
+                    let block = global::raw_alloc(BLOCK_LAYOUT);
+                    assert!(!block.is_null());
+                    tx.send(block as usize).expect("consumer alive");
+                }
+            });
+        }
+        drop(tx);
+        let consumer = s.spawn(move || {
+            assert!(global::pin_home_shard(CLASS_SHARDS - 1));
+            let mut freed = 0usize;
+            while let Ok(addr) = rx.recv() {
+                unsafe { global::raw_dealloc(addr as *mut u8, BLOCK_LAYOUT) };
+                freed += 1;
+            }
+            freed
+        });
+        let freed = consumer.join().expect("consumer");
+        assert_eq!(freed, PRODUCERS * PER);
+        stop.store(true, Ordering::Relaxed);
+        observer.join().expect("observer");
+    });
+
+    assert!(
+        snapshots_taken.load(Ordering::Relaxed) > 0,
+        "observer never snapshotted concurrently with the churn"
+    );
+
+    // Quiesce: every worker exited (counters folded), every block freed.
+    // The gauges must reconcile exactly against the stress ledger.
+    let after = hp::gauges();
+    let after_stats = global::stats();
+    let total = (PRODUCERS * PER) as u64;
+    let allocs = after_stats.class_allocs - before_stats.class_allocs;
+    let frees = after_stats.class_frees - before_stats.class_frees;
+    if global::installed() {
+        assert!(allocs >= total);
+        assert!(frees >= total);
+        // Harness traffic may hold live blocks, but this run's are gone.
+        assert!(
+            class_live_bytes(&after, class)
+                <= class_live_bytes(&before, class) + (allocs - frees) * 64
+        );
+    } else {
+        assert_eq!(allocs, total, "test ledger: allocs");
+        assert_eq!(frees, total, "test ledger: frees");
+        assert_eq!(
+            class_live_bytes(&after, class),
+            class_live_bytes(&before, class),
+            "live bytes must return to the pre-churn level at quiesce"
+        );
+    }
+    // The run's peak must have registered at least one producer's worth
+    // of concurrently-live blocks... conservatively, at least one block.
+    assert!(after.classes[class].peak_live_bytes >= 64, "peak watermark never moved");
+    assert!(
+        after.classes[class].mapped_bytes >= before.classes[class].mapped_bytes,
+        "mapped slabs are process-lifetime; the gauge cannot shrink"
+    );
+}
+
+/// Exact ledger reconciliation with a *held* live set: feature-off, the
+/// gauge delta equals the held blocks exactly; installed, it is a floor.
+#[test]
+fn held_blocks_show_up_in_live_bytes_exactly() {
+    let _g = ledger_lock();
+    let class = block_class();
+    let before = hp::gauges();
+    const HELD: usize = 2_048;
+
+    let blocks: Vec<usize> = std::thread::scope(|s| {
+        s.spawn(|| {
+            (0..HELD)
+                .map(|_| {
+                    let p = global::raw_alloc(BLOCK_LAYOUT);
+                    assert!(!p.is_null());
+                    p as usize
+                })
+                .collect()
+        })
+        .join()
+        .expect("allocator thread")
+    });
+    // The allocating thread has exited: its counters are folded, so the
+    // delta is exact even though the blocks are still live.
+    let during = hp::gauges();
+    let grew = class_live_bytes(&during, class) - class_live_bytes(&before, class);
+    if global::installed() {
+        assert!(grew >= (HELD as u64) * 64);
+    } else {
+        assert_eq!(grew, (HELD as u64) * 64, "held blocks must be exactly visible");
+    }
+    assert!(during.classes[class].live_bytes <= during.classes[class].mapped_bytes);
+
+    for addr in blocks {
+        unsafe { global::raw_dealloc(addr as *mut u8, BLOCK_LAYOUT) };
+    }
+    let after = hp::gauges();
+    if !global::installed() {
+        assert_eq!(
+            class_live_bytes(&after, class),
+            class_live_bytes(&before, class),
+            "frees must pull live bytes back down exactly"
+        );
+    }
+}
+
+/// Fault-inject interaction (satellite): injected carve failures divert
+/// blocks to the System-chunk fallback, which must be *excluded* from
+/// slab occupancy (`live_bytes`/`mapped_bytes`) and counted under the
+/// `fallback_bytes` gauge instead — and the reconciliation stays exact.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn fallback_blocks_are_excluded_from_slab_occupancy() {
+    use pools::fault::{self, FaultConfig};
+
+    let _g = ledger_lock();
+    let class = block_class();
+    fault::clear();
+    fault::reset_counts();
+    // Half of all slab carves fail: a fresh thread carving dozens of
+    // slabs is guaranteed fallback traffic under any seed.
+    fault::install(FaultConfig::uniform(0xBAD_CA4E, 0.5));
+
+    let before = hp::gauges();
+    let before_stats = global::stats();
+    const HELD: usize = 60_000; // ~59 slabs of 64B blocks if none failed
+
+    let blocks: Vec<usize> = std::thread::scope(|s| {
+        s.spawn(|| {
+            fault::set_thread_ordinal(901);
+            (0..HELD)
+                .map(|_| {
+                    let p = global::raw_alloc(BLOCK_LAYOUT);
+                    assert!(!p.is_null(), "carve failure must fall back, not fail");
+                    p as usize
+                })
+                .collect()
+        })
+        .join()
+        .expect("allocator thread")
+    });
+    fault::clear();
+
+    let during = hp::gauges();
+    let during_stats = global::stats();
+    let fb_blocks = during_stats.fallback_allocs - before_stats.fallback_allocs;
+    assert!(fb_blocks > 0, "0.5 carve-failure rate over ~59 carves must inject");
+    assert!(fb_blocks < HELD as u64, "not every alloc can be a fallback");
+
+    // Exclusion: live_bytes grew only by the slab-served blocks; the
+    // fallback blocks are on the fallback gauge instead.
+    let grew = class_live_bytes(&during, class) - class_live_bytes(&before, class);
+    let fb_grew = during.classes[class].fallback_bytes - before.classes[class].fallback_bytes;
+    if global::installed() {
+        assert!(grew >= (HELD as u64 - fb_blocks) * 64);
+        assert!(fb_grew >= fb_blocks * 64);
+    } else {
+        assert_eq!(grew, (HELD as u64 - fb_blocks) * 64, "slab live must exclude fallbacks");
+        assert_eq!(fb_grew, fb_blocks * 64, "fallback bytes must cover exactly the diverted");
+    }
+    assert!(during.classes[class].live_bytes <= during.classes[class].mapped_bytes);
+
+    // Frees route by header magic: slab blocks to their slab, fallback
+    // blocks back to System — and both gauges return to baseline.
+    for addr in blocks {
+        unsafe { global::raw_dealloc(addr as *mut u8, BLOCK_LAYOUT) };
+    }
+    let after = hp::gauges();
+    let after_stats = global::stats();
+    assert_eq!(
+        after_stats.fallback_allocs - before_stats.fallback_allocs,
+        after_stats.fallback_frees - before_stats.fallback_frees,
+        "every fallback block freed exactly once"
+    );
+    if !global::installed() {
+        assert_eq!(class_live_bytes(&after, class), class_live_bytes(&before, class));
+        assert_eq!(
+            after.classes[class].fallback_bytes, before.classes[class].fallback_bytes,
+            "outstanding fallback bytes must return to baseline"
+        );
+    }
+}

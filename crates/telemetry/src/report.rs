@@ -6,11 +6,16 @@
 //! machine-readable output of the generated C++ runtime header (so C++-side
 //! and Rust-side stats can be diffed by the same tooling).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use smp_sim::metrics::RunMetrics;
 
 /// The schema tag every report carries. Bump on breaking field changes.
 pub const SCHEMA: &str = "telemetry-v1";
+
+/// The schema tag of the embedded heap-profile section. Versioned
+/// independently of the outer report: the section is optional, so old
+/// readers skip it and old reports simply lack it.
+pub const HEAP_PROFILE_SCHEMA: &str = "heap-profile-v1";
 
 /// Aggregated statistics for one named pool, shards and magazines included.
 /// Field names are the `telemetry-v1` wire names; the generated C++ runtime
@@ -111,8 +116,94 @@ impl NativeRun {
     }
 }
 
-/// The versioned snapshot the whole stack reports through.
+/// Point-in-time occupancy gauges for one allocator size class, all in
+/// bytes. `mapped - live` is the fragmentation the mapped/live ratio
+/// reads; `parked` splits out the part held in reuse caches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapClassGauges {
+    /// Size-class index (ascending block size).
+    pub class: u32,
+    /// The class's block size.
+    pub block_bytes: u64,
+    /// Slab bytes mapped for this class.
+    pub mapped_bytes: u64,
+    /// Bytes in live (allocated, not yet freed) blocks.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` across collections.
+    pub peak_live_bytes: u64,
+    /// Bytes parked in reuse caches (thread magazines + central stacks +
+    /// remote queues).
+    pub parked_bytes: u64,
+    /// Outstanding fault-fallback bytes (outside `mapped`/`live`).
+    pub fallback_bytes: u64,
+}
+
+impl HeapClassGauges {
+    /// Live fraction of mapped memory, in `[0, 1]` (0 when unmapped).
+    pub fn occupancy(&self) -> f64 {
+        if self.mapped_bytes == 0 {
+            0.0
+        } else {
+            self.live_bytes as f64 / self.mapped_bytes as f64
+        }
+    }
+}
+
+/// One sampled allocation site: a (size class, caller tag) cell of the
+/// "where is the heap" table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapSiteSample {
+    pub class: u32,
+    pub block_bytes: u64,
+    /// Registered caller-tag name (`"untagged"` when none was set).
+    pub tag: String,
+    pub samples: u64,
+    /// `samples × period × block_bytes`: estimated allocation volume.
+    pub est_bytes: u64,
+}
+
+/// One timeline point from the snapshot ring (whole-heap totals; `seq` is
+/// the capture's process-wide sequence number).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapTimelinePoint {
+    pub seq: u64,
+    pub mapped_bytes: u64,
+    pub live_bytes: u64,
+}
+
+/// The versioned `heap-profile-v1` section: per-class occupancy gauges,
+/// top sampled sites, and the occupancy-over-time timeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeapProfileSection {
+    /// Always [`HEAP_PROFILE_SCHEMA`] for sections this crate emits.
+    pub schema: String,
+    /// 1-in-N sample period the sites were collected under (0 = sampling
+    /// was disabled; gauges are exact either way).
+    pub sample_period: u64,
+    pub classes: Vec<HeapClassGauges>,
+    pub sites: Vec<HeapSiteSample>,
+    pub timeline: Vec<HeapTimelinePoint>,
+}
+
+impl HeapProfileSection {
+    pub fn total_mapped_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.mapped_bytes).sum()
+    }
+
+    pub fn total_live_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.live_bytes).sum()
+    }
+}
+
+/// The versioned snapshot the whole stack reports through.
+///
+/// Serde impls are manual (not derived) for one reason: `heap_profile`
+/// must stay *optional on the wire* — absent in reports from older
+/// binaries and from the generated C++ runtime, and omitted (not
+/// `null`) when empty so those emitters' output stays byte-identical.
+/// The vendored derive has no `#[serde(default)]`, so the tolerance is
+/// spelled out in `from_value` below.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Always [`SCHEMA`] for reports produced by this crate version.
     pub schema: String,
@@ -124,6 +215,45 @@ pub struct Report {
     pub sim_runs: Vec<SimRun>,
     /// Native backend × workload executions (the `native_matrix` bench).
     pub native_runs: Vec<NativeRun>,
+    /// Heap-profiling section (`--heap-profile` runs only).
+    pub heap_profile: Option<HeapProfileSection>,
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("source".to_string(), self.source.to_value()),
+            ("pools".to_string(), self.pools.to_value()),
+            ("events".to_string(), self.events.to_value()),
+            ("histograms".to_string(), self.histograms.to_value()),
+            ("sim_runs".to_string(), self.sim_runs.to_value()),
+            ("native_runs".to_string(), self.native_runs.to_value()),
+        ];
+        if let Some(hp) = &self.heap_profile {
+            obj.push(("heap_profile".to_string(), hp.to_value()));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for Report {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Report {
+            schema: String::from_value(v.field("schema")?)?,
+            source: String::from_value(v.field("source")?)?,
+            pools: Vec::from_value(v.field("pools")?)?,
+            events: Vec::from_value(v.field("events")?)?,
+            histograms: Vec::from_value(v.field("histograms")?)?,
+            sim_runs: Vec::from_value(v.field("sim_runs")?)?,
+            native_runs: Vec::from_value(v.field("native_runs")?)?,
+            // Optional on the wire: absent or null both mean "no profile".
+            heap_profile: match v.field("heap_profile") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl Report {
@@ -137,6 +267,7 @@ impl Report {
             histograms: Vec::new(),
             sim_runs: Vec::new(),
             native_runs: Vec::new(),
+            heap_profile: None,
         }
     }
 
@@ -187,6 +318,24 @@ impl Report {
         for ev in &self.events {
             if crate::event::EventKind::ALL.iter().all(|k| k.name() != ev.kind) {
                 return Err(format!("unknown event kind `{}`", ev.kind));
+            }
+        }
+        if let Some(hp) = &self.heap_profile {
+            if hp.schema != HEAP_PROFILE_SCHEMA {
+                return Err(format!(
+                    "unsupported heap-profile schema `{}` (expected `{HEAP_PROFILE_SCHEMA}`)",
+                    hp.schema
+                ));
+            }
+            for c in &hp.classes {
+                // The collector's fold order guarantees this bound in
+                // every snapshot; a violating report is corrupt.
+                if c.live_bytes > c.mapped_bytes {
+                    return Err(format!(
+                        "heap-profile class {}: live {} exceeds mapped {}",
+                        c.class, c.live_bytes, c.mapped_bytes
+                    ));
+                }
             }
         }
         Ok(())
@@ -309,8 +458,211 @@ impl Report {
                 );
             }
         }
+
+        if let Some(hp) = &self.heap_profile {
+            let _ = writeln!(
+                out,
+                "\nheap profile ({}, sample period {}):",
+                hp.schema, hp.sample_period
+            );
+            let _ = writeln!(
+                out,
+                "{:<7}{:>9}{:>12}{:>12}{:>12}{:>10}{:>10}{:>7}  occupancy",
+                "class", "block", "mapped", "live", "peak", "parked", "fallback", "occ%",
+            );
+            for c in hp.classes.iter().filter(|c| c.mapped_bytes > 0 || c.fallback_bytes > 0) {
+                let _ = writeln!(
+                    out,
+                    "{:<7}{:>9}{:>12}{:>12}{:>12}{:>10}{:>10}{:>6.1}%  {}",
+                    c.class,
+                    c.block_bytes,
+                    c.mapped_bytes,
+                    c.live_bytes,
+                    c.peak_live_bytes,
+                    c.parked_bytes,
+                    c.fallback_bytes,
+                    100.0 * c.occupancy(),
+                    occupancy_bar(c.occupancy())
+                );
+            }
+            let mapped = hp.total_mapped_bytes();
+            let live = hp.total_live_bytes();
+            if live > 0 {
+                let _ = writeln!(
+                    out,
+                    "fragmentation: {mapped} mapped / {live} live = {:.2}x",
+                    mapped as f64 / live as f64
+                );
+            }
+            if !hp.sites.is_empty() {
+                let _ = writeln!(out, "top sampled sites (where is the heap):");
+                for s in hp.sites.iter().take(10) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<20}{:>7}B x{:<10} ~{} bytes",
+                        s.tag, s.block_bytes, s.samples, s.est_bytes
+                    );
+                }
+            }
+            if hp.timeline.len() >= 2 {
+                let lives: Vec<u64> = hp.timeline.iter().map(|p| p.live_bytes).collect();
+                let mapped: Vec<u64> = hp.timeline.iter().map(|p| p.mapped_bytes).collect();
+                let _ = writeln!(out, "live over time    {}", sparkline(&lives));
+                let _ = writeln!(out, "mapped over time  {}", sparkline(&mapped));
+            }
+        }
         out
     }
+
+    /// Per-counter deltas between two reports (`self` = old, `new` = new):
+    /// pools matched by name, events by kind, native runs by
+    /// backend × workload, heap-profile gauges by class. Counters present
+    /// on only one side are shown as appearing/disappearing rather than
+    /// silently dropped.
+    pub fn diff(&self, new: &Report) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry diff: {} -> {} ==", self.source, new.source);
+
+        fn d(new: u64, old: u64) -> String {
+            match new.cmp(&old) {
+                std::cmp::Ordering::Greater => format!("+{}", new - old),
+                std::cmp::Ordering::Less => format!("-{}", old - new),
+                std::cmp::Ordering::Equal => "0".to_string(),
+            }
+        }
+
+        let mut pool_lines = String::new();
+        for np in &new.pools {
+            let zero = PoolSnapshot {
+                name: np.name.clone(),
+                parked: 0,
+                pool_hits: 0,
+                fresh_allocs: 0,
+                releases: 0,
+                dropped: 0,
+                failed_locks: 0,
+                lock_acquisitions: 0,
+            };
+            let op = self.pools.iter().find(|p| p.name == np.name).unwrap_or(&zero);
+            let fields = [
+                ("parked", np.parked, op.parked),
+                ("hits", np.pool_hits, op.pool_hits),
+                ("fresh", np.fresh_allocs, op.fresh_allocs),
+                ("releases", np.releases, op.releases),
+                ("dropped", np.dropped, op.dropped),
+                ("failed_locks", np.failed_locks, op.failed_locks),
+            ];
+            let changed: Vec<String> = fields
+                .iter()
+                .filter(|(_, n, o)| n != o)
+                .map(|(k, n, o)| format!("{k} {}", d(*n, *o)))
+                .collect();
+            if !changed.is_empty() {
+                let _ = writeln!(pool_lines, "  {:<16}{}", np.name, changed.join(", "));
+            }
+        }
+        for op in &self.pools {
+            if new.pools.iter().all(|p| p.name != op.name) {
+                let _ = writeln!(pool_lines, "  {:<16}(gone)", op.name);
+            }
+        }
+        if !pool_lines.is_empty() {
+            let _ = writeln!(out, "pools:");
+            out.push_str(&pool_lines);
+        }
+
+        let mut event_lines = String::new();
+        for ne in &new.events {
+            let old = self.events.iter().find(|e| e.kind == ne.kind).map_or(0, |e| e.count);
+            if ne.count != old {
+                let _ = writeln!(event_lines, "  {:<24}{}", ne.kind, d(ne.count, old));
+            }
+        }
+        if !event_lines.is_empty() {
+            let _ = writeln!(out, "events:");
+            out.push_str(&event_lines);
+        }
+
+        let mut run_lines = String::new();
+        for nr in &new.native_runs {
+            let old = self
+                .native_runs
+                .iter()
+                .find(|r| r.backend == nr.backend && r.workload == nr.workload);
+            match old {
+                Some(or) => {
+                    let dn = nr.ns_per_structure() - or.ns_per_structure();
+                    if dn.abs() > f64::EPSILON {
+                        let _ = writeln!(
+                            run_lines,
+                            "  {:<18}{:<12}ns/struct {:.1} -> {:.1} ({:+.1})",
+                            nr.backend,
+                            nr.workload,
+                            or.ns_per_structure(),
+                            nr.ns_per_structure(),
+                            dn
+                        );
+                    }
+                }
+                None => {
+                    let _ = writeln!(
+                        run_lines,
+                        "  {:<18}{:<12}(new) ns/struct {:.1}",
+                        nr.backend,
+                        nr.workload,
+                        nr.ns_per_structure()
+                    );
+                }
+            }
+        }
+        if !run_lines.is_empty() {
+            let _ = writeln!(out, "native runs:");
+            out.push_str(&run_lines);
+        }
+
+        match (&self.heap_profile, &new.heap_profile) {
+            (old_hp, Some(nh)) => {
+                let mut hp_lines = String::new();
+                for nc in &nh.classes {
+                    let oc = old_hp
+                        .as_ref()
+                        .and_then(|h| h.classes.iter().find(|c| c.class == nc.class));
+                    let (om, ol, of) =
+                        oc.map_or((0, 0, 0), |c| (c.mapped_bytes, c.live_bytes, c.fallback_bytes));
+                    if (nc.mapped_bytes, nc.live_bytes, nc.fallback_bytes) != (om, ol, of) {
+                        let _ = writeln!(
+                            hp_lines,
+                            "  class {:<4}mapped {}, live {}, fallback {}",
+                            nc.class,
+                            d(nc.mapped_bytes, om),
+                            d(nc.live_bytes, ol),
+                            d(nc.fallback_bytes, of)
+                        );
+                    }
+                }
+                if !hp_lines.is_empty() {
+                    let _ = writeln!(out, "heap profile:");
+                    out.push_str(&hp_lines);
+                }
+            }
+            (Some(_), None) => {
+                let _ = writeln!(out, "heap profile: (dropped in new report)");
+            }
+            (None, None) => {}
+        }
+
+        if out.lines().count() == 1 {
+            let _ = writeln!(out, "no counter changes");
+        }
+        out
+    }
+}
+
+/// A 10-cell occupancy bar: `#` for live tenths, `.` for the rest.
+fn occupancy_bar(occ: f64) -> String {
+    let filled = (occ.clamp(0.0, 1.0) * 10.0).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), ".".repeat(10 - filled))
 }
 
 /// Render counts as a unicode sparkline (empty input gives an empty string).
@@ -442,5 +794,124 @@ mod tests {
         let p = sample().pools[0].clone();
         assert!((p.hit_rate() - 0.9).abs() < 1e-12);
         assert!((p.contention_rate() - 0.03).abs() < 1e-12);
+    }
+
+    fn sample_heap_profile() -> HeapProfileSection {
+        HeapProfileSection {
+            schema: HEAP_PROFILE_SCHEMA.into(),
+            sample_period: 64,
+            classes: vec![
+                HeapClassGauges {
+                    class: 2,
+                    block_bytes: 48,
+                    mapped_bytes: 65536,
+                    live_bytes: 48000,
+                    peak_live_bytes: 50160,
+                    parked_bytes: 960,
+                    fallback_bytes: 0,
+                },
+                HeapClassGauges {
+                    class: 5,
+                    block_bytes: 128,
+                    mapped_bytes: 131072,
+                    live_bytes: 12800,
+                    peak_live_bytes: 96000,
+                    parked_bytes: 2560,
+                    fallback_bytes: 128,
+                },
+            ],
+            sites: vec![HeapSiteSample {
+                class: 2,
+                block_bytes: 48,
+                tag: "tree-nodes".into(),
+                samples: 17,
+                est_bytes: 17 * 64 * 48,
+            }],
+            timeline: vec![
+                HeapTimelinePoint { seq: 1, mapped_bytes: 65536, live_bytes: 9600 },
+                HeapTimelinePoint { seq: 2, mapped_bytes: 196608, live_bytes: 60800 },
+            ],
+        }
+    }
+
+    #[test]
+    fn heap_profile_round_trips_and_validates() {
+        let mut r = sample();
+        r.heap_profile = Some(sample_heap_profile());
+        r.validate().unwrap();
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reports_without_heap_profile_still_parse() {
+        // Old emitters (and the generated C++ runtime) omit the field
+        // entirely; absence must parse as None, not error.
+        let r = sample();
+        let json = r.to_json();
+        assert!(!json.contains("heap_profile"), "None must be omitted, not null");
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.heap_profile, None);
+    }
+
+    #[test]
+    fn heap_profile_schema_and_bounds_are_enforced() {
+        let mut r = sample();
+        let mut hp = sample_heap_profile();
+        hp.schema = "heap-profile-v0".into();
+        r.heap_profile = Some(hp);
+        assert!(r.validate().unwrap_err().contains("heap-profile-v0"));
+
+        let mut hp = sample_heap_profile();
+        hp.classes[0].live_bytes = hp.classes[0].mapped_bytes + 1;
+        r.heap_profile = Some(hp);
+        assert!(r.validate().unwrap_err().contains("exceeds mapped"));
+    }
+
+    #[test]
+    fn render_shows_the_heap_profile() {
+        let mut r = sample();
+        r.heap_profile = Some(sample_heap_profile());
+        let text = r.render();
+        assert!(text.contains("heap profile (heap-profile-v1, sample period 64)"), "{text}");
+        assert!(text.contains("tree-nodes"), "{text}");
+        assert!(text.contains("73.2%"), "{text}"); // 48000/65536
+        assert!(text.contains("[#######...]"), "{text}"); // 0.732 -> 7 cells
+        assert!(text.contains("live over time"), "{text}");
+        assert!(text.contains("fragmentation:"), "{text}");
+    }
+
+    #[test]
+    fn diff_reports_per_counter_deltas() {
+        let old = {
+            let mut r = sample();
+            r.heap_profile = Some(sample_heap_profile());
+            r
+        };
+        let new = {
+            let mut r = old.clone();
+            r.pools[0].pool_hits += 10;
+            r.pools[0].fresh_allocs += 2;
+            r.events[0].count = 40; // acquire_hit 90 -> 40
+            r.native_runs[0].elapsed_ns = 5_000_000; // 40 -> 50 ns/struct
+            let hp = r.heap_profile.as_mut().unwrap();
+            hp.classes[1].live_bytes += 256;
+            r
+        };
+        let text = old.diff(&new);
+        assert!(text.contains("hits +10"), "{text}");
+        assert!(text.contains("fresh +2"), "{text}");
+        assert!(text.contains("acquire_hit"), "{text}");
+        assert!(text.contains("-50"), "{text}");
+        assert!(text.contains("40.0 -> 50.0 (+10.0)"), "{text}");
+        assert!(text.contains("class 5"), "{text}");
+        assert!(text.contains("live +256"), "{text}");
+        assert!(!text.contains("class 2"), "unchanged class must not appear: {text}");
+    }
+
+    #[test]
+    fn diff_of_identical_reports_is_quiet() {
+        let r = sample();
+        assert!(r.diff(&r.clone()).contains("no counter changes"));
     }
 }
