@@ -20,7 +20,7 @@
 
 use bench::native::{
     check_global_pair_envelope, check_hit_pair_envelope, check_miss_pair_envelope,
-    check_profiled_global_pair_envelope,
+    check_profiled_global_pair_envelope, check_sim_engine_envelope,
 };
 
 fn arg_value(name: &str) -> Option<String> {
@@ -58,9 +58,14 @@ fn main() {
     // within +10% on the global pair).
     let profiled = check_profiled_global_pair_envelope(pairs);
     println!("{}", profiled.render());
+    // The simulation engine: real ns per dispatch event on the recorded
+    // reference workload (`BENCH_sim.json`) — catches event-loop or bus
+    // regressions that the allocator-path envelopes cannot see.
+    let sim = check_sim_engine_envelope(5);
+    println!("{}", sim.render());
 
     let mut failed = false;
-    for check in [hit, miss, global, profiled] {
+    for check in [hit, miss, global, profiled, sim] {
         if check.regressed(gate) {
             eprintln!(
                 "[envelope_check] FAIL: {} measured {:.2} ns, more than +{:.0}% over the \

@@ -316,6 +316,85 @@ fn main() {
         );
     }
 
+    // --- Simulation engine -----------------------------------------------
+    eprintln!("[perf_json] measuring sim-engine throughput (deterministic vs fuzzed)...");
+    let sim_half = |policy: smp_sim::SchedPolicy| {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let (ms, m) = bench::native::sim_reference_run(policy);
+            best_ms = best_ms.min(ms);
+            last = Some(m);
+        }
+        (best_ms, last.expect("three rounds ran"))
+    };
+    let (det_ms, det_m) = sim_half(smp_sim::SchedPolicy::Deterministic);
+    let (fz_ms, fz_m) = sim_half(smp_sim::SchedPolicy::Fuzzed(1));
+    let sim_obj = |ms: f64, m: &smp_sim::RunMetrics| {
+        obj(vec![
+            ("elapsed_ms", ns(ms)),
+            ("sim_wall_ms", ns(m.wall_ns as f64 / 1e6)),
+            ("events", Value::UInt(m.events)),
+            ("events_per_sec", Value::UInt((m.events as f64 / (ms / 1e3)) as u64)),
+            ("ns_per_event", ns(ms * 1e6 / m.events.max(1) as f64)),
+        ])
+    };
+    // The 256-CPU sweep column: every backend once, wall-clock recorded
+    // so engine changes that slow the many-core path are visible.
+    use smp_sim::run::{run_tree_with, ModelKind, TreeExperiment};
+    let t = std::time::Instant::now();
+    let mut ev256: u64 = 0;
+    for kind in ModelKind::ALL {
+        let exp = TreeExperiment {
+            depth: 3,
+            total_trees: 40 * 256,
+            cpus: 256,
+            params: smp_sim::CostParams::default(),
+        };
+        ev256 += run_tree_with(kind, 256, &exp, smp_sim::SchedPolicy::Deterministic, 8).events;
+    }
+    let ms256 = t.elapsed().as_secs_f64() * 1e3;
+    let sim_report = obj(vec![
+        ("schema", Value::String("sim-engine-v1".into())),
+        (
+            "workload",
+            Value::String(
+                "tree d3 x640, serial backend, 32 threads on 16 cpus (8/node), best of 3".into(),
+            ),
+        ),
+        ("deterministic", sim_obj(det_ms, &det_m)),
+        ("fuzzed", {
+            let mut fields = vec![("seed".to_string(), Value::UInt(1))];
+            if let Value::Object(rest) = sim_obj(fz_ms, &fz_m) {
+                fields.extend(rest);
+            }
+            Value::Object(fields)
+        }),
+        (
+            "sweep_256",
+            obj(vec![
+                ("backends", Value::UInt(ModelKind::ALL.len() as u64)),
+                ("cpus", Value::UInt(256)),
+                ("trees_per_thread", Value::UInt(40)),
+                ("elapsed_ms", ns(ms256)),
+                ("events", Value::UInt(ev256)),
+                ("events_per_sec", Value::UInt((ev256 as f64 / (ms256 / 1e3)) as u64)),
+            ]),
+        ),
+    ]);
+    let sim_path = dir.join("BENCH_sim.json");
+    let mut sim_json = serde_json::to_string_pretty(&sim_report).expect("sim json");
+    sim_json.push('\n');
+    std::fs::write(&sim_path, &sim_json).expect("write BENCH_sim.json");
+    eprintln!(
+        "[perf_json] sim engine: {:.0} ns/event deterministic ({} events in {det_ms:.1} ms), \
+         {:.0} ns/event fuzzed; 256-CPU sweep {ms256:.0} ms -> {}",
+        det_ms * 1e6 / det_m.events.max(1) as f64,
+        det_m.events,
+        fz_ms * 1e6 / fz_m.events.max(1) as f64,
+        sim_path.display()
+    );
+
     // --- Harness wall-clock ----------------------------------------------
     let jobs = parallel::default_jobs();
     eprintln!("[perf_json] timing a speedup grid, serial vs {jobs} worker(s)...");

@@ -1,0 +1,139 @@
+//! Many-core crossover sweep: every registry backend on simulated
+//! machines from 8 to 256 CPUs (threads pinned equal to CPUs, 8 CPUs per
+//! NUMA node, deterministic scheduling, weak scaling — fixed trees per
+//! thread so per-thread work stays constant as the machine grows).
+//!
+//! The paper's Figures 4–10 stop at the 8-CPU Enterprise machine; this
+//! sweep asks how the ptmalloc/Hoard/Amplify crossovers reshape on
+//! machines the component engine can now simulate. Writes the full grid
+//! to `results/sim_sweep.csv`, the per-backend wall-clock crossover
+//! table to `results/sim_crossover.csv`, and prints both.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sim_sweep             # full 8..256 sweep
+//! cargo run --release -p bench --bin sim_sweep -- --smoke  # CI: 8 and 64 CPUs
+//! ```
+//!
+//! Also accepts `--jobs N` and `--metrics-out <path>`.
+
+use bench::parallel;
+use smp_sim::params::CostParams;
+use smp_sim::run::{run_tree_with, ModelKind, TreeExperiment};
+use smp_sim::{RunMetrics, SchedPolicy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DEPTH: u32 = 3;
+const CPUS_PER_NODE: u32 = 8;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cpu_counts: &[u32] = if smoke { &[8, 64] } else { &[8, 16, 32, 64, 128, 256] };
+    let trees_per_thread: u32 = if smoke { 12 } else { 40 };
+    let kinds = ModelKind::ALL;
+    let cols = cpu_counts.len();
+
+    eprintln!(
+        "[sim_sweep] {} backends x {:?} CPUs, {} depth-{DEPTH} trees/thread, \
+         {CPUS_PER_NODE} CPUs/node...",
+        kinds.len(),
+        cpu_counts,
+        trees_per_thread
+    );
+    let t0 = Instant::now();
+    let grid: Vec<(RunMetrics, f64)> =
+        parallel::run_indexed(parallel::jobs_from_args(), kinds.len() * cols, |i| {
+            let (kind, cpus) = (kinds[i / cols], cpu_counts[i % cols]);
+            let exp = TreeExperiment {
+                depth: DEPTH,
+                total_trees: trees_per_thread * cpus,
+                cpus,
+                params: CostParams::default(),
+            };
+            let t = Instant::now();
+            let m =
+                run_tree_with(kind, cpus as usize, &exp, SchedPolicy::Deterministic, CPUS_PER_NODE);
+            (m, t.elapsed().as_secs_f64() * 1e3)
+        });
+    let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total_events: u64 = grid.iter().map(|(m, _)| m.events).sum();
+    let engine_ms: f64 = grid.iter().map(|&(_, ms)| ms).sum();
+    eprintln!(
+        "[sim_sweep] {} runs, {total_events} engine events in {engine_ms:.0} ms of engine time \
+         ({:.0} wall) -> {:.2} M events/s",
+        grid.len(),
+        sweep_ms,
+        total_events as f64 / engine_ms / 1e3
+    );
+
+    // Full grid CSV: one row per (backend, cpus).
+    let mut csv = String::from(
+        "backend,cpus,trees,wall_ms,busy_ms,lock_wait_ms,failed_locks,coherence_misses,\
+         events,engine_ms,events_per_sec\n",
+    );
+    for (i, (m, ms)) in grid.iter().enumerate() {
+        let (kind, cpus) = (kinds[i / cols], cpu_counts[i % cols]);
+        let _ = writeln!(
+            csv,
+            "{},{},{},{:.3},{:.3},{:.3},{},{},{},{:.2},{:.0}",
+            kind.name(),
+            cpus,
+            trees_per_thread * cpus,
+            m.wall_ns as f64 / 1e6,
+            m.busy_ns as f64 / 1e6,
+            m.lock_wait_ns as f64 / 1e6,
+            m.failed_locks,
+            m.coherence_misses,
+            m.events,
+            ms,
+            m.events as f64 / (ms / 1e3),
+        );
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/sim_sweep.csv", &csv).expect("write results/sim_sweep.csv");
+
+    // Crossover table: simulated wall ms per backend per machine size,
+    // plus which backend wins each size.
+    let wall = |k: usize, c: usize| grid[k * cols + c].0.wall_ns as f64 / 1e6;
+    let mut cross = String::from("backend");
+    for cpus in cpu_counts {
+        let _ = write!(cross, ",c{cpus}_wall_ms");
+    }
+    cross.push('\n');
+    println!("Simulated wall ms (threads = CPUs, weak scaling, {CPUS_PER_NODE} CPUs/node):");
+    print!("{:<20}", "backend");
+    for cpus in cpu_counts {
+        print!("{:>10}", format!("c{cpus}"));
+    }
+    println!();
+    for (k, kind) in kinds.iter().enumerate() {
+        let _ = write!(cross, "{}", kind.name());
+        print!("{:<20}", kind.name());
+        for c in 0..cols {
+            let _ = write!(cross, ",{:.3}", wall(k, c));
+            print!("{:>10.2}", wall(k, c));
+        }
+        cross.push('\n');
+        println!();
+    }
+    let _ = write!(cross, "winner");
+    print!("{:<20}", "winner");
+    for c in 0..cols {
+        let best =
+            (0..kinds.len()).min_by(|&a, &b| wall(a, c).partial_cmp(&wall(b, c)).unwrap()).unwrap();
+        let _ = write!(cross, ",{}", kinds[best].name());
+        print!("{:>10}", kinds[best].name());
+    }
+    cross.push('\n');
+    println!();
+    std::fs::write("results/sim_crossover.csv", &cross).expect("write results/sim_crossover.csv");
+    eprintln!("[sim_sweep] wrote results/sim_sweep.csv and results/sim_crossover.csv");
+
+    bench::metrics::emit_if_requested(
+        "sim_sweep",
+        grid.into_iter()
+            .enumerate()
+            .map(|(i, (m, _))| (format!("{}/c{}", kinds[i / cols].name(), cpu_counts[i % cols]), m))
+            .collect(),
+    );
+}

@@ -336,6 +336,42 @@ pub fn check_profiled_global_pair_envelope(pairs: u64) -> EnvelopeCheck {
     EnvelopeCheck::against("global-pair-profiled", best, expected_global_pair_ns())
 }
 
+/// The recorded deterministic engine throughput from `BENCH_sim.json`:
+/// real nanoseconds per engine dispatch event on the
+/// [`sim_reference_run`] workload. Lower is faster; the envelope gate
+/// fails only on *slower*.
+pub fn expected_sim_ns_per_event() -> f64 {
+    90.0
+}
+
+/// The `BENCH_sim.json` reference workload: the serial backend (the
+/// most contended, event-densest configuration) with 32 threads on a
+/// 16-CPU / 2-node machine, deterministic or fuzzed per `policy`.
+/// Returns `(elapsed_ms, metrics)` for one run.
+pub fn sim_reference_run(policy: smp_sim::SchedPolicy) -> (f64, smp_sim::RunMetrics) {
+    use smp_sim::run::{run_tree_with, ModelKind, TreeExperiment};
+    let exp = TreeExperiment {
+        depth: 3,
+        total_trees: 640,
+        cpus: 16,
+        params: smp_sim::CostParams::default(),
+    };
+    let t = Instant::now();
+    let m = run_tree_with(ModelKind::Serial, 32, &exp, policy, 8);
+    (t.elapsed().as_secs_f64() * 1e3, m)
+}
+
+/// Measure the deterministic reference workload (best of `rounds`) and
+/// compare its ns-per-event against the recorded engine envelope.
+pub fn check_sim_engine_envelope(rounds: u32) -> EnvelopeCheck {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let (ms, m) = sim_reference_run(smp_sim::SchedPolicy::Deterministic);
+        best = best.min(ms * 1e6 / m.events.max(1) as f64);
+    }
+    EnvelopeCheck::against("sim-engine", best, expected_sim_ns_per_event())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

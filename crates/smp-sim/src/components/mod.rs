@@ -1,0 +1,8 @@
+//! The built-in components of the simulated machine: one [`Cpu`] per
+//! simulated processor plus the [`TimelineSampler`].
+
+mod cpu;
+mod sampler;
+
+pub use cpu::Cpu;
+pub use sampler::{TimelineSampler, MAX_TIMELINE_SAMPLES};

@@ -1,24 +1,38 @@
-//! The discrete-event simulation engine: CPUs, threads, a quantum
-//! scheduler with migration, FIFO mutexes, and the cache model.
+//! The discrete-event simulation engine, assembled from components.
 //!
-//! Determinism: the event queue is ordered by `(time, sequence)`, the ready
-//! queue is FIFO, and lock handoff is FIFO — identical inputs produce
-//! identical metrics, which the property tests assert.
+//! Everything that evolves over simulated time is a
+//! [`Component`](crate::component::Component) — one [`Cpu`] per simulated
+//! processor and a [`TimelineSampler`] — registered with a
+//! [`Scheduler`](crate::sched::Scheduler) that owns the min-heap of
+//! pending wake-ups. Components interact only through the
+//! [`SystemBus`](crate::bus::SystemBus): the shared machine state
+//! (threads, FIFO ready queue, [`MutexBank`](crate::mutex_bank::MutexBank)
+//! with FIFO handoff, NUMA-aware [`CacheSystem`](crate::cache::CacheSystem))
+//! plus the wake-request outbox the run loop drains into the scheduler
+//! after every tick.
+//!
+//! Determinism: under [`SchedPolicy::Deterministic`] the heap pops in
+//! `(time, submission-seq)` order — identical inputs produce identical
+//! metrics, which the property tests and the golden-parity gate assert.
+//! [`SchedPolicy::Fuzzed`] permutes only the order of *same-timestamp*
+//! firings (deterministically per seed), exploring legal alternative
+//! schedules without bending time.
 
-use crate::cache::CacheModel;
-use crate::metrics::{IntervalSample, RunMetrics};
-use crate::model::{AllocModel, MicroOp, SimView, StructShape};
-use crate::params::CostParams;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use crate::bus::SystemBus;
+use crate::component::Component;
+use crate::components::{Cpu, TimelineSampler};
+use crate::metrics::RunMetrics;
+use crate::model::StructShape;
+use crate::params::{arch::MAX_CPUS, CostParams};
+use crate::sched::{EventClass, SchedPolicy, Scheduler};
 
-/// Index of a simulated mutex.
-pub type LockId = usize;
-/// Index of a simulated thread.
-pub type ThreadId = usize;
+pub use crate::component::ThreadId;
+pub use crate::components::MAX_TIMELINE_SAMPLES;
+pub use crate::mutex_bank::LockId;
 
 /// An application-level operation issued by a [`Program`]. The engine
-/// expands allocation ops through the installed [`AllocModel`].
+/// expands allocation ops through the installed
+/// [`AllocModel`](crate::model::AllocModel).
 #[derive(Debug, Clone)]
 pub enum AppOp {
     /// Pure computation for the given nanoseconds.
@@ -51,7 +65,7 @@ pub trait Program: Send {
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
-    /// Number of processors.
+    /// Number of processors (up to [`MAX_CPUS`](crate::params::arch::MAX_CPUS)).
     pub cpus: u32,
     /// Cost model.
     pub params: CostParams,
@@ -62,472 +76,129 @@ pub struct SimConfig {
     /// timeline. Long runs stay bounded: once [`MAX_TIMELINE_SAMPLES`]
     /// samples accumulate, every other sample is dropped and the period
     /// doubles (samples are cumulative, so decimation loses resolution, not
-    /// information).
+    /// information); the effective period comes back in
+    /// [`RunMetrics::sample_interval_ns`].
     pub sample_interval_ns: u64,
+    /// Scheduler tie-break policy; `Deterministic` reproduces the retired
+    /// monolithic engine byte-for-byte, `Fuzzed(seed)` explores alternative
+    /// same-timestamp orders for race discovery.
+    pub policy: SchedPolicy,
+    /// CPUs per NUMA node; `0` models uniform memory (the paper's 8-CPU
+    /// Enterprise machine). Non-zero groups CPUs into nodes of this size
+    /// and charges remote-node surcharges on misses (see
+    /// [`CacheSystem`](crate::cache::CacheSystem)).
+    pub cpus_per_node: u32,
 }
 
 /// Default timeline sampling period: one simulated millisecond.
 pub const DEFAULT_SAMPLE_INTERVAL_NS: u64 = 1_000_000;
 
-/// Timeline length that triggers decimation.
-pub const MAX_TIMELINE_SAMPLES: usize = 256;
-
 impl SimConfig {
-    /// A configuration with the calibrated cost model.
+    /// A configuration with the calibrated cost model, deterministic
+    /// scheduling, and uniform memory.
     pub fn new(cpus: u32) -> Self {
         SimConfig {
             cpus,
             params: CostParams::default(),
             batch_cap_ns: 1_000,
             sample_interval_ns: DEFAULT_SAMPLE_INTERVAL_NS,
+            policy: SchedPolicy::Deterministic,
+            cpus_per_node: 0,
         }
-    }
-}
-
-#[derive(Debug, Default)]
-struct LockState {
-    holder: Option<ThreadId>,
-    waiters: VecDeque<ThreadId>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TState {
-    Ready,
-    Running,
-    Blocked,
-    Done,
-}
-
-struct ThreadCtx {
-    program: Box<dyn Program>,
-    pending: VecDeque<MicroOp>,
-    /// tag → (model handle, node addresses, node size).
-    structs: HashMap<u64, (u64, Vec<u64>, u32)>,
-    /// tag → (slot, model handle, base address).
-    arrays: HashMap<u64, (u64, u64, u64)>,
-    state: TState,
-    last_cpu: Option<u32>,
-    /// Mutexes currently held; a thread is never preempted while > 0
-    /// (critical sections are far shorter than a quantum, so real
-    /// holder-preemption is vanishingly rare — modeling it at event
-    /// granularity would overstate convoys).
-    held_locks: u32,
-    block_start: u64,
-    wait_ns: u64,
-    busy_ns: u64,
-    migrations: u64,
-    finished_at: u64,
-}
-
-struct Cpu {
-    running: Option<ThreadId>,
-    /// Thread that most recently ran here; re-dispatching it is free
-    /// (models an adaptive mutex spinning on an otherwise idle CPU
-    /// instead of a full context switch).
-    last_tid: Option<ThreadId>,
-    slice_end: u64,
-}
-
-struct ViewImpl<'a> {
-    locks: &'a [LockState],
-    failed_locks: &'a mut u64,
-}
-
-impl SimView for ViewImpl<'_> {
-    fn lock_held(&self, lock: LockId) -> bool {
-        self.locks.get(lock).is_some_and(|l| l.holder.is_some())
-    }
-
-    fn record_failed_lock(&mut self) {
-        *self.failed_locks += 1;
     }
 }
 
 /// The simulator. Build with [`Sim::new`], run with [`Sim::run`].
 pub struct Sim {
-    cfg: SimConfig,
-    model: Box<dyn AllocModel>,
-    threads: Vec<ThreadCtx>,
-    locks: Vec<LockState>,
-    cpus: Vec<Cpu>,
-    ready: VecDeque<ThreadId>,
-    events: BinaryHeap<Reverse<(u64, u64, u32)>>,
-    now: u64,
-    seq: u64,
-    cache: CacheModel,
-    failed_locks: u64,
-    ctx_switches: u64,
-    done_count: usize,
-    /// Scratch buffer the model appends micro-ops into; drained into the
-    /// issuing thread's pending queue after every expansion. One persistent
-    /// allocation instead of one per application op.
-    ops_buf: Vec<MicroOp>,
-    /// Recycled node-address buffers: structures pass their `Vec<u64>` back
-    /// here on free, the next allocation reuses it — the paper's own
-    /// parked-structure trick applied to the simulator's bookkeeping.
-    addr_pool: Vec<Vec<u64>>,
-    /// Cumulative samples taken so far (see `SimConfig::sample_interval_ns`).
-    timeline: Vec<IntervalSample>,
-    /// Current sampling period (doubles on decimation).
-    sample_interval: u64,
-    /// Simulated time of the next sample.
-    next_sample: u64,
+    bus: SystemBus,
+    sched: Scheduler,
+    components: Vec<Box<dyn Component>>,
 }
 
 impl Sim {
     /// Create a simulation with one program per thread.
     pub fn new(
         cfg: SimConfig,
-        model: Box<dyn AllocModel>,
+        model: Box<dyn crate::model::AllocModel>,
         programs: Vec<Box<dyn Program>>,
     ) -> Self {
-        assert!(cfg.cpus >= 1 && cfg.cpus <= 64, "1..=64 CPUs supported");
+        assert!(cfg.cpus >= 1 && cfg.cpus <= MAX_CPUS, "1..={MAX_CPUS} CPUs supported");
         assert!(!programs.is_empty(), "need at least one thread");
-        let threads = programs
-            .into_iter()
-            .map(|p| ThreadCtx {
-                program: p,
-                // Sized for a deep structure's expansion so the queue does
-                // not regrow during the measured run.
-                pending: VecDeque::with_capacity(256),
-                structs: HashMap::new(),
-                arrays: HashMap::new(),
-                state: TState::Ready,
-                last_cpu: None,
-                held_locks: 0,
-                block_start: 0,
-                wait_ns: 0,
-                busy_ns: 0,
-                migrations: 0,
-                finished_at: 0,
-            })
-            .collect::<Vec<_>>();
-        let n = threads.len();
+        let mut components: Vec<Box<dyn Component>> =
+            (0..cfg.cpus).map(|c| Box::new(Cpu::new(c)) as Box<dyn Component>).collect();
+        if cfg.sample_interval_ns > 0 {
+            components.push(Box::new(TimelineSampler::new(cfg.cpus, cfg.sample_interval_ns)));
+        }
         Sim {
-            cpus: (0..cfg.cpus)
-                .map(|_| Cpu { running: None, last_tid: None, slice_end: 0 })
-                .collect(),
-            cfg,
-            model,
-            threads,
-            locks: Vec::new(),
-            ready: (0..n).collect(),
-            events: BinaryHeap::new(),
-            now: 0,
-            seq: 0,
-            cache: CacheModel::new(),
-            failed_locks: 0,
-            ctx_switches: 0,
-            done_count: 0,
-            ops_buf: Vec::with_capacity(256),
-            addr_pool: Vec::new(),
-            timeline: Vec::new(),
-            sample_interval: cfg.sample_interval_ns,
-            next_sample: cfg.sample_interval_ns,
-        }
-    }
-
-    fn schedule(&mut self, time: u64, cpu: u32) {
-        self.seq += 1;
-        self.events.push(Reverse((time, self.seq, cpu)));
-    }
-
-    fn ensure_lock(&mut self, l: LockId) {
-        while self.locks.len() <= l {
-            self.locks.push(LockState::default());
-        }
-    }
-
-    /// Assign ready threads to idle CPUs.
-    fn dispatch_idle(&mut self) {
-        for c in 0..self.cpus.len() {
-            if self.cpus[c].running.is_some() {
-                continue;
-            }
-            let Some(tid) = self.ready.pop_front() else {
-                break;
-            };
-            let t = &mut self.threads[tid];
-            debug_assert_eq!(t.state, TState::Ready);
-            t.state = TState::Running;
-            if let Some(prev) = t.last_cpu {
-                if prev != c as u32 {
-                    t.migrations += 1;
-                }
-            }
-            t.last_cpu = Some(c as u32);
-            let resumed_in_place = self.cpus[c].last_tid == Some(tid);
-            self.cpus[c].running = Some(tid);
-            self.cpus[c].last_tid = Some(tid);
-            self.cpus[c].slice_end = self.now + self.cfg.params.quantum_ns;
-            let start = if resumed_in_place {
-                // Same thread back on its own idle CPU: no switch cost.
-                self.now
-            } else {
-                self.ctx_switches += 1;
-                self.now + self.cfg.params.ctx_switch_ns
-            };
-            self.schedule(start, c as u32);
-        }
-    }
-
-    /// Record one timeline sample (cumulative totals as of the current
-    /// simulator state) and advance the sampling deadline, decimating once
-    /// the timeline is full.
-    fn take_sample(&mut self) {
-        self.timeline.push(IntervalSample {
-            t_ns: self.next_sample,
-            busy_ns: self.threads.iter().map(|t| t.busy_ns).sum(),
-            lock_wait_ns: self.threads.iter().map(|t| t.wait_ns).sum(),
-            coherence_misses: self.cache.coherence_misses(),
-        });
-        self.next_sample += self.sample_interval;
-        if self.timeline.len() >= MAX_TIMELINE_SAMPLES {
-            // Keep every second sample. The survivors sit on the doubled
-            // grid (2i, 4i, ...), so the next sample continues it exactly.
-            let mut i = 0usize;
-            self.timeline.retain(|_| {
-                i += 1;
-                i.is_multiple_of(2)
-            });
-            self.sample_interval *= 2;
-            self.next_sample = match self.timeline.last() {
-                Some(s) => s.t_ns + self.sample_interval,
-                None => self.sample_interval,
-            };
+            bus: SystemBus::new(cfg, model, programs),
+            sched: Scheduler::new(cfg.policy),
+            components,
         }
     }
 
     /// Run the simulation to completion and return metrics.
     pub fn run(mut self) -> RunMetrics {
-        self.dispatch_idle();
-        while let Some(Reverse((time, _, cpu))) = self.events.pop() {
-            if self.sample_interval > 0 {
-                while time >= self.next_sample {
-                    self.take_sample();
-                }
+        // Seed self-scheduling components (the sampler's first deadline),
+        // then the initial thread dispatch.
+        for comp in &self.components {
+            if let Some(t) = comp.next_tick() {
+                let seq = self.bus.next_seq();
+                self.sched.push(t, comp.class(), seq, comp.id());
             }
-            self.now = time;
-            self.step(cpu);
         }
-        debug_assert_eq!(self.done_count, self.threads.len(), "deadlock: threads unfinished");
-        let wall_ns = self.threads.iter().map(|t| t.finished_at).max().unwrap_or(0);
+        self.bus.dispatch_idle();
+        self.bus.flush_wakes(&mut self.sched);
+
+        while let Some(f) = self.sched.pop() {
+            if f.class == EventClass::Sampler
+                && self.bus.done_count == self.bus.threads.len()
+                && self.sched.normal_pending() == 0
+            {
+                // Machine quiesced: only sampler deadlines remain, and a
+                // sample past the last real event would record nothing new.
+                break;
+            }
+            self.bus.now = f.time;
+            if f.class == EventClass::Normal {
+                self.bus.events += 1;
+            }
+            let next = self.components[f.comp as usize].tick(f.time, &mut self.bus);
+            self.bus.flush_wakes(&mut self.sched);
+            if let Some(t) = next {
+                // The self-reschedule draws its submission seq *after* the
+                // wakes issued during the tick, matching the retired
+                // engine's schedule-on-return order.
+                let seq = self.bus.next_seq();
+                self.sched.push(t, f.class, seq, f.comp);
+            }
+        }
+        debug_assert_eq!(
+            self.bus.done_count,
+            self.bus.threads.len(),
+            "deadlock: threads unfinished"
+        );
+
+        let bus = self.bus;
+        let wall_ns = bus.threads.iter().map(|t| t.finished_at).max().unwrap_or(0);
         RunMetrics {
             wall_ns,
-            busy_ns: self.threads.iter().map(|t| t.busy_ns).sum(),
-            lock_wait_ns: self.threads.iter().map(|t| t.wait_ns).sum(),
-            failed_locks: self.failed_locks,
-            migrations: self.threads.iter().map(|t| t.migrations).sum(),
-            ctx_switches: self.ctx_switches,
-            cache_hits: self.cache.hits(),
-            mem_misses: self.cache.mem_misses(),
-            coherence_misses: self.cache.coherence_misses(),
-            model_counters: self
+            busy_ns: bus.threads.iter().map(|t| t.busy_ns).sum(),
+            lock_wait_ns: bus.threads.iter().map(|t| t.wait_ns).sum(),
+            failed_locks: bus.failed_locks,
+            migrations: bus.threads.iter().map(|t| t.migrations).sum(),
+            ctx_switches: bus.ctx_switches,
+            events: bus.events,
+            cache_hits: bus.cache.hits(),
+            mem_misses: bus.cache.mem_misses(),
+            coherence_misses: bus.cache.coherence_misses(),
+            model_counters: bus
                 .model
                 .counters()
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
-            timeline: self.timeline,
-        }
-    }
-
-    /// Process the event for `cpu`: continue its running thread (or grab
-    /// new work if idle).
-    fn step(&mut self, cpu: u32) {
-        let c = cpu as usize;
-        let Some(tid) = self.cpus[c].running else {
-            self.dispatch_idle();
-            return;
-        };
-
-        // Quantum preemption at event boundaries.
-        if self.now >= self.cpus[c].slice_end && !self.ready.is_empty() {
-            self.threads[tid].state = TState::Ready;
-            self.ready.push_back(tid);
-            self.cpus[c].running = None;
-            self.dispatch_idle();
-            return;
-        }
-
-        let mut elapsed: u64 = 0;
-        loop {
-            if elapsed >= self.cfg.batch_cap_ns {
-                self.threads[tid].busy_ns += elapsed;
-                self.schedule(self.now + elapsed, cpu);
-                return;
-            }
-            let Some(op) = self.next_micro_op(tid) else {
-                // Program finished and nothing pending.
-                let t = &mut self.threads[tid];
-                t.busy_ns += elapsed;
-                t.state = TState::Done;
-                t.finished_at = self.now + elapsed;
-                self.done_count += 1;
-                self.cpus[c].running = None;
-                self.schedule(self.now + elapsed, cpu); // free the CPU then
-                return;
-            };
-            match op {
-                MicroOp::Work(d) => elapsed += d,
-                MicroOp::Touch { addr, write } => {
-                    elapsed += self.cache.cost(cpu, addr, write, &self.cfg.params);
-                }
-                MicroOp::Acquire(l) => {
-                    self.ensure_lock(l);
-                    if self.locks[l].holder.is_none() {
-                        self.locks[l].holder = Some(tid);
-                        self.threads[tid].held_locks += 1;
-                        elapsed += self.cfg.params.lock_ns;
-                    } else if elapsed > 0 {
-                        // Charge accumulated time first; retry the acquire
-                        // when the batch completes.
-                        self.threads[tid].pending.push_front(MicroOp::Acquire(l));
-                        self.threads[tid].busy_ns += elapsed;
-                        self.schedule(self.now + elapsed, cpu);
-                        return;
-                    } else {
-                        // Block. If the holder was preempted (sits in the
-                        // ready queue), boost it to the front — adaptive
-                        // mutexes / priority inheritance keep lock-holder
-                        // preemption from stalling a full quantum.
-                        if let Some(h) = self.locks[l].holder {
-                            if self.threads[h].state == TState::Ready {
-                                if let Some(pos) = self.ready.iter().position(|&x| x == h) {
-                                    self.ready.remove(pos);
-                                    self.ready.push_front(h);
-                                }
-                            }
-                        }
-                        self.locks[l].waiters.push_back(tid);
-                        let t = &mut self.threads[tid];
-                        t.state = TState::Blocked;
-                        t.block_start = self.now;
-                        self.cpus[c].running = None;
-                        self.dispatch_idle();
-                        return;
-                    }
-                }
-                MicroOp::Release(l) => {
-                    self.ensure_lock(l);
-                    debug_assert_eq!(self.locks[l].holder, Some(tid), "release by non-holder");
-                    self.threads[tid].held_locks -= 1;
-                    elapsed += self.cfg.params.unlock_ns;
-                    if let Some(w) = self.locks[l].waiters.pop_front() {
-                        // FIFO handoff: the waiter owns the lock when it
-                        // resumes.
-                        self.locks[l].holder = Some(w);
-                        self.threads[w].held_locks += 1;
-                        let wt = &mut self.threads[w];
-                        wt.wait_ns += (self.now + elapsed).saturating_sub(wt.block_start);
-                        wt.state = TState::Ready;
-                        self.ready.push_back(w);
-                        self.dispatch_idle();
-                    } else {
-                        self.locks[l].holder = None;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Pop the next micro-op for a thread, expanding the program through
-    /// the model as needed. `None` means the thread is finished.
-    fn next_micro_op(&mut self, tid: ThreadId) -> Option<MicroOp> {
-        loop {
-            if let Some(op) = self.threads[tid].pending.pop_front() {
-                return Some(op);
-            }
-            // Expand the next application op.
-            let app = self.threads[tid].program.next();
-            let mut view = ViewImpl { locks: &self.locks, failed_locks: &mut self.failed_locks };
-            match app {
-                AppOp::Compute(d) => return Some(MicroOp::Work(d)),
-                AppOp::AllocStruct { shape, tag } => {
-                    let mut addrs = self.addr_pool.pop().unwrap_or_default();
-                    let handle = self.model.alloc_structure(
-                        &mut view,
-                        tid,
-                        &shape,
-                        &mut self.ops_buf,
-                        &mut addrs,
-                    );
-                    let t = &mut self.threads[tid];
-                    t.structs.insert(tag, (handle, addrs, shape.node_size));
-                    t.pending.extend(self.ops_buf.drain(..));
-                }
-                AppOp::TouchNodes { tag, write, work_per_node } => {
-                    let t = &mut self.threads[tid];
-                    if let Some((_, addrs, node_size)) = t.structs.get(&tag) {
-                        let size = (*node_size).max(1) as u64;
-                        for &a in addrs {
-                            // Touch the node's first and (if it straddles a
-                            // line boundary) last byte — small heap blocks
-                            // sharing a line with a neighbour is exactly how
-                            // false sharing arises.
-                            t.pending.push_back(MicroOp::Touch { addr: a, write });
-                            let last = a + size - 1;
-                            if last / crate::params::arch::CACHE_LINE
-                                != a / crate::params::arch::CACHE_LINE
-                            {
-                                t.pending.push_back(MicroOp::Touch { addr: last, write });
-                            }
-                            if work_per_node > 0 {
-                                t.pending.push_back(MicroOp::Work(work_per_node));
-                            }
-                        }
-                    }
-                }
-                AppOp::FreeStruct { tag } => {
-                    let entry = self.threads[tid].structs.remove(&tag);
-                    if let Some((handle, mut addrs, _)) = entry {
-                        self.model.free_structure(&mut view, tid, handle, &mut self.ops_buf);
-                        self.threads[tid].pending.extend(self.ops_buf.drain(..));
-                        addrs.clear();
-                        self.addr_pool.push(addrs);
-                    }
-                }
-                AppOp::AllocArray { slot, size, tag } => {
-                    let mut scratch = self.addr_pool.pop().unwrap_or_default();
-                    let (handle, addr) = self.model.alloc_array(
-                        &mut view,
-                        tid,
-                        slot,
-                        size,
-                        &mut self.ops_buf,
-                        &mut scratch,
-                    );
-                    scratch.clear();
-                    self.addr_pool.push(scratch);
-                    let t = &mut self.threads[tid];
-                    t.arrays.insert(tag, (slot, handle, addr));
-                    t.pending.extend(self.ops_buf.drain(..));
-                }
-                AppOp::TouchArray { tag, size, write, work_total } => {
-                    let t = &mut self.threads[tid];
-                    if let Some(&(_, _, base)) = t.arrays.get(&tag) {
-                        let lines = (size as u64).div_ceil(crate::params::arch::CACHE_LINE).max(1);
-                        let per_line_work = work_total / lines;
-                        for i in 0..lines {
-                            t.pending.push_back(MicroOp::Touch {
-                                addr: base + i * crate::params::arch::CACHE_LINE,
-                                write,
-                            });
-                            if per_line_work > 0 {
-                                t.pending.push_back(MicroOp::Work(per_line_work));
-                            }
-                        }
-                    }
-                }
-                AppOp::FreeArray { tag } => {
-                    let entry = self.threads[tid].arrays.remove(&tag);
-                    if let Some((slot, handle, _)) = entry {
-                        self.model.free_array(&mut view, tid, slot, handle, &mut self.ops_buf);
-                        self.threads[tid].pending.extend(self.ops_buf.drain(..));
-                    }
-                }
-                AppOp::End => return None,
-            }
+            sample_interval_ns: bus.sample_interval,
+            timeline: bus.timeline,
         }
     }
 }
@@ -631,6 +302,7 @@ mod tests {
         cfg.sample_interval_ns = 0;
         let m = run_mini_cfg(cfg, 4, 30);
         assert!(m.timeline.is_empty());
+        assert_eq!(m.sample_interval_ns, 0);
     }
 
     #[test]
@@ -643,6 +315,13 @@ mod tests {
         for w in m.timeline.windows(2) {
             assert!(w[0].t_ns < w[1].t_ns);
         }
+        // The effective period doubled at least once and the surviving
+        // samples sit on its grid.
+        assert!(m.sample_interval_ns > cfg.sample_interval_ns);
+        assert_eq!(m.sample_interval_ns % cfg.sample_interval_ns, 0);
+        for w in m.timeline.windows(2) {
+            assert_eq!(w[1].t_ns - w[0].t_ns, m.sample_interval_ns);
+        }
     }
 
     #[test]
@@ -652,5 +331,36 @@ mod tests {
         let m = run_mini(1, 1, 20);
         assert!(m.wall_ns >= m.busy_ns);
         assert!(m.wall_ns <= m.busy_ns + 100_000, "unexplained idle time");
+    }
+
+    #[test]
+    fn scales_to_max_cpus() {
+        let mut cfg = SimConfig::new(MAX_CPUS);
+        cfg.cpus_per_node = 8;
+        let m = run_mini_cfg(cfg, MAX_CPUS as usize + 40, 3);
+        assert!(m.wall_ns > 0);
+        assert!(m.events > 0);
+    }
+
+    #[test]
+    fn fuzzed_policy_is_reproducible_per_seed() {
+        let mut cfg = SimConfig::new(4);
+        cfg.policy = SchedPolicy::Fuzzed(7);
+        let a = run_mini_cfg(cfg, 6, 40);
+        let b = run_mini_cfg(cfg, 6, 40);
+        assert_eq!(a, b, "same seed must reproduce the same run");
+    }
+
+    #[test]
+    fn numa_config_runs_deterministically_and_differs_from_uma() {
+        let uma = SimConfig::new(8);
+        let mut numa = uma;
+        numa.cpus_per_node = 2; // 4 nodes of 2
+        let u = run_mini_cfg(uma, 12, 40);
+        let a = run_mini_cfg(numa, 12, 40);
+        let b = run_mini_cfg(numa, 12, 40);
+        assert_eq!(a, b, "NUMA costing broke determinism");
+        assert!(a.wall_ns > 0);
+        assert_ne!(a.wall_ns, u.wall_ns, "remote surcharges left no trace");
     }
 }

@@ -15,8 +15,17 @@
 //!   ([`models::amplify`]),
 //! * false sharing of cache lines between small heap blocks ([`cache`],
 //!   with addresses coming from real freelist bookkeeping in [`addr`]),
-//! * thread migration when threads outnumber CPUs ([`engine`]'s quantum
-//!   scheduler).
+//! * thread migration when threads outnumber CPUs (time-slice preemption
+//!   in the [`components::Cpu`] component).
+//!
+//! The engine itself is a discrete-event *component* system: [`component`]
+//! defines the `Component` contract, [`sched`] owns the event heap and the
+//! tie-breaking policy ([`SchedPolicy::Deterministic`] for byte-stable
+//! metrics, [`SchedPolicy::Fuzzed`] for seeded schedule exploration), and
+//! [`bus`] carries the shared state ([`components::Cpu`] ×N, a FIFO
+//! [`mutex_bank`], the NUMA-aware [`cache`], and the
+//! [`components::TimelineSampler`]). Machines up to
+//! [`params::arch::MAX_CPUS`] (256) simulated CPUs are supported.
 //!
 //! # Example
 //!
@@ -31,17 +40,23 @@
 //! ```
 
 pub mod addr;
+pub mod bus;
 pub mod cache;
+pub mod component;
+pub mod components;
 pub mod engine;
 pub mod metrics;
 pub mod model;
 pub mod models;
+pub mod mutex_bank;
 pub mod params;
 pub mod programs;
 pub mod run;
+pub mod sched;
 
 pub use engine::{AppOp, Program, Sim, SimConfig};
 pub use metrics::RunMetrics;
 pub use model::{AllocModel, MicroOp, StructShape};
 pub use params::CostParams;
 pub use run::{run_bgw, run_tree, ModelKind, TreeExperiment};
+pub use sched::SchedPolicy;

@@ -35,6 +35,11 @@ pub struct RunMetrics {
     pub migrations: u64,
     /// Thread dispatches.
     pub ctx_switches: u64,
+    /// Engine dispatch events processed (scheduler pops that drove CPU
+    /// work; timeline-sampler firings are not counted). `events / real
+    /// wall-clock` is the engine-throughput figure `BENCH_sim.json`
+    /// tracks.
+    pub events: u64,
     /// Cache hits.
     pub cache_hits: u64,
     /// Plain memory misses.
@@ -43,6 +48,11 @@ pub struct RunMetrics {
     pub coherence_misses: u64,
     /// Model-specific counters (pool hits, arena switches, ...).
     pub model_counters: Vec<(String, u64)>,
+    /// The *effective* timeline sampling period at run end: starts at
+    /// `SimConfig::sample_interval_ns` and doubles on every decimation,
+    /// so readers of a decimated timeline can recover the grid the
+    /// surviving samples sit on. `0` when sampling was disabled.
+    pub sample_interval_ns: u64,
     /// Periodic cumulative samples (empty when sampling is disabled).
     pub timeline: Vec<IntervalSample>,
 }
@@ -81,10 +91,12 @@ mod tests {
             failed_locks: 3,
             migrations: 4,
             ctx_switches: 5,
+            events: 6,
             cache_hits: 90,
             mem_misses: 5,
             coherence_misses: 5,
             model_counters: vec![("pool_hits".into(), 42)],
+            sample_interval_ns: 1_000,
             timeline: vec![
                 IntervalSample { t_ns: 1_000, busy_ns: 900, lock_wait_ns: 50, coherence_misses: 1 },
                 IntervalSample {

@@ -44,6 +44,13 @@ pub struct CostParams {
     pub quantum_ns: u64,
     /// Direct cost of a context switch / dispatch.
     pub ctx_switch_ns: u64,
+    /// Extra latency when a memory miss is filled from a remote NUMA
+    /// node's memory (charged on top of `mem_miss_ns`; only applies when
+    /// `SimConfig::cpus_per_node > 0`).
+    pub numa_remote_mem_ns: u64,
+    /// Extra latency when a dirty-line coherence transfer crosses NUMA
+    /// nodes (charged on top of `coherence_ns`).
+    pub numa_remote_coherence_ns: u64,
 }
 
 impl Default for CostParams {
@@ -64,6 +71,11 @@ impl Default for CostParams {
             node_destroy_ns: 60,
             quantum_ns: 2_000_000, // 2 ms — Solaris-era time slice
             ctx_switch_ns: 3_000,
+            // Remote/local latency ratio ≈ 2.7 for fills and ≈ 2 for
+            // dirty transfers — the interconnect-hop geometry of
+            // directory-based ccNUMA boxes (Origin/E10000 class).
+            numa_remote_mem_ns: 150,
+            numa_remote_coherence_ns: 260,
         }
     }
 }
@@ -80,6 +92,11 @@ pub mod arch {
     /// Cache line size in bytes (UltraSPARC E-cache line granularity for
     /// coherence; 64 B keeps the false-sharing geometry realistic).
     pub const CACHE_LINE: u64 = 64;
+
+    /// Largest simulated-machine size the engine supports (sized so the
+    /// cache directory's [`CpuSet`](crate::cache::CpuSet) stays a flat
+    /// four-word bitmask).
+    pub const MAX_CPUS: u32 = 256;
 }
 
 #[cfg(test)]

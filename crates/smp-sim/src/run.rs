@@ -10,6 +10,7 @@ use crate::models::{
 };
 use crate::params::CostParams;
 use crate::programs::{BgwProgram, TreeProgram};
+use crate::sched::SchedPolicy;
 
 /// Which memory-management strategy to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,6 +128,19 @@ impl TreeExperiment {
 
 /// Run one synthetic tree configuration.
 pub fn run_tree(kind: ModelKind, threads: usize, exp: &TreeExperiment) -> RunMetrics {
+    run_tree_with(kind, threads, exp, SchedPolicy::Deterministic, 0)
+}
+
+/// [`run_tree`] with explicit scheduler policy and NUMA topology — the
+/// entry point for schedule fuzzing and the many-core crossover sweeps
+/// (`cpus_per_node == 0` keeps uniform memory).
+pub fn run_tree_with(
+    kind: ModelKind,
+    threads: usize,
+    exp: &TreeExperiment,
+    policy: SchedPolicy,
+    cpus_per_node: u32,
+) -> RunMetrics {
     let shape = StructShape::binary_tree(exp.depth, kind.node_size());
     let per_thread = exp.total_trees / threads as u32;
     let remainder = exp.total_trees % threads as u32;
@@ -137,7 +151,8 @@ pub fn run_tree(kind: ModelKind, threads: usize, exp: &TreeExperiment) -> RunMet
         })
         .collect();
     let model = kind.build(threads, exp.cpus, exp.params);
-    Sim::new(SimConfig { params: exp.params, ..SimConfig::new(exp.cpus) }, model, programs).run()
+    let cfg = SimConfig { params: exp.params, policy, cpus_per_node, ..SimConfig::new(exp.cpus) };
+    Sim::new(cfg, model, programs).run()
 }
 
 /// Run the tree workload with a caller-built model (for ablations that

@@ -1,0 +1,118 @@
+//! Differential determinism gate for the engine port.
+//!
+//! `tests/golden/engine_metrics.json` was recorded from the retired
+//! monolithic engine (the single-match-arm `BinaryHeap` loop this crate
+//! shipped before the component/scheduler split) over every `ModelKind`
+//! at 1/4/8 CPUs, tree and BGw workloads, plus a decimation-heavy
+//! timeline configuration. The component engine under the
+//! `Deterministic` policy must reproduce every one of those `RunMetrics`
+//! **byte-identically** — same wall/busy/wait times, same cache and
+//! model counters, same timeline samples on the same grid.
+//!
+//! Regenerate (only when a metrics change is *intended* and explained):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p smp-sim --test golden_parity
+//! ```
+
+use serde::{Deserialize, Serialize};
+use smp_sim::engine::{Program, Sim, SimConfig};
+use smp_sim::model::StructShape;
+use smp_sim::params::CostParams;
+use smp_sim::programs::TreeProgram;
+use smp_sim::run::{run_bgw, run_tree, ModelKind, TreeExperiment};
+use smp_sim::RunMetrics;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenRun {
+    label: String,
+    metrics: RunMetrics,
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/engine_metrics.json")
+}
+
+/// The recorded grid: every strategy at 1/4/8 CPUs with more threads
+/// than CPUs (exercising preemption, migration and FIFO handoff), the
+/// BGw array path for the strategies that treat arrays specially, and
+/// one fine-grained-sampling run that decimates its timeline.
+fn grid() -> Vec<GoldenRun> {
+    let mut runs = Vec::new();
+    for kind in ModelKind::ALL {
+        for cpus in [1u32, 4, 8] {
+            let exp =
+                TreeExperiment { depth: 3, total_trees: 360, cpus, params: CostParams::default() };
+            runs.push(GoldenRun {
+                label: format!("tree/{}/c{}", kind.name(), cpus),
+                metrics: run_tree(kind, 6, &exp),
+            });
+        }
+    }
+    for kind in [
+        ModelKind::Serial,
+        ModelKind::SmartHeap,
+        ModelKind::Amplify,
+        ModelKind::AmplifyOverSmartHeap,
+    ] {
+        runs.push(GoldenRun {
+            label: format!("bgw/{}/c8", kind.name()),
+            metrics: run_bgw(kind, 4, 200, 8),
+        });
+    }
+    // Fine sampling: far more deadlines than MAX_TIMELINE_SAMPLES, so the
+    // decimation path (and the recorded effective period) is part of the
+    // parity surface.
+    let params = CostParams::default();
+    let shape = StructShape::binary_tree(3, 20);
+    let programs: Vec<Box<dyn Program>> = (0..6)
+        .map(|_| Box::new(TreeProgram::new(shape, 80, &params)) as Box<dyn Program>)
+        .collect();
+    let mut cfg = SimConfig::new(4);
+    cfg.sample_interval_ns = 500;
+    runs.push(GoldenRun {
+        label: "tree/serial/c4/decimated".into(),
+        metrics: Sim::new(cfg, Box::new(smp_sim::models::SerialModel::new()), programs).run(),
+    });
+    runs
+}
+
+#[test]
+fn engine_reproduces_golden_metrics_byte_identically() {
+    let path = fixture_path();
+    let fresh = grid();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let mut json = serde_json::to_string_pretty(&fresh).unwrap();
+        json.push('\n');
+        std::fs::write(&path, json).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    let recorded: Vec<GoldenRun> = serde_json::from_str(&text).expect("parse golden fixture");
+    assert_eq!(recorded.len(), fresh.len(), "grid shape changed; regenerate deliberately");
+    for (old, new) in recorded.iter().zip(&fresh) {
+        assert_eq!(old.label, new.label, "grid order changed");
+        assert_eq!(
+            old.metrics, new.metrics,
+            "metrics diverged from the recorded engine on {}",
+            old.label
+        );
+    }
+}
+
+/// The decimated fixture run really did decimate — guards against the
+/// grid quietly shrinking below the decimation threshold.
+#[test]
+fn golden_grid_covers_decimation() {
+    let runs = grid();
+    let decimated = runs.last().unwrap();
+    assert!(decimated.label.ends_with("decimated"));
+    assert!(
+        decimated.metrics.sample_interval_ns > 500,
+        "expected a doubled period, got {}",
+        decimated.metrics.sample_interval_ns
+    );
+}

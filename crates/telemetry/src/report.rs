@@ -411,29 +411,37 @@ impl Report {
         if !self.sim_runs.is_empty() {
             let _ = writeln!(
                 out,
-                "\n{:<24}{:>12}{:>14}{:>14}{:>12}",
-                "sim run", "wall ms", "lock wait ms", "failed locks", "coherence"
+                "\n{:<24}{:>12}{:>14}{:>14}{:>12}{:>10}",
+                "sim run", "wall ms", "lock wait ms", "failed locks", "coherence", "events"
             );
             for run in &self.sim_runs {
                 let m = &run.metrics;
                 let _ = writeln!(
                     out,
-                    "{:<24}{:>12.2}{:>14.2}{:>14}{:>12}",
+                    "{:<24}{:>12.2}{:>14.2}{:>14}{:>12}{:>10}",
                     run.label,
                     m.wall_ns as f64 / 1e6,
                     m.lock_wait_ns as f64 / 1e6,
                     m.failed_locks,
-                    m.coherence_misses
+                    m.coherence_misses,
+                    m.events
                 );
                 if m.timeline.len() >= 2 {
                     // Per-interval lock waiting (the timeline samples are
-                    // cumulative, so render the deltas).
+                    // cumulative, so render the deltas). The sampler doubles
+                    // its period when the timeline buffer decimates, so name
+                    // the effective grid.
                     let deltas: Vec<u64> = m
                         .timeline
                         .windows(2)
                         .map(|w| w[1].lock_wait_ns.saturating_sub(w[0].lock_wait_ns))
                         .collect();
-                    let _ = writeln!(out, "  lock-wait timeline  {}", sparkline(&deltas));
+                    let _ = writeln!(
+                        out,
+                        "  lock-wait timeline  {} ({:.1} ms/sample)",
+                        sparkline(&deltas),
+                        m.sample_interval_ns as f64 / 1e6
+                    );
                 }
             }
         }
@@ -712,10 +720,12 @@ mod tests {
                 failed_locks: 7,
                 migrations: 1,
                 ctx_switches: 9,
+                events: 40,
                 cache_hits: 100,
                 mem_misses: 10,
                 coherence_misses: 2,
                 model_counters: vec![("pool_hits".into(), 42)],
+                sample_interval_ns: 0,
                 timeline: Vec::new(),
             },
         });

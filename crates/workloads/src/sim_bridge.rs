@@ -7,7 +7,7 @@ use crate::trace::{Trace, TraceOp};
 use smp_sim::engine::{AppOp, Program, Sim, SimConfig};
 use smp_sim::model::StructShape;
 use smp_sim::run::ModelKind;
-use smp_sim::{CostParams, RunMetrics};
+use smp_sim::{CostParams, RunMetrics, SchedPolicy};
 
 /// Per-allocation application work charged during replay (a trace records
 /// allocator traffic, not computation; this stands in for the work the
@@ -51,16 +51,31 @@ impl Program for TraceReplayProgram {
     }
 }
 
-/// Simulate one trace per thread under the given strategy on an
-/// 8-CPU SMP.
+/// Simulate one trace per thread under the given strategy, deterministic
+/// scheduling, UMA.
 pub fn simulate_traces(kind: ModelKind, traces: Vec<Trace>, cpus: u32) -> RunMetrics {
+    simulate_traces_with(kind, traces, cpus, SchedPolicy::Deterministic, 0)
+}
+
+/// [`simulate_traces`] with the scheduler policy and NUMA topology
+/// exposed: fuzz a recorded trace across seeded tie-breaking orders, or
+/// replay it on a multi-node machine (`cpus_per_node` CPUs per node; `0`
+/// keeps the machine UMA).
+pub fn simulate_traces_with(
+    kind: ModelKind,
+    traces: Vec<Trace>,
+    cpus: u32,
+    policy: SchedPolicy,
+    cpus_per_node: u32,
+) -> RunMetrics {
     let threads = traces.len();
     let programs: Vec<Box<dyn Program>> = traces
         .into_iter()
         .map(|t| Box::new(TraceReplayProgram::new(t)) as Box<dyn Program>)
         .collect();
     let model = kind.build(threads, cpus, CostParams::default());
-    Sim::new(SimConfig::new(cpus), model, programs).run()
+    let cfg = SimConfig { policy, cpus_per_node, ..SimConfig::new(cpus) };
+    Sim::new(cfg, model, programs).run()
 }
 
 #[cfg(test)]
@@ -97,6 +112,42 @@ mod tests {
     fn replay_is_deterministic() {
         let a = simulate_traces(ModelKind::Ptmalloc, tree_traces(3), 8);
         let b = simulate_traces(ModelKind::Ptmalloc, tree_traces(3), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fuzzed_replay_conserves_allocations() {
+        // Any legal reordering of same-timestamp firings must replay the
+        // whole trace: counts are fixed by the recording, only order moves.
+        for seed in [0u64, 5] {
+            let m = simulate_traces_with(
+                ModelKind::Serial,
+                tree_traces(4),
+                8,
+                SchedPolicy::Fuzzed(seed),
+                0,
+            );
+            assert_eq!(m.counter("mallocs"), Some(4 * 60 * 15));
+            assert_eq!(m.counter("frees"), Some(4 * 60 * 15));
+        }
+    }
+
+    #[test]
+    fn numa_replay_is_deterministic() {
+        let a = simulate_traces_with(
+            ModelKind::Hoard,
+            tree_traces(4),
+            16,
+            SchedPolicy::Deterministic,
+            4,
+        );
+        let b = simulate_traces_with(
+            ModelKind::Hoard,
+            tree_traces(4),
+            16,
+            SchedPolicy::Deterministic,
+            4,
+        );
         assert_eq!(a, b);
     }
 
