@@ -13,10 +13,14 @@
 //!   --inject-stats        call ::amplify::print_stats() at the end of main
 //!   --exclude <Class>     do not amplify this class (repeatable)
 //!   --only <Class>        amplify only these classes (repeatable)
+//!   --tuning <path>       apply pool parameters from a pool-tune-v1 report
+//!                         (pool_tune's BENCH_tuning.json)
+//!   --tuning-family <f>   pick this trace family's winner instead of the
+//!                         most-improved one
 //!   --report-json         print the transformation report as JSON
 //! ```
 
-use amplify::{Amplifier, AmplifyOptions};
+use amplify::{tuning, Amplifier, AmplifyOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,6 +40,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
     let mut report_json = false;
+    let mut tuning_path: Option<PathBuf> = None;
+    let mut tuning_family: Option<String> = None;
 
     let take_value = |i: &mut usize, name: &str| -> Result<String, String> {
         *i += 1;
@@ -66,6 +72,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "--inject-stats" => options.inject_stats = true,
             "--exclude" => options.exclude_classes.push(take_value(&mut i, "--exclude")?),
             "--only" => options.include_only.push(take_value(&mut i, "--only")?),
+            "--tuning" => tuning_path = Some(PathBuf::from(take_value(&mut i, "--tuning")?)),
+            "--tuning-family" => tuning_family = Some(take_value(&mut i, "--tuning-family")?),
             "--report-json" => report_json = true,
             "-h" | "--help" => {
                 println!("usage: amplify-cli [OPTIONS] <file.cpp>... -o <out-dir>");
@@ -81,6 +89,16 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("no input files (try --help)".into());
     }
     let out_dir = out_dir.ok_or("missing -o <out-dir>")?;
+
+    if let Some(path) = &tuning_path {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("--tuning {}: {e}", path.display()))?;
+        let tuned = tuning::load_bench_tuning(&json, tuning_family.as_deref())
+            .map_err(|e| format!("--tuning {}: {e}", path.display()))?;
+        options.pool_tuning = Some(tuned);
+    } else if tuning_family.is_some() {
+        return Err("--tuning-family requires --tuning <path>".into());
+    }
 
     let amplifier = Amplifier::new(options);
     let report =

@@ -2,6 +2,36 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Profile-guided pool parameters fed back from the offline tuner
+/// (`pool_tune`'s `BENCH_tuning.json`, schema `pool-tune-v1`): the winning
+/// genome's knobs, lowered to what the generated single-free-list-per-class
+/// C++ runtime can express. See [`crate::tuning::load_bench_tuning`] for
+/// the mapping from genome fields to these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolTuning {
+    /// Parked-object cap for tuned class pools. `0` keeps the run's
+    /// global `kMaxPoolObjects` (which is itself 0 = unlimited by
+    /// default).
+    pub max_objects: usize,
+    /// Blocks built per pool miss: the first is returned, the rest are
+    /// parked, so the next `carve_batch - 1` allocations of the class hit
+    /// the pool. `1` is the untuned behaviour.
+    pub carve_batch: usize,
+    /// Classes to emit `PoolParams` specializations for. When empty, the
+    /// pipeline fills in every class it amplifies (tuned pools per class);
+    /// [`crate::runtime_hdr::generate`] emits no specializations for an
+    /// empty list.
+    pub classes: Vec<String>,
+}
+
+impl PoolTuning {
+    /// True when this tuning would generate exactly the untuned pools
+    /// (nothing worth specializing).
+    pub fn is_default(&self) -> bool {
+        self.max_objects == 0 && self.carve_batch <= 1
+    }
+}
+
 /// Everything the user can tune about a pre-processing run.
 ///
 /// The defaults reproduce the paper's synthetic-benchmark setup: all
@@ -34,6 +64,9 @@ pub struct AmplifyOptions {
     /// Insert `::amplify::print_stats();` at the end of `main`, so the
     /// program reports pool/shadow reuse without source changes.
     pub inject_stats: bool,
+    /// Profile-guided pool parameters from the offline tuner. `None`
+    /// generates exactly the untuned runtime header.
+    pub pool_tuning: Option<PoolTuning>,
 }
 
 impl Default for AmplifyOptions {
@@ -48,6 +81,7 @@ impl Default for AmplifyOptions {
             include_only: Vec::new(),
             runtime_header: "amplify_runtime.hpp".to_string(),
             inject_stats: false,
+            pool_tuning: None,
         }
     }
 }

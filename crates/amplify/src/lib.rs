@@ -54,7 +54,8 @@ pub mod pipeline;
 pub mod report;
 pub mod runtime_hdr;
 pub mod transform;
+pub mod tuning;
 
-pub use config::AmplifyOptions;
+pub use config::{AmplifyOptions, PoolTuning};
 pub use pipeline::{AmplifiedSource, Amplifier};
 pub use report::Report;

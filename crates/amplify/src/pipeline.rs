@@ -1,7 +1,7 @@
 //! The pre-processing pipeline: parse → analyze → transform → rewrite.
 
 use crate::analysis::{analyze_project, Analysis};
-use crate::config::AmplifyOptions;
+use crate::config::{AmplifyOptions, PoolTuning};
 use crate::report::Report;
 use crate::runtime_hdr;
 use crate::transform;
@@ -48,15 +48,32 @@ impl Amplifier {
     /// file (headers) are visible when rewriting method bodies in every
     /// other file — the `.h`/`.cpp` split of real C++ code bases.
     pub fn amplify_sources(&self, files: &[(&str, &str)]) -> Vec<AmplifiedSource> {
+        self.amplify_project(files).0
+    }
+
+    /// Amplify a project and also report which classes were amplified
+    /// (enabled in the project-wide class table), sorted and deduplicated
+    /// — the class list profile-guided tuning specializes when the tuning
+    /// itself names none.
+    fn amplify_project(&self, files: &[(&str, &str)]) -> (Vec<AmplifiedSource>, Vec<String>) {
         let units: Vec<TranslationUnit> =
             files.iter().map(|(name, text)| parse_source(name, text)).collect();
         let analyses = analyze_project(&units, &self.options);
-        units
+        let mut amplified: Vec<String> = analyses
+            .iter()
+            .flat_map(|a| a.classes.values())
+            .filter(|c| c.enabled)
+            .map(|c| c.name.clone())
+            .collect();
+        amplified.sort();
+        amplified.dedup();
+        let outputs = units
             .iter()
             .zip(&analyses)
             .zip(files)
             .map(|((unit, analysis), (_, text))| self.rewrite_unit(unit, analysis, text))
-            .collect()
+            .collect();
+        (outputs, amplified)
     }
 
     fn rewrite_unit(
@@ -96,6 +113,21 @@ impl Amplifier {
         runtime_hdr::generate(&self.options)
     }
 
+    /// The runtime header with profile-guided tuning applied to the given
+    /// classes when the tuning itself names none (the `amplify_files`
+    /// path, where the amplified class list is known).
+    fn runtime_header_for(&self, amplified_classes: &[String]) -> String {
+        match &self.options.pool_tuning {
+            Some(t) if t.classes.is_empty() && !t.is_default() => {
+                let mut options = self.options.clone();
+                options.pool_tuning =
+                    Some(PoolTuning { classes: amplified_classes.to_vec(), ..t.clone() });
+                runtime_hdr::generate(&options)
+            }
+            _ => self.runtime_header(),
+        }
+    }
+
     /// Amplify files on disk into `out_dir` (same file names), writing the
     /// runtime header next to them. All inputs are processed as **one
     /// project** (headers inform the rewriting of sources). Returns the
@@ -117,7 +149,7 @@ impl Amplifier {
         }
         let files: Vec<(&str, &str)> =
             names.iter().map(String::as_str).zip(texts.iter().map(String::as_str)).collect();
-        let outputs = self.amplify_sources(&files);
+        let (outputs, amplified_classes) = self.amplify_project(&files);
 
         let mut merged = Report::default();
         for (name, out) in names.iter().zip(&outputs) {
@@ -125,7 +157,7 @@ impl Amplifier {
             merged.merge(&out.report);
         }
         let hdr_path: PathBuf = out_dir.join(&self.options.runtime_header);
-        fs::write(hdr_path, self.runtime_header())?;
+        fs::write(hdr_path, self.runtime_header_for(&amplified_classes))?;
         Ok(merged)
     }
 }
@@ -238,6 +270,30 @@ private:
         assert_eq!(twice.report.new_rewrites, 0);
         assert_eq!(twice.report.operators_injected, 0);
         assert!(!twice.text.contains("new(engineShadow)(engineShadow"));
+    }
+
+    #[test]
+    fn tuning_with_no_classes_specializes_every_amplified_class() {
+        let dir = std::env::temp_dir().join("amplify_pipe_tuned_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("car.cpp");
+        fs::write(&input, CAR).unwrap();
+        let out_dir = dir.join("out");
+        let options = AmplifyOptions {
+            pool_tuning: Some(PoolTuning {
+                max_objects: 128,
+                carve_batch: 16,
+                classes: Vec::new(),
+            }),
+            exclude_classes: vec!["Engine".into()],
+            ..Default::default()
+        };
+        Amplifier::new(options).amplify_files(&[&input], &out_dir).unwrap();
+        let hdr = fs::read_to_string(out_dir.join("amplify_runtime.hpp")).unwrap();
+        assert!(hdr.contains("struct PoolParams< ::Car >"), "missing Car specialization:\n{hdr}");
+        assert!(!hdr.contains("PoolParams< ::Engine >"), "excluded class was specialized");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

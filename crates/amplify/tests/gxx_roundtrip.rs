@@ -8,7 +8,7 @@
 //!
 //! All tests are skipped gracefully when no C++ compiler is installed.
 
-use amplify::{Amplifier, AmplifyOptions};
+use amplify::{Amplifier, AmplifyOptions, PoolTuning};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -116,6 +116,17 @@ fn runtime_header_compiles_standalone_in_all_configs() {
         ("single_threaded", AmplifyOptions::single_threaded()),
         ("bgw", AmplifyOptions::bgw()),
         ("no_half_rule", AmplifyOptions { half_size_rule: false, ..Default::default() }),
+        (
+            "tuned",
+            AmplifyOptions {
+                pool_tuning: Some(PoolTuning {
+                    max_objects: 64,
+                    carve_batch: 8,
+                    classes: vec!["TunedA".into(), "TunedB".into()],
+                }),
+                ..Default::default()
+            },
+        ),
     ];
     for (name, options) in configs {
         let dir = temp_dir(&format!("hdr_{name}"));
@@ -364,6 +375,36 @@ fn split_header_source_project_round_trips() {
 
     let _ = fs::remove_dir_all(&orig_dir);
     let _ = fs::remove_dir_all(&amp_dir);
+}
+
+#[test]
+fn profile_tuned_pools_behave_identically_and_carve_batches() {
+    if !gxx_available() {
+        eprintln!("skipping: no g++");
+        return;
+    }
+    // Profile-guided build: Node pools carve a batch of blocks on every
+    // miss instead of allocating one. Behaviour must be untouched; the
+    // stats must show the carve actually amortizing misses (parked blocks
+    // built beyond the 1:1 miss:malloc ratio of the untuned runtime).
+    let options = AmplifyOptions {
+        pool_tuning: Some(PoolTuning {
+            max_objects: 0,
+            carve_batch: 8,
+            classes: vec!["Node".into()],
+        }),
+        ..Default::default()
+    };
+    let (orig, amp, _) = roundtrip("tree.cpp", options);
+    assert_eq!(behaviour(&orig), behaviour(&amp), "tuning changed behaviour");
+
+    let stats = parse_stats(&amp);
+    // Every miss carves 7 extra blocks for the class.
+    assert_eq!(stats["carved"], stats["pool_misses"] * 7, "carve batch: {stats:?}");
+    assert!(stats["carved"] >= 7, "tuned pool never carved: {stats:?}");
+    // Reuse is at least as good as the untuned run's expectations.
+    assert!(stats["pool_hits"] >= 199, "pool hits: {stats:?}");
+    assert!(stats["pool_misses"] <= 2, "pool misses: {stats:?}");
 }
 
 #[test]

@@ -17,6 +17,11 @@
 //! CI runs this with a loose `--gate` (shared runners are noisy) in both
 //! feature modes: the 3.3× pre-depot miss cliff trips even a generous
 //! gate, while ordinary host-to-host jitter does not.
+//!
+//! Built with `--features adaptive`, two more checks run: the hit pair
+//! under a tuned pool shape and the global pair, both with the online
+//! controller stepping epochs during measurement (the tuned-config
+//! envelopes).
 
 use bench::native::{
     check_global_pair_envelope, check_hit_pair_envelope, check_miss_pair_envelope,
@@ -42,9 +47,11 @@ fn main() {
         .unwrap_or(20_000_000);
 
     eprintln!(
-        "[envelope_check] telemetry {}, global-alloc {}, {pairs} pairs, regression gate +{:.0}%",
+        "[envelope_check] telemetry {}, global-alloc {}, adaptive {}, {pairs} pairs, \
+         regression gate +{:.0}%",
         cfg!(feature = "telemetry"),
         cfg!(feature = "global-alloc"),
+        cfg!(feature = "adaptive"),
         100.0 * gate
     );
     let hit = check_hit_pair_envelope(pairs);
@@ -64,8 +71,23 @@ fn main() {
     let sim = check_sim_engine_envelope(5);
     println!("{}", sim.render());
 
+    #[cfg_attr(not(feature = "adaptive"), allow(unused_mut))]
+    let mut checks = vec![hit, miss, global, profiled, sim];
+    // With the online controller compiled in, the tuned-config envelopes:
+    // the pair costs under a tuner-winner pool shape with the adaptive
+    // controller stepping its epochs during measurement.
+    #[cfg(feature = "adaptive")]
+    {
+        let tuned_hit = bench::native::check_tuned_hit_pair_envelope(pairs);
+        println!("{}", tuned_hit.render());
+        let tuned_global = bench::native::check_tuned_global_pair_envelope(pairs);
+        println!("{}", tuned_global.render());
+        checks.push(tuned_hit);
+        checks.push(tuned_global);
+    }
+
     let mut failed = false;
-    for check in [hit, miss, global, profiled, sim] {
+    for check in checks {
         if check.regressed(gate) {
             eprintln!(
                 "[envelope_check] FAIL: {} measured {:.2} ns, more than +{:.0}% over the \

@@ -22,6 +22,8 @@
 //! seeds ⇒ same trees, whoever allocates them).
 //!
 //! `--smoke` shrinks the run for CI; `[output_dir]` defaults to `.`.
+//! `--heap-profile` samples allocation sites while the workload runs;
+//! `--sample-period N` (power of two, default 64) sets its 1-in-N rate.
 
 use serde::Value;
 use std::sync::mpsc;
@@ -143,13 +145,23 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let profile = bench::heapprof::heap_profile_from(&args);
+    let sample_period = match bench::heapprof::sample_period_from(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[global_alloc_bench] {e}");
+            std::process::exit(2);
+        }
+    };
     // The output dir is the first free-standing operand: not a flag, and
     // not the value of a value-taking flag like `--metrics-out <path>`.
     let dir = args
         .iter()
         .enumerate()
         .skip(1)
-        .find(|(i, a)| !a.starts_with("--") && args.get(i - 1).is_none_or(|p| p != "--metrics-out"))
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i - 1).is_none_or(|p| p != "--metrics-out" && p != "--sample-period")
+        })
         .map(|(_, a)| a.clone());
     let dir = std::path::Path::new(dir.as_deref().unwrap_or("."));
 
@@ -172,7 +184,9 @@ fn main() {
     );
 
     let stats_before = pools::global::stats();
-    let profiler = profile.then(bench::heapprof::HeapProfiler::start_default);
+    let profiler = profile.then(|| {
+        bench::heapprof::HeapProfiler::start(sample_period, bench::heapprof::DEFAULT_CAPTURE_EVERY)
+    });
     let mut best: Option<RunResult> = None;
     for round in 0..rounds {
         let r = run_once(trees_per_thread);

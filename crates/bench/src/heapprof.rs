@@ -35,6 +35,31 @@ pub fn heap_profile_from_args() -> bool {
     heap_profile_from(&args)
 }
 
+/// Parse `--sample-period N` / `--sample-period=N` from `args`, falling
+/// back to [`DEFAULT_SAMPLE_PERIOD`]. The period must be a power of two:
+/// the sampler uses it as a countdown mask, and a zero period would mean
+/// "sampling off" while the caller asked for a profile — both are
+/// caller mistakes worth an error instead of a silently absent profile.
+pub fn sample_period_from(args: &[String]) -> Result<u32, String> {
+    let mut raw: Option<&str> = None;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--sample-period" {
+            raw = Some(args.get(i + 1).map(String::as_str).ok_or("--sample-period takes a value")?);
+        } else if let Some(v) = a.strip_prefix("--sample-period=") {
+            raw = Some(v);
+        }
+    }
+    let Some(raw) = raw else { return Ok(DEFAULT_SAMPLE_PERIOD) };
+    let period: u32 =
+        raw.parse().map_err(|_| format!("--sample-period takes a count, got `{raw}`"))?;
+    if period == 0 || !period.is_power_of_two() {
+        return Err(format!(
+            "--sample-period must be a power of two (1-in-N countdown), got {period}"
+        ));
+    }
+    Ok(period)
+}
+
 /// A running heap profile: site sampling enabled, a background thread
 /// feeding the snapshot ring. [`finish`](Self::finish) stops both and
 /// returns the collected section.
@@ -148,6 +173,34 @@ mod tests {
     fn flag_parses() {
         assert!(!heap_profile_from(&strs(&["bin"])));
         assert!(heap_profile_from(&strs(&["bin", "--smoke", "--heap-profile"])));
+    }
+
+    #[test]
+    fn sample_period_parses_both_spellings_and_defaults() {
+        assert_eq!(sample_period_from(&strs(&["bin"])), Ok(DEFAULT_SAMPLE_PERIOD));
+        assert_eq!(sample_period_from(&strs(&["bin", "--sample-period", "16"])), Ok(16));
+        assert_eq!(sample_period_from(&strs(&["bin", "--sample-period=256"])), Ok(256));
+        // Later spellings win, matching how the other flags parse.
+        assert_eq!(
+            sample_period_from(&strs(&["bin", "--sample-period", "16", "--sample-period=8"])),
+            Ok(8)
+        );
+    }
+
+    #[test]
+    fn sample_period_rejects_zero_and_non_powers_of_two() {
+        for bad in ["0", "3", "48", "1000"] {
+            let err = sample_period_from(&strs(&["bin", "--sample-period", bad]))
+                .expect_err("must reject");
+            assert!(err.contains("power of two"), "{err}");
+            assert!(err.contains(bad), "error must echo the value: {err}");
+        }
+        assert!(sample_period_from(&strs(&["bin", "--sample-period"]))
+            .expect_err("dangling flag")
+            .contains("takes a value"));
+        assert!(sample_period_from(&strs(&["bin", "--sample-period", "lots"]))
+            .expect_err("non-numeric")
+            .contains("`lots`"));
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod heapprof;
 pub mod metrics;
 pub mod native;
 pub mod parallel;
+pub mod tuner;
 
 pub use figures::{FigureData, Series};
 

@@ -1,11 +1,13 @@
 //! End-to-end checks for the `pool_report` binary: render a report with
-//! a heap-profile section, and diff two fixture reports.
+//! a heap-profile section, render and diff the offline tuner's
+//! `pool-tune-v1` section, and diff two fixture reports.
 
 use std::path::PathBuf;
 use std::process::Command;
 use telemetry::report::{
-    EventCount, HeapClassGauges, HeapProfileSection, HeapSiteSample, HeapTimelinePoint,
-    PoolSnapshot, HEAP_PROFILE_SCHEMA,
+    EventCount, FamilyTuning, GenerationEntry, HeapClassGauges, HeapProfileSection, HeapSiteSample,
+    HeapTimelinePoint, PoolSnapshot, PoolTuneSection, TunedGenome, HEAP_PROFILE_SCHEMA,
+    POOL_TUNE_SCHEMA,
 };
 use telemetry::Report;
 
@@ -55,6 +57,46 @@ fn heap_section() -> HeapProfileSection {
         timeline: vec![
             HeapTimelinePoint { seq: 1, mapped_bytes: 65536, live_bytes: 3200 },
             HeapTimelinePoint { seq: 2, mapped_bytes: 131072, live_bytes: 64000 },
+        ],
+    }
+}
+
+fn tune_section() -> PoolTuneSection {
+    let baseline =
+        TunedGenome { magazine_cap: 32, shards: 4, depot_gate: 1, carve_batch: 64, ship_batch: 32 };
+    let winner = TunedGenome { magazine_cap: 128, carve_batch: 256, ..baseline };
+    PoolTuneSection {
+        schema: POOL_TUNE_SCHEMA.into(),
+        seed: 42,
+        population: 16,
+        families: vec![
+            FamilyTuning {
+                family: "tree/d1".into(),
+                default_fitness: 9000,
+                tuned_fitness: 9000,
+                winner: baseline,
+                generations: Vec::new(),
+            },
+            FamilyTuning {
+                family: "tree/d5".into(),
+                default_fitness: 20000,
+                tuned_fitness: 12000,
+                winner,
+                generations: vec![
+                    GenerationEntry {
+                        generation: 0,
+                        best_fitness: 20000,
+                        median_fitness: 31000,
+                        best: baseline,
+                    },
+                    GenerationEntry {
+                        generation: 1,
+                        best_fitness: 12000,
+                        median_fitness: 18500,
+                        best: winner,
+                    },
+                ],
+            },
         ],
     }
 }
@@ -112,6 +154,66 @@ fn diff_mode_prints_per_counter_deltas() {
     assert!(stdout.contains("+60"), "{stdout}");
     assert!(stdout.contains("class 3"), "{stdout}");
     assert!(stdout.contains("live -32000"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn renders_the_tuner_generation_log() {
+    let dir = fixture_dir("tune_render");
+    let mut r = base_report();
+    r.pool_tune = Some(tune_section());
+    let path = dir.join("report.json");
+    std::fs::write(&path, r.to_json()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .arg(&path)
+        .output()
+        .expect("run pool_report");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("pool tuning (pool-tune-v1, seed 42, population 16)"), "{stdout}");
+    assert!(stdout.contains("winning genomes (1/2 families improved)"), "{stdout}");
+    assert!(stdout.contains("generation log tree/d5"), "{stdout}");
+    assert!(stdout.contains("best 12000"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_mode_reports_pool_tune_fitness_deltas() {
+    let dir = fixture_dir("tune_diff");
+    let old = {
+        let mut r = base_report();
+        r.pool_tune = Some(tune_section());
+        r
+    };
+    let new = {
+        let mut r = old.clone();
+        let pt = r.pool_tune.as_mut().unwrap();
+        // tree/d5 regresses; tree/d1 is dropped; bgw/cdr appears.
+        pt.families[1].tuned_fitness = 15000;
+        pt.families[1].generations.clear();
+        let mut fresh = pt.families[1].clone();
+        fresh.family = "bgw/cdr".into();
+        pt.families.remove(0);
+        pt.families.push(fresh);
+        r
+    };
+    let old_path = dir.join("old.json");
+    let new_path = dir.join("new.json");
+    std::fs::write(&old_path, old.to_json()).unwrap();
+    std::fs::write(&new_path, new.to_json()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .args(["--diff"])
+        .args([&old_path, &new_path])
+        .output()
+        .expect("run pool_report --diff");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("pool tuning:"), "{stdout}");
+    assert!(stdout.contains("tuned +3000"), "{stdout}");
+    assert!(stdout.contains("(new)"), "{stdout}");
+    assert!(stdout.contains("(gone)"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

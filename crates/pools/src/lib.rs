@@ -63,6 +63,8 @@ pub mod sharded;
 pub mod size_class;
 pub mod stats;
 pub mod structure_pool;
+#[cfg(feature = "adaptive")]
+pub mod tune;
 
 pub use bit_shadow::BitShadow;
 pub use global::GlobalPool;

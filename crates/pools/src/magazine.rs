@@ -104,6 +104,12 @@ pub(crate) struct Depot<T> {
     depot_enabled: bool,
     /// Slots per carved slab (0 disables slab carving).
     pub(crate) slab_objects: usize,
+    /// Minimum shard free-list population before a cold acquire tries a
+    /// batched shard refill (historically 1, i.e. `shard_parked() > 0`).
+    pub(crate) depot_gate: usize,
+    /// Objects moved per batched shard refill (historically
+    /// `magazine_cap / 2`, at least 1).
+    pub(crate) refill_target: usize,
     /// Hits/fresh/releases recorded by the magazine fast path (shard-level
     /// stats only see batch lock traffic).
     pub(crate) stats: PoolStats,
@@ -120,10 +126,14 @@ impl<T> Depot<T> {
         } else {
             MAX_SLAB_BYTES / std::mem::size_of::<T>()
         };
+        let carve_want = match config.carve_batch {
+            Some(n) => n.max(2),
+            None => magazine_cap * 2,
+        };
         let slab_objects = if magazine_cap == 0 || per_slab_cap < 2 {
             0 // slabs can't amortize anything here; plain boxing instead
         } else {
-            (magazine_cap * 2).min(per_slab_cap)
+            carve_want.min(per_slab_cap)
         };
         Depot {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
@@ -139,6 +149,8 @@ impl<T> Depot<T> {
             nodes: Mutex::new(Vec::new()),
             depot_enabled: magazine_cap > 0 && config.max_objects.is_none(),
             slab_objects,
+            depot_gate: config.depot_gate.max(1),
+            refill_target: config.refill_target(magazine_cap),
             stats: PoolStats::new(),
             guard: guard::Ledger::default(),
         }

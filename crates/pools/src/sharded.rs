@@ -192,10 +192,10 @@ impl<T: 'static> ShardedPool<T> {
             return obj;
         }
         // Level 3: pull a batch from the shards under one lock (skipped
-        // entirely when the tracked shard population is zero — one relaxed
-        // load instead of a round of try-locks).
-        if self.depot.shard_parked() > 0 {
-            let target = (self.depot.magazine_cap / 2).max(1);
+        // entirely when the tracked shard population is below the depot
+        // gate — one relaxed load instead of a round of try-locks).
+        if self.depot.shard_parked() >= self.depot.depot_gate {
+            let target = self.depot.refill_target;
             let start = magazine::home_shard(&self.depot);
             let mut batch = Vec::with_capacity(target);
             let used = self.depot.refill_batch(start, target, &mut batch);

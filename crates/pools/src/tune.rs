@@ -1,0 +1,220 @@
+//! Online adaptive control of the size-class front-end's magazine caps
+//! (the `adaptive` feature): the cheap half of the two-tier "automatic"
+//! tuning loop (DESIGN.md §11).
+//!
+//! An [`AdaptiveController`] samples the per-class churn counters
+//! ([`crate::global::class_churn`]) once per *epoch* — an explicit
+//! [`AdaptiveController::step`] call, so embedders choose the cadence and
+//! tests stay deterministic — and steers each class's runtime magazine cap
+//! from the observed refill/flush rates:
+//!
+//! * a class whose cold traffic (refills + surplus flushes) exceeds
+//!   `1/miss_denominator` of its allocations is thrashing its cap: the cap
+//!   doubles (clamped to [`crate::global::MAG_CAP_MAX`]);
+//! * a class with *zero* cold traffic over a whole epoch no longer needs
+//!   an inflated cap: the cap halves back toward its compile-time default
+//!   (never below it), releasing hoarded blocks to the shared tiers on the
+//!   next flush.
+//!
+//! # Why this keeps the fast paths free of locked RMWs
+//!
+//! The controller writes only the runtime cap LUT, with relaxed stores
+//! ([`crate::global::set_class_mag_cap`]); allocating threads read it with
+//! one relaxed load, and only at the *cold* decision points (refill entry,
+//! flush threshold). The hot hit path — local list pop, owner-only plain
+//! counter stores — is byte-for-byte the PR 4/7 fold protocol and never
+//! observes the controller at all. The signal the controller reads is the
+//! same owner-only counter scheme: per-thread plain stores folded on exit,
+//! summed under the registry spinlock by the epoch snapshot. No allocating
+//! thread ever takes a lock or a locked RMW on the controller's behalf.
+
+use crate::global::{self, ClassChurn};
+use crate::size_class::NUM_CLASSES;
+
+/// Default minimum classed allocations per epoch before a class's churn
+/// is considered statistically meaningful.
+pub const DEFAULT_MIN_SIGNAL: u64 = 1024;
+
+/// Default miss-rate trigger: grow when `churn * 8 > allocs`, i.e. the
+/// epoch hit rate dropped below 87.5%.
+pub const DEFAULT_MISS_DENOMINATOR: u64 = 8;
+
+/// One cap change made by [`AdaptiveController::step`], with the epoch
+/// deltas that justified it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapAdjustment {
+    pub class: usize,
+    pub old_cap: u32,
+    pub new_cap: u32,
+    /// Classed allocations observed this epoch.
+    pub allocs: u64,
+    /// Cold refills observed this epoch.
+    pub refills: u64,
+    /// Surplus flushes observed this epoch.
+    pub flushes: u64,
+}
+
+/// Epoch-driven magazine-cap controller for the global front-end.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    prev: [ClassChurn; NUM_CLASSES],
+    epochs: u64,
+    adjustments: u64,
+    min_signal: u64,
+    miss_denominator: u64,
+}
+
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptiveController {
+    /// A controller with the default thresholds, baselined at the current
+    /// counter state (the first epoch measures traffic from now on, not
+    /// since process start).
+    pub fn new() -> Self {
+        Self::with_thresholds(DEFAULT_MIN_SIGNAL, DEFAULT_MISS_DENOMINATOR)
+    }
+
+    /// A controller with explicit thresholds (`miss_denominator` is
+    /// clamped to at least 1).
+    pub fn with_thresholds(min_signal: u64, miss_denominator: u64) -> Self {
+        AdaptiveController {
+            prev: global::class_churn(),
+            epochs: 0,
+            adjustments: 0,
+            min_signal,
+            miss_denominator: miss_denominator.max(1),
+        }
+    }
+
+    /// Epochs stepped so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Total cap changes applied so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Run one epoch: snapshot the churn counters, steer every class's
+    /// cap from the deltas, and return the adjustments made (empty when
+    /// every class is behaving).
+    pub fn step(&mut self) -> Vec<CapAdjustment> {
+        let now = global::class_churn();
+        let mut out = Vec::new();
+        for (class, (cur, prev)) in now.iter().zip(self.prev.iter()).enumerate() {
+            let allocs = cur.allocs.wrapping_sub(prev.allocs);
+            let refills = cur.refills.wrapping_sub(prev.refills);
+            let flushes = cur.flushes.wrapping_sub(prev.flushes);
+            let old_cap = global::class_mag_cap(class);
+            let new_cap = decide(
+                old_cap,
+                global::default_class_mag_cap(class),
+                allocs,
+                refills + flushes,
+                self.min_signal,
+                self.miss_denominator,
+            );
+            if new_cap != old_cap {
+                global::set_class_mag_cap(class, new_cap);
+                self.adjustments += 1;
+                out.push(CapAdjustment { class, old_cap, new_cap, allocs, refills, flushes });
+            }
+        }
+        self.prev = now;
+        self.epochs += 1;
+        out
+    }
+}
+
+/// The pure cap policy: grow ×2 on churn above the miss threshold, decay
+/// ÷2 toward (never below) the default on a churn-free epoch, hold
+/// otherwise. Separated from the counter plumbing so the hysteresis is
+/// unit-testable without touching process-global state.
+pub fn decide(
+    old_cap: u32,
+    default_cap: u32,
+    allocs: u64,
+    churn: u64,
+    min_signal: u64,
+    miss_denominator: u64,
+) -> u32 {
+    if allocs >= min_signal.max(1) && churn.saturating_mul(miss_denominator.max(1)) > allocs {
+        old_cap.saturating_mul(2).min(global::MAG_CAP_MAX)
+    } else if churn == 0 && old_cap > default_cap {
+        (old_cap / 2).max(default_cap)
+    } else {
+        old_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_on_churny_epoch() {
+        // 1/4 of allocs took the cold path: well past the 1/8 trigger.
+        assert_eq!(decide(64, 64, 4096, 1024, 1024, 8), 128);
+    }
+
+    #[test]
+    fn growth_clamps_at_max() {
+        assert_eq!(decide(global::MAG_CAP_MAX, 8, 1 << 20, 1 << 19, 1024, 8), global::MAG_CAP_MAX);
+    }
+
+    #[test]
+    fn decays_toward_default_when_quiet() {
+        assert_eq!(decide(256, 64, 4096, 0, 1024, 8), 128);
+        assert_eq!(decide(128, 64, 4096, 0, 1024, 8), 64);
+        // Never below the compile-time default.
+        assert_eq!(decide(64, 64, 4096, 0, 1024, 8), 64);
+        assert_eq!(decide(100, 64, 0, 0, 1024, 8), 64);
+    }
+
+    #[test]
+    fn holds_below_the_signal_floor() {
+        // Too few allocs to trust the ratio: no change either way.
+        assert_eq!(decide(64, 64, 100, 90, 1024, 8), 64);
+    }
+
+    #[test]
+    fn holds_on_moderate_churn() {
+        // 1/16 of allocs cold: under the 1/8 trigger, nonzero so no decay.
+        assert_eq!(decide(128, 64, 4096, 256, 1024, 8), 128);
+    }
+
+    #[test]
+    fn quiet_process_steps_make_no_adjustments() {
+        let mut ctl = AdaptiveController::new();
+        // No classed traffic between construction and step: every class
+        // holds (caps may sit above default only if someone tuned them,
+        // and a zero-alloc epoch decays at most once per step).
+        global::reset_tuning();
+        let adj = ctl.step();
+        assert!(adj.is_empty(), "no traffic must mean no adjustments: {adj:?}");
+        assert_eq!(ctl.epochs(), 1);
+        assert_eq!(ctl.adjustments(), 0);
+    }
+
+    #[test]
+    fn runtime_caps_are_settable_and_resettable() {
+        let class = 0;
+        let default = global::default_class_mag_cap(class);
+        assert_eq!(global::class_mag_cap(class), default);
+        assert_eq!(global::set_class_mag_cap(class, default * 2), default * 2);
+        assert_eq!(global::class_mag_cap(class), default * 2);
+        // Clamped at both ends.
+        assert_eq!(global::set_class_mag_cap(class, 0), global::MAG_CAP_MIN);
+        assert_eq!(global::set_class_mag_cap(class, u32::MAX), global::MAG_CAP_MAX);
+        global::reset_tuning();
+        assert_eq!(global::class_mag_cap(class), default);
+        assert_eq!(global::set_remote_batch(0), 1);
+        global::reset_tuning();
+        assert_eq!(global::remote_batch(), 32);
+    }
+}

@@ -17,6 +17,11 @@ pub const SCHEMA: &str = "telemetry-v1";
 /// readers skip it and old reports simply lack it.
 pub const HEAP_PROFILE_SCHEMA: &str = "heap-profile-v1";
 
+/// The schema tag of the embedded pool-tuning section emitted by the
+/// offline tuner (`pool_tune`). Versioned independently of the outer
+/// report, exactly like the heap profile.
+pub const POOL_TUNE_SCHEMA: &str = "pool-tune-v1";
+
 /// Aggregated statistics for one named pool, shards and magazines included.
 /// Field names are the `telemetry-v1` wire names; the generated C++ runtime
 /// emits the same names (`pool_misses` maps to `fresh_allocs`).
@@ -52,6 +57,21 @@ impl PoolSnapshot {
         } else {
             self.failed_locks as f64 / probes as f64
         }
+    }
+
+    /// Deterministic tuning fitness, lower is better. A pure counter
+    /// blend — no wall clock — so the offline tuner's verdicts are exactly
+    /// reproducible in CI: fresh allocations dominate (each one is the
+    /// malloc the pool exists to avoid), failed lock probes price
+    /// contention, acquisitions price depot round-trips even when
+    /// uncontended, and parked objects price the memory a config wastes
+    /// to get its hit rate.
+    pub fn tuning_fitness(&self) -> u64 {
+        self.fresh_allocs
+            .saturating_mul(100)
+            .saturating_add(self.failed_locks.saturating_mul(50))
+            .saturating_add(self.lock_acquisitions)
+            .saturating_add(self.parked.saturating_mul(10))
     }
 }
 
@@ -195,6 +215,83 @@ impl HeapProfileSection {
     }
 }
 
+/// One evolved pool parameter vector — the genome the offline tuner
+/// searches over. Wire names match the tuner's field names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TunedGenome {
+    /// Per-thread magazine capacity (objects).
+    pub magazine_cap: u32,
+    /// Depot shard count.
+    pub shards: u32,
+    /// Minimum parked objects before a shard batch refill fires.
+    pub depot_gate: u32,
+    /// Objects carved from a slab per miss.
+    pub carve_batch: u32,
+    /// Remote-free batch size shipped back to the owning CPU.
+    pub ship_batch: u32,
+}
+
+/// One generation of the evolutionary search. Fitness is a deterministic
+/// counter blend (see [`PoolSnapshot::tuning_fitness`]); lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationEntry {
+    pub generation: u32,
+    pub best_fitness: u64,
+    pub median_fitness: u64,
+    pub best: TunedGenome,
+}
+
+/// One workload family's tuning outcome: the hand-tuned default genome's
+/// fitness against the evolved winner's, plus the full generation log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FamilyTuning {
+    /// Workload family label (`"tree/d3"`, ...).
+    pub family: String,
+    pub default_fitness: u64,
+    pub tuned_fitness: u64,
+    pub winner: TunedGenome,
+    pub generations: Vec<GenerationEntry>,
+}
+
+impl FamilyTuning {
+    /// Did evolution strictly beat the hand-tuned default?
+    pub fn improved(&self) -> bool {
+        self.tuned_fitness < self.default_fitness
+    }
+
+    /// Fitness reduction relative to the default genome, in percent
+    /// (positive means the evolved config wins; fitness is
+    /// lower-is-better, so the reduction *is* the improvement).
+    pub fn improvement_pct(&self) -> f64 {
+        if self.default_fitness == 0 {
+            0.0
+        } else {
+            100.0 * (self.default_fitness as f64 - self.tuned_fitness as f64)
+                / self.default_fitness as f64
+        }
+    }
+}
+
+/// The versioned `pool-tune-v1` section: one seeded evolutionary search
+/// per workload family, with enough detail to replay the verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolTuneSection {
+    /// Always [`POOL_TUNE_SCHEMA`] for sections this crate emits.
+    pub schema: String,
+    /// SplitMix64 seed the whole search derives from.
+    pub seed: u64,
+    /// Individuals per generation.
+    pub population: u32,
+    pub families: Vec<FamilyTuning>,
+}
+
+impl PoolTuneSection {
+    /// How many families the evolved config strictly beat the default on.
+    pub fn improved_families(&self) -> usize {
+        self.families.iter().filter(|f| f.improved()).count()
+    }
+}
+
 /// The versioned snapshot the whole stack reports through.
 ///
 /// Serde impls are manual (not derived) for one reason: `heap_profile`
@@ -217,6 +314,8 @@ pub struct Report {
     pub native_runs: Vec<NativeRun>,
     /// Heap-profiling section (`--heap-profile` runs only).
     pub heap_profile: Option<HeapProfileSection>,
+    /// Offline tuning section (`pool_tune` runs only).
+    pub pool_tune: Option<PoolTuneSection>,
 }
 
 impl Serialize for Report {
@@ -232,6 +331,9 @@ impl Serialize for Report {
         ];
         if let Some(hp) = &self.heap_profile {
             obj.push(("heap_profile".to_string(), hp.to_value()));
+        }
+        if let Some(pt) = &self.pool_tune {
+            obj.push(("pool_tune".to_string(), pt.to_value()));
         }
         Value::Object(obj)
     }
@@ -252,6 +354,10 @@ impl Deserialize for Report {
                 Ok(val) => Option::from_value(val)?,
                 Err(_) => None,
             },
+            pool_tune: match v.field("pool_tune") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -268,6 +374,7 @@ impl Report {
             sim_runs: Vec::new(),
             native_runs: Vec::new(),
             heap_profile: None,
+            pool_tune: None,
         }
     }
 
@@ -334,6 +441,24 @@ impl Report {
                     return Err(format!(
                         "heap-profile class {}: live {} exceeds mapped {}",
                         c.class, c.live_bytes, c.mapped_bytes
+                    ));
+                }
+            }
+        }
+        if let Some(pt) = &self.pool_tune {
+            if pt.schema != POOL_TUNE_SCHEMA {
+                return Err(format!(
+                    "unsupported pool-tune schema `{}` (expected `{POOL_TUNE_SCHEMA}`)",
+                    pt.schema
+                ));
+            }
+            for f in &pt.families {
+                // Elitist evolution never loses its best individual, so a
+                // winner worse than some logged generation is corrupt.
+                if f.generations.iter().any(|g| g.best_fitness < f.tuned_fitness) {
+                    return Err(format!(
+                        "pool-tune family `{}`: winner fitness {} worse than a logged generation",
+                        f.family, f.tuned_fitness
                     ));
                 }
             }
@@ -519,6 +644,61 @@ impl Report {
                 let _ = writeln!(out, "mapped over time  {}", sparkline(&mapped));
             }
         }
+
+        if let Some(pt) = &self.pool_tune {
+            let _ = writeln!(
+                out,
+                "\npool tuning ({}, seed {}, population {}):",
+                pt.schema, pt.seed, pt.population
+            );
+            let _ = writeln!(
+                out,
+                "{:<12}{:>14}{:>14}{:>10}",
+                "family", "default fit", "tuned fit", "delta"
+            );
+            for f in &pt.families {
+                let _ = writeln!(
+                    out,
+                    "{:<12}{:>14}{:>14}{:>9.1}%",
+                    f.family,
+                    f.default_fitness,
+                    f.tuned_fitness,
+                    -f.improvement_pct()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "winning genomes ({}/{} families improved):",
+                pt.improved_families(),
+                pt.families.len()
+            );
+            let _ = writeln!(
+                out,
+                "  {:<12}{:>8}{:>8}{:>6}{:>7}{:>6}",
+                "family", "mag_cap", "shards", "gate", "carve", "ship"
+            );
+            for f in &pt.families {
+                let w = &f.winner;
+                let _ = writeln!(
+                    out,
+                    "  {:<12}{:>8}{:>8}{:>6}{:>7}{:>6}",
+                    f.family, w.magazine_cap, w.shards, w.depot_gate, w.carve_batch, w.ship_batch
+                );
+            }
+            for f in &pt.families {
+                if f.generations.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(out, "generation log {} (best/median fitness):", f.family);
+                for g in &f.generations {
+                    let _ = writeln!(
+                        out,
+                        "  g{:<3} best {:<12} median {}",
+                        g.generation, g.best_fitness, g.median_fitness
+                    );
+                }
+            }
+        }
         out
     }
 
@@ -656,6 +836,58 @@ impl Report {
             }
             (Some(_), None) => {
                 let _ = writeln!(out, "heap profile: (dropped in new report)");
+            }
+            (None, None) => {}
+        }
+
+        match (&self.pool_tune, &new.pool_tune) {
+            (old_pt, Some(nt)) => {
+                let mut pt_lines = String::new();
+                for nf in &nt.families {
+                    let of = old_pt
+                        .as_ref()
+                        .and_then(|t| t.families.iter().find(|f| f.family == nf.family));
+                    match of {
+                        Some(of) => {
+                            if (of.default_fitness, of.tuned_fitness)
+                                != (nf.default_fitness, nf.tuned_fitness)
+                            {
+                                let _ = writeln!(
+                                    pt_lines,
+                                    "  {:<12}default {}, tuned {} ({:+.1}% -> {:+.1}%)",
+                                    nf.family,
+                                    d(nf.default_fitness, of.default_fitness),
+                                    d(nf.tuned_fitness, of.tuned_fitness),
+                                    -of.improvement_pct(),
+                                    -nf.improvement_pct()
+                                );
+                            }
+                        }
+                        None => {
+                            let _ = writeln!(
+                                pt_lines,
+                                "  {:<12}(new) tuned fitness {} ({:+.1}%)",
+                                nf.family,
+                                nf.tuned_fitness,
+                                -nf.improvement_pct()
+                            );
+                        }
+                    }
+                }
+                if let Some(ot) = old_pt {
+                    for of in &ot.families {
+                        if nt.families.iter().all(|f| f.family != of.family) {
+                            let _ = writeln!(pt_lines, "  {:<12}(gone)", of.family);
+                        }
+                    }
+                }
+                if !pt_lines.is_empty() {
+                    let _ = writeln!(out, "pool tuning:");
+                    out.push_str(&pt_lines);
+                }
+            }
+            (Some(_), None) => {
+                let _ = writeln!(out, "pool tuning: (dropped in new report)");
             }
             (None, None) => {}
         }
@@ -923,5 +1155,137 @@ mod tests {
     fn diff_of_identical_reports_is_quiet() {
         let r = sample();
         assert!(r.diff(&r.clone()).contains("no counter changes"));
+    }
+
+    fn sample_pool_tune() -> PoolTuneSection {
+        let default = TunedGenome {
+            magazine_cap: 32,
+            shards: 8,
+            depot_gate: 1,
+            carve_batch: 64,
+            ship_batch: 32,
+        };
+        let winner = TunedGenome { magazine_cap: 64, shards: 4, ..default };
+        PoolTuneSection {
+            schema: POOL_TUNE_SCHEMA.into(),
+            seed: 42,
+            population: 16,
+            families: vec![
+                FamilyTuning {
+                    family: "tree/d5".into(),
+                    default_fitness: 20_000,
+                    tuned_fitness: 15_000,
+                    winner,
+                    generations: vec![
+                        GenerationEntry {
+                            generation: 0,
+                            best_fitness: 18_000,
+                            median_fitness: 25_000,
+                            best: default,
+                        },
+                        GenerationEntry {
+                            generation: 1,
+                            best_fitness: 15_000,
+                            median_fitness: 19_000,
+                            best: winner,
+                        },
+                    ],
+                },
+                FamilyTuning {
+                    family: "tree/d1".into(),
+                    default_fitness: 900,
+                    tuned_fitness: 900,
+                    winner: default,
+                    generations: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pool_tune_round_trips_and_validates() {
+        let mut r = sample();
+        r.pool_tune = Some(sample_pool_tune());
+        r.validate().unwrap();
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.pool_tune.unwrap().improved_families(), 1);
+    }
+
+    #[test]
+    fn reports_without_pool_tune_still_parse() {
+        let json = sample().to_json();
+        assert!(!json.contains("pool_tune"), "None must be omitted, not null");
+        assert_eq!(Report::from_json(&json).unwrap().pool_tune, None);
+    }
+
+    #[test]
+    fn pool_tune_schema_and_elitism_are_enforced() {
+        let mut r = sample();
+        let mut pt = sample_pool_tune();
+        pt.schema = "pool-tune-v0".into();
+        r.pool_tune = Some(pt);
+        assert!(r.validate().unwrap_err().contains("pool-tune-v0"));
+
+        let mut pt = sample_pool_tune();
+        pt.families[0].tuned_fitness = 19_000; // worse than gen 1's best
+        r.pool_tune = Some(pt);
+        assert!(r.validate().unwrap_err().contains("worse than a logged generation"));
+    }
+
+    #[test]
+    fn improvement_pct_is_signed_reduction() {
+        let pt = sample_pool_tune();
+        assert!((pt.families[0].improvement_pct() - 25.0).abs() < 1e-12);
+        assert!(pt.families[0].improved());
+        assert!(!pt.families[1].improved(), "a tie is not an improvement");
+    }
+
+    #[test]
+    fn render_shows_the_tuning_section() {
+        let mut r = sample();
+        r.pool_tune = Some(sample_pool_tune());
+        let text = r.render();
+        assert!(text.contains("pool tuning (pool-tune-v1, seed 42, population 16)"), "{text}");
+        assert!(text.contains("tree/d5"), "{text}");
+        assert!(text.contains("-25.0%"), "{text}");
+        assert!(text.contains("winning genomes (1/2 families improved)"), "{text}");
+        assert!(text.contains("generation log tree/d5"), "{text}");
+        assert!(text.contains("g0   best 18000        median 25000"), "{text}");
+    }
+
+    #[test]
+    fn diff_tracks_tuning_fitness_and_drops() {
+        let old = {
+            let mut r = sample();
+            r.pool_tune = Some(sample_pool_tune());
+            r
+        };
+        let new = {
+            let mut r = old.clone();
+            let pt = r.pool_tune.as_mut().unwrap();
+            pt.families[0].tuned_fitness = 12_000;
+            pt.families[0].generations.clear(); // keep validate() happy
+            pt.families[1].family = "bgw".into();
+            r
+        };
+        let text = old.diff(&new);
+        assert!(text.contains("pool tuning:"), "{text}");
+        assert!(text.contains("tuned -3000"), "{text}");
+        assert!(text.contains("bgw"), "{text}");
+        assert!(text.contains("(new)"), "{text}");
+        assert!(text.contains("tree/d1"), "{text}");
+        assert!(text.contains("(gone)"), "{text}");
+
+        let mut dropped = old.clone();
+        dropped.pool_tune = None;
+        assert!(old.diff(&dropped).contains("pool tuning: (dropped in new report)"));
+    }
+
+    #[test]
+    fn tuning_fitness_blend_is_deterministic() {
+        let p = sample().pools[0].clone();
+        // 10 fresh * 100 + 3 failed * 50 + 97 acquisitions + 5 parked * 10
+        assert_eq!(p.tuning_fitness(), 1000 + 150 + 97 + 50);
     }
 }

@@ -28,4 +28,5 @@ pub mod trace;
 pub mod tree;
 
 pub use exec::{run_traces, run_workload, RunResult, StructOp, Workload};
+pub use trace::{record_traces, Trace, TraceWorkload};
 pub use tree::{PoolTree, TreeWorkload};

@@ -3,7 +3,8 @@
 //! checksums, leaves no live bytes behind, and (for pooled strategies)
 //! accounts every allocation as either a hit or a fresh build.
 
-use mem_api::BackendRegistry;
+use mem_api::{BackendRegistry, PooledBackend};
+use pools::{PoolConfig, StructurePool};
 use proptest::prelude::*;
 use std::sync::Mutex;
 use workloads::exec::run_workload;
@@ -49,6 +50,19 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
     })
 }
 
+/// Legal tuning genomes — the offline tuner's full search space (magazine
+/// caps 1..=512, shards 1..=16, depot gates 1..=8, carve batches
+/// 2..=1024), decoded from a flat word stream like [`trace_strategy`].
+fn genome_strategy() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    proptest::collection::vec(0u32..65536, 4..5).prop_map(|w| {
+        let cap = w[0] as usize % 512 + 1;
+        let shards = w[1] as usize % 16 + 1;
+        let gate = w[2] as usize % 8 + 1;
+        let carve = w[3] as usize % 1023 + 2;
+        (cap, shards, gate, carve)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -85,6 +99,82 @@ proptest! {
             );
         }
     }
+
+    /// Any legal genome preserves the differential invariant: a pool
+    /// built from arbitrary tuned parameters replays any trace with the
+    /// same checksums as the reference backend, balanced alloc/free
+    /// accounting, no live bytes left behind, and every allocation
+    /// accounted as a hit or a fresh build. Tuning may move the
+    /// performance envelope, never the results.
+    #[test]
+    fn any_legal_genome_preserves_the_differential_invariant(
+        traces in proptest::collection::vec(trace_strategy(), 1..3),
+        genome in genome_strategy(),
+    ) {
+        let _g = fault_lock();
+        let (cap, shards, gate, carve) = genome;
+        let workload = TraceWorkload::new(&traces);
+        let registry: BackendRegistry<Chunk> = BackendRegistry::standard();
+        let reference = run_workload(&*registry.build("solaris-default").unwrap(), &workload);
+
+        let config = PoolConfig::default().with_tuning(gate, 0, carve);
+        let pool: StructurePool<Chunk> =
+            StructurePool::new_sharded_with_magazines(shards, config, cap);
+        let backend = PooledBackend::from_pool("tuned-genome", pool);
+        let r = run_workload(&backend, &workload);
+
+        let expected_allocs: u64 = traces.iter().map(|t| t.alloc_count() as u64).sum();
+        prop_assert_eq!(r.stats.allocs(), expected_allocs, "cap {} shards {}", cap, shards);
+        prop_assert_eq!(r.stats.allocs(), r.stats.frees());
+        prop_assert_eq!(&r.checksums, &reference.checksums, "cap {} shards {}", cap, shards);
+        prop_assert_eq!(r.stats.live_bytes(), 0);
+        prop_assert_eq!(r.stats.pool_hits() + r.stats.fresh_allocs(), r.stats.allocs());
+    }
+}
+
+/// The defaults-equivalence half of the tuning contract: a pool tuned
+/// with the *explicit* default knobs (gate 1, derived refill and carve
+/// batches) must reproduce the plainly-constructed pool's statistics
+/// bit for bit on the same deterministic trace — the runtime
+/// parameterization changed where the constants live, not what they do.
+#[test]
+fn explicitly_tuned_defaults_match_the_standard_constructor_bit_for_bit() {
+    let _g = fault_lock();
+    let mut ops = Vec::new();
+    for burst in 0..40u32 {
+        for id in 0..12 {
+            ops.push(TraceOp::Alloc { id: burst * 12 + id, size: 48 + (id % 5) * 16 });
+        }
+        for id in (0..12).rev() {
+            ops.push(TraceOp::Free { id: burst * 12 + id });
+        }
+    }
+    let trace = Trace { ops };
+    trace.validate().expect("well-formed trace");
+    let traces = [trace];
+    let workload = TraceWorkload::new(&traces);
+
+    let run = |config: PoolConfig| {
+        let pool: StructurePool<Chunk> =
+            StructurePool::new_sharded_with_magazines(4, config, pools::DEFAULT_MAGAZINE_CAP);
+        let backend = PooledBackend::from_pool("defaults-equiv", pool);
+        let r = run_workload(&backend, &workload);
+        (backend.pool().stats(), r.checksums.clone())
+    };
+
+    let (plain_stats, plain_sums) = run(PoolConfig::default());
+    // `with_tuning(1, 0, 0)` spells out the defaults: gate 1, batch sizes
+    // derived from the magazine cap exactly as the untuned pool derives
+    // them.
+    let (tuned_stats, tuned_sums) = run(PoolConfig::default().with_tuning(1, 0, 0));
+
+    assert_eq!(plain_stats, tuned_stats, "explicit defaults changed pool behaviour");
+    assert_eq!(plain_sums, tuned_sums);
+    assert_eq!(
+        plain_stats.pool_hits() + plain_stats.fresh_allocs(),
+        480,
+        "hit/fresh accounting must cover every allocation: {plain_stats:?}"
+    );
 }
 
 // Under `fault-inject`, replaying the same trace twice with the same seed
