@@ -25,7 +25,8 @@
 
 use bench::native::{
     check_global_pair_envelope, check_hit_pair_envelope, check_miss_pair_envelope,
-    check_profiled_global_pair_envelope, check_sim_engine_envelope,
+    check_profiled_global_pair_envelope, check_reclaim_global_pair_envelope,
+    check_sim_engine_envelope,
 };
 
 fn arg_value(name: &str) -> Option<String> {
@@ -65,6 +66,11 @@ fn main() {
     // within +10% on the global pair).
     let profiled = check_profiled_global_pair_envelope(pairs);
     println!("{}", profiled.render());
+    // Same pair loop with the RSS reclaimer sweeping from another
+    // thread: concurrent slab retirement must not tax the hit path
+    // (ISSUE 10 acceptance: global pair within ±10% while reclaiming).
+    let reclaim = check_reclaim_global_pair_envelope(pairs);
+    println!("{}", reclaim.render());
     // The simulation engine: real ns per dispatch event on the recorded
     // reference workload (`BENCH_sim.json`) — catches event-loop or bus
     // regressions that the allocator-path envelopes cannot see.
@@ -72,7 +78,7 @@ fn main() {
     println!("{}", sim.render());
 
     #[cfg_attr(not(feature = "adaptive"), allow(unused_mut))]
-    let mut checks = vec![hit, miss, global, profiled, sim];
+    let mut checks = vec![hit, miss, global, profiled, reclaim, sim];
     // With the online controller compiled in, the tuned-config envelopes:
     // the pair costs under a tuner-winner pool shape with the adaptive
     // controller stepping its epochs during measurement.

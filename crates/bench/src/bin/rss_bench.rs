@@ -1,0 +1,194 @@
+//! The `BENCH_rss.json` envelope: run the long-haul burst/quiesce churn
+//! ([`workloads::churn`]) under the pool front-end and measure how much
+//! of the burst's mapped slab memory the reclaimer returns to the OS in
+//! each quiet phase (ROADMAP item 2; DESIGN.md §13).
+//!
+//! Two scenarios run back to back in one process:
+//!
+//! * **baseline** — no reclaim hook: mapped bytes ratchet to the
+//!   all-time peak and stay there (ratio ≈ 1×), the failure mode slab
+//!   retirement exists to fix;
+//! * **reclaimed** — [`pools::reclaim::reclaim_all`] runs in every quiet
+//!   phase: the peak-to-trough mapped ratio is the reclamation win,
+//!   asserted ≥ `--min-ratio` (default 2.0).
+//!
+//! The asserted envelope uses the allocator's own mapped-bytes gauge —
+//! `madvise(MADV_DONTNEED)` affects it deterministically, while kernel
+//! RSS accounting is lazy — but `/proc/self/statm` RSS is recorded
+//! alongside as the observational ground truth.
+//!
+//! Requires the `global-alloc` feature (otherwise the churn never
+//! touches the pool allocator and there is nothing to measure; the bin
+//! prints a note and exits 0 so feature-off CI lanes stay green).
+//! `--smoke` shrinks the run for CI; `[output_dir]` defaults to `.`.
+
+#[cfg(feature = "global-alloc")]
+use serde::Value;
+
+#[cfg(feature = "global-alloc")]
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(feature = "global-alloc")]
+fn round2(v: f64) -> Value {
+    Value::Float((v * 100.0).round() / 100.0)
+}
+
+#[cfg(feature = "global-alloc")]
+fn min_ratio_from(args: &[String]) -> Result<f64, String> {
+    let mut raw: Option<&str> = None;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--min-ratio" {
+            raw = Some(args.get(i + 1).map(String::as_str).ok_or("--min-ratio takes a value")?);
+        } else if let Some(v) = a.strip_prefix("--min-ratio=") {
+            raw = Some(v);
+        }
+    }
+    let Some(raw) = raw else { return Ok(2.0) };
+    raw.parse().map_err(|_| format!("--min-ratio takes a number, got `{raw}`"))
+}
+
+#[cfg(not(feature = "global-alloc"))]
+fn main() {
+    eprintln!(
+        "[rss_bench] built without the `global-alloc` feature: the churn would never touch \
+         the pool allocator, so there is no mapped envelope to measure. Rebuild with \
+         `--features global-alloc`."
+    );
+}
+
+#[cfg(feature = "global-alloc")]
+fn main() {
+    use workloads::churn::{self, ChurnParams};
+
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let min_ratio = match min_ratio_from(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[rss_bench] {e}");
+            std::process::exit(2);
+        }
+    };
+    let dir = args
+        .iter()
+        .enumerate()
+        .skip(1)
+        .find(|(i, a)| !a.starts_with("--") && args.get(i - 1).is_none_or(|p| p != "--min-ratio"))
+        .map(|(_, a)| a.clone());
+    let dir = std::path::Path::new(dir.as_deref().unwrap_or("."));
+
+    let params = if smoke { ChurnParams::smoke() } else { ChurnParams::long_haul() };
+    let workload = format!(
+        "burst/quiesce churn: {} phases x {} threads x {} allocs (sizes 32..4096, \
+         cross-thread frees, {}/256 survivors)",
+        params.phases, params.threads, params.allocs_per_thread, params.survivor_per_256
+    );
+    eprintln!("[rss_bench] {workload}");
+
+    // Baseline first: without reclaim the mapped set ratchets to peak
+    // and never comes back. Trim everything idle afterwards so the
+    // reclaimed scenario starts from a clean floor instead of the
+    // baseline's leftovers.
+    let rss_start = churn::rss_bytes().unwrap_or(0);
+    let baseline = churn::run_churn(&params, |_| {});
+    eprintln!(
+        "[rss_bench] baseline: peak {} trough {} ratio {:.2}x",
+        baseline.peak_mapped_bytes,
+        baseline.trough_mapped_bytes,
+        baseline.reclamation_ratio()
+    );
+    let rss_after_baseline = churn::rss_bytes().unwrap_or(0);
+    pools::reclaim::reclaim_all();
+
+    let totals_before = pools::reclaim::totals();
+    let reclaimed = churn::run_churn(&params, |_| {
+        pools::reclaim::reclaim_all();
+    });
+    let totals_after = pools::reclaim::totals();
+    let rss_end = churn::rss_bytes().unwrap_or(0);
+    let ratio = reclaimed.reclamation_ratio();
+    eprintln!(
+        "[rss_bench] reclaimed: peak {} trough {} ratio {:.2}x ({} slabs / {} bytes returned)",
+        reclaimed.peak_mapped_bytes,
+        reclaimed.trough_mapped_bytes,
+        ratio,
+        totals_after.reclaimed_slabs - totals_before.reclaimed_slabs,
+        totals_after.reclaimed_bytes - totals_before.reclaimed_bytes,
+    );
+
+    // Same params, same deterministic traffic: both scenarios must have
+    // allocated identical byte streams or the comparison is vacuous.
+    assert_eq!(baseline.checksum, reclaimed.checksum, "scenarios diverged");
+
+    let pass = ratio >= min_ratio;
+    let scenario = |o: &workloads::churn::ChurnOutcome| {
+        let phases: Vec<Value> = o
+            .records
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("phase", Value::UInt(r.phase as u64)),
+                    ("burst_bytes", Value::UInt(r.burst_bytes)),
+                    ("mapped_after_burst", Value::UInt(r.mapped_after_burst)),
+                    ("mapped_after_quiesce", Value::UInt(r.mapped_after_quiesce)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("peak_mapped_bytes", Value::UInt(o.peak_mapped_bytes)),
+            ("trough_mapped_bytes", Value::UInt(o.trough_mapped_bytes)),
+            ("reclamation_ratio", round2(o.reclamation_ratio())),
+            ("phases", Value::Array(phases)),
+        ])
+    };
+    let report = obj(vec![
+        ("schema", Value::String("rss-bench-v1".into())),
+        ("workload", Value::String(workload)),
+        ("smoke", Value::Bool(smoke)),
+        ("baseline", scenario(&baseline)),
+        ("reclaimed", scenario(&reclaimed)),
+        (
+            "reclaim_totals",
+            obj(vec![
+                (
+                    "reclaimed_slabs",
+                    Value::UInt(totals_after.reclaimed_slabs - totals_before.reclaimed_slabs),
+                ),
+                (
+                    "reclaimed_bytes",
+                    Value::UInt(totals_after.reclaimed_bytes - totals_before.reclaimed_bytes),
+                ),
+                (
+                    "advised_slabs",
+                    Value::UInt(totals_after.advised_slabs - totals_before.advised_slabs),
+                ),
+            ]),
+        ),
+        (
+            "rss_observed_bytes",
+            obj(vec![
+                ("start", Value::UInt(rss_start)),
+                ("after_baseline", Value::UInt(rss_after_baseline)),
+                ("end", Value::UInt(rss_end)),
+            ]),
+        ),
+        ("min_ratio", round2(min_ratio)),
+        ("pass", Value::Bool(pass)),
+    ]);
+    let mut json = serde_json::to_string_pretty(&report).expect("bench json");
+    json.push('\n');
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let out_path = dir.join("BENCH_rss.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_rss.json");
+    eprintln!("[rss_bench] envelope -> {}", out_path.display());
+
+    if !pass {
+        eprintln!(
+            "[rss_bench] FAIL: reclamation ratio {ratio:.2}x below the {min_ratio:.2}x floor"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[rss_bench] PASS: {ratio:.2}x >= {min_ratio:.2}x");
+}

@@ -152,12 +152,15 @@ pub fn section(sample_period: u32) -> HeapProfileSection {
             live_bytes: s.live_bytes,
         })
         .collect();
+    let totals = pools::reclaim::totals();
     HeapProfileSection {
         schema: HEAP_PROFILE_SCHEMA.to_string(),
         sample_period: sample_period as u64,
         classes,
         sites,
         timeline,
+        reclaimed_slabs: totals.reclaimed_slabs,
+        reclaimed_bytes: totals.reclaimed_bytes,
     }
 }
 

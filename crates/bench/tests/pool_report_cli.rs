@@ -58,6 +58,8 @@ fn heap_section() -> HeapProfileSection {
             HeapTimelinePoint { seq: 1, mapped_bytes: 65536, live_bytes: 3200 },
             HeapTimelinePoint { seq: 2, mapped_bytes: 131072, live_bytes: 64000 },
         ],
+        reclaimed_slabs: 2,
+        reclaimed_bytes: 2 * 65536,
     }
 }
 
@@ -154,6 +156,45 @@ fn diff_mode_prints_per_counter_deltas() {
     assert!(stdout.contains("+60"), "{stdout}");
     assert!(stdout.contains("class 3"), "{stdout}");
     assert!(stdout.contains("live -32000"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn diff_mode_announces_one_sided_heap_profiles() {
+    // A heap-profile section present on exactly one side is itself a
+    // change: the diff must announce it (both directions), not panic or
+    // stay silent.
+    let dir = fixture_dir("one_sided_hp");
+    let bare = base_report();
+    let profiled = {
+        let mut r = base_report();
+        r.heap_profile = Some(heap_section());
+        r
+    };
+    let bare_path = dir.join("bare.json");
+    let profiled_path = dir.join("profiled.json");
+    std::fs::write(&bare_path, bare.to_json()).unwrap();
+    std::fs::write(&profiled_path, profiled.to_json()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .args(["--diff"])
+        .args([&bare_path, &profiled_path])
+        .output()
+        .expect("run pool_report --diff");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("heap profile: (new in new report)"), "{stdout}");
+    assert!(stdout.contains("class 3"), "gauges still diff against zero: {stdout}");
+    assert!(stdout.contains("reclaimed +2 slabs"), "{stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pool_report"))
+        .args(["--diff"])
+        .args([&profiled_path, &bare_path])
+        .output()
+        .expect("run pool_report --diff");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("heap profile: (dropped in new report)"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

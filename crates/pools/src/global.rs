@@ -71,9 +71,18 @@
 //! so late frees from TLS teardown degrade to remote pushes instead of
 //! touching a freed cache.
 //!
-//! Slab memory is process-lifetime (blocks recirculate forever, which is
-//! what makes the Treiber `next` reads safe — type-stable memory, as in
-//! the depot). Returning cold slabs to the OS is ROADMAP work.
+//! Slab *address space* is process-lifetime, but the pages behind it are
+//! not: [`sweep_and_retire`] drains the shared levels, finds slabs whose
+//! entire block population is idle, and returns their pages to the OS
+//! with `madvise(MADV_DONTNEED)` — the mapping itself is never unmapped,
+//! which preserves the type-stability the Treiber `next` reads rely on
+//! (a stale reader can still dereference a retired block's link word; it
+//! reads zeros and its tag CAS fails, exactly as for any lost race).
+//! Retired slabs sit in a quarantine pool until the retiring pass has
+//! fully completed, then [`carve_slab`] re-stamps them ahead of asking
+//! [`System`] for fresh memory. Policy (watermarks, the background
+//! reclaimer thread) lives in [`crate::reclaim`]; the mechanism here is
+//! DESIGN.md §13.
 //!
 //! # Observability (the heap-profile layer)
 //!
@@ -222,7 +231,13 @@ struct SlabHeader {
     /// threads concurrently read the hint on their free path; a racing
     /// reader sees the old or the new owner, and both route validly.
     shard: AtomicU16,
-    _pad: u64,
+    /// Sweep scratch, written only by the (serialized) reclaimer: the
+    /// pass id that last visited this slab and how many of its blocks
+    /// that pass found idle. Zero fast-path cost — alloc/dealloc never
+    /// read or write these — and they fill what used to be header
+    /// padding, so the header stays 16 bytes.
+    sweep_gen: AtomicU32,
+    free_seen: AtomicU32,
 }
 
 /// A Treiber stack of raw blocks; the link is the block's first word.
@@ -294,14 +309,27 @@ impl BlockStack {
         }
     }
 
-    /// Detach the entire stack in one `swap` — the MPSC remote-drain op.
-    /// Returns the old chain head (null when empty). Only meaningful on
-    /// stacks where this caller is the sole drainer (the remote stacks);
-    /// the chain is fully linked because pushers write the link *before*
-    /// their publishing CAS.
+    /// Detach the entire stack — the MPSC remote-drain op. Returns the
+    /// old chain head (null when empty); the chain is fully linked
+    /// because pushers write the link *before* their publishing CAS.
+    /// A CAS loop rather than a plain `swap` so the version tag is
+    /// *preserved and bumped*, never reset: slab retirement depends on a
+    /// drained block's old (ptr, tag) pair staying dead forever, so a
+    /// reader whose pop straddled the drain can never win a stale CAS
+    /// against a block that has since been retired and recarved.
     fn take_all(&self) -> *mut u8 {
-        let old = self.head.swap(0, Ordering::AcqRel);
-        (old & PTR_MASK) as *mut u8
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            if head & PTR_MASK == 0 {
+                return std::ptr::null_mut();
+            }
+            let empty = (head & !PTR_MASK).wrapping_add(TAG_ONE);
+            match self.head.compare_exchange_weak(head, empty, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return (head & PTR_MASK) as *mut u8,
+                Err(current) => head = current,
+            }
+        }
     }
 
     #[inline]
@@ -425,9 +453,344 @@ static FOLDED_CHURN: [ChurnFold; NUM_CLASSES] =
 /// `live_bytes <= mapped_bytes` hold for every snapshot.
 static MAPPED_SLABS: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
 
-/// High-water mark of the per-class live-byte estimate, folded on every
-/// gauge collection (a sampled peak: exact at the collection instants).
+/// High-water mark of the per-class live-byte estimate. Folded on every
+/// gauge collection *and* at every thread teardown from the per-thread
+/// high-water marks ([`LocalClass::peak_net`]), so a burst that rises and
+/// falls entirely between collections still registers — the lag is
+/// bounded by one refill batch per thread, not by the snapshot cadence.
 static PEAK_LIVE_BYTES: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
+
+// ------------------------------------------------------------- retirement
+//
+// The slab-retirement machinery (DESIGN.md §13). Mechanism only — the
+// watermark policy and the background reclaimer live in `crate::reclaim`.
+
+/// Serializes reclaim passes: one sweep at a time, so the per-slab sweep
+/// scratch in [`SlabHeader`] has a single writer. Alloc/dealloc paths
+/// never touch this lock.
+static RECLAIM_PASS: Spin = Spin::new();
+
+/// Mutual exclusion between the *retire phase* of a pass (the
+/// [`MAPPED_SLABS`] decrements) and a gauge collection. The two-pass
+/// gauge fold argues `live <= mapped` from mapped counts being monotone
+/// while it runs; retirement breaks monotonicity, so it must not
+/// interleave a collection. Lock order: [`RECLAIM_PASS`] → this →
+/// (inside collection only) [`REGISTRY`]. Nothing allocates under it.
+static RETIRE_GAUGE: Spin = Spin::new();
+
+/// Reclaim pass sequence. `PASS_SEQ` is bumped when a pass begins;
+/// `PASS_DONE` is published (release) when its retire phase — header
+/// scrubs, `madvise` calls, ledger updates — has fully completed. Slabs
+/// retired by pass N enter the quarantine pool only after `PASS_DONE ==
+/// N`, so a recarve can never observe a half-retired slab.
+static PASS_SEQ: AtomicU64 = AtomicU64::new(0);
+static PASS_DONE: AtomicU64 = AtomicU64::new(0);
+
+/// Bumped at the start of every reclaim pass. Threads compare it against
+/// their cache's `flush_epoch` at the cold refill/flush points and flush
+/// everything they hold when it moved — the epoch-gated excision that
+/// lets a pass (the *next* one) sweep blocks parked in other threads'
+/// caches without ever touching a foreign cache directly.
+static CACHE_FLUSH_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative retirement ledger: slabs retired per class, slabs whose
+/// pages `madvise` actually released, and retired slabs recarved back
+/// into service. `reclaimed - recarved` slabs are sitting in quarantine.
+static RECLAIMED_SLABS: [AtomicU64; NUM_CLASSES] = [const { AtomicU64::new(0) }; NUM_CLASSES];
+static ADVISED_SLABS: AtomicU64 = AtomicU64::new(0);
+static RECARVED_SLABS: AtomicU64 = AtomicU64::new(0);
+
+/// Quarantine pool of retired slabs: an intrusive LIFO threaded through
+/// the slabs' own first words (the pages were just advised away; writing
+/// the link touches one page back in, which also pre-faults the header
+/// page a future recarve writes anyway). Guarded by [`RETIRED`]; the
+/// critical sections are pointer swaps only — **never** allocate under
+/// this lock, `carve_slab` takes it.
+static RETIRED: Spin = Spin::new();
+static RETIRED_HEAD: AtomicUsize = AtomicUsize::new(0);
+static RETIRED_LEN: AtomicUsize = AtomicUsize::new(0);
+
+/// `madvise(base, len, MADV_DONTNEED)` via raw syscall (no libc in the
+/// dependency tree). Returns whether the kernel actually dropped the
+/// pages; on other targets this is a no-op and retirement degrades to
+/// quarantine-without-release (the accounting stays correct either way).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn advise_dont_need(base: *mut u8, len: usize) -> bool {
+    const SYS_MADVISE: usize = 28;
+    const MADV_DONTNEED: usize = 4;
+    let ret: isize;
+    // SAFETY: madvise on a mapping we own; DONTNEED cannot fault and the
+    // syscall clobbers only rcx/r11 beyond its return register.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MADVISE => ret,
+            in("rdi") base as usize,
+            in("rsi") len,
+            in("rdx") MADV_DONTNEED,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn advise_dont_need(_base: *mut u8, _len: usize) -> bool {
+    false
+}
+
+/// Pop a quarantined slab for recarving. Everything in the pool belongs
+/// to a completed pass (pushes happen after `PASS_DONE` is published), so
+/// no eligibility check is needed beyond the pop itself.
+fn retired_pop() -> Option<*mut u8> {
+    if RETIRED_HEAD.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let _g = RETIRED.lock();
+    let head = RETIRED_HEAD.load(Ordering::Relaxed);
+    if head == 0 {
+        return None;
+    }
+    // SAFETY: the link was written by `retired_push` and the slab is
+    // exclusively the pool's until popped.
+    let next = unsafe { *(head as *const usize) };
+    RETIRED_HEAD.store(next, Ordering::Relaxed);
+    RETIRED_LEN.fetch_sub(1, Ordering::Relaxed);
+    RECARVED_SLABS.fetch_add(1, Ordering::Relaxed);
+    Some(head as *mut u8)
+}
+
+fn retired_push(base: *mut u8) {
+    let _g = RETIRED.lock();
+    // SAFETY: the slab is exclusively ours (fully retired, not yet in the
+    // pool); its first word becomes the intrusive link.
+    unsafe { *(base as *mut usize) = RETIRED_HEAD.load(Ordering::Relaxed) };
+    RETIRED_HEAD.store(base as usize, Ordering::Relaxed);
+    RETIRED_LEN.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Slabs currently parked in the retirement quarantine pool.
+pub fn retired_pool_len() -> usize {
+    RETIRED_LEN.load(Ordering::Relaxed)
+}
+
+/// What one [`sweep_and_retire`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Blocks drained out of central stacks and remote queues (survivors
+    /// were pushed back to their stamped shards).
+    pub swept_blocks: u64,
+    /// Fully-idle slabs retired (removed from mapped accounting).
+    pub retired_slabs: u64,
+    pub retired_bytes: u64,
+    /// Retired slabs whose pages the kernel confirmed released.
+    pub advised_slabs: u64,
+}
+
+/// Cumulative retirement totals:
+/// `(reclaimed_slabs, reclaimed_bytes, recarved_slabs, advised_slabs)`.
+pub fn reclaim_totals() -> (u64, u64, u64, u64) {
+    let slabs: u64 = RECLAIMED_SLABS.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    (
+        slabs,
+        slabs * SLAB_BYTES as u64,
+        RECARVED_SLABS.load(Ordering::Relaxed),
+        ADVISED_SLABS.load(Ordering::Relaxed),
+    )
+}
+
+/// Sweep-retire bit packed into `SlabHeader::sweep_gen`: set while the
+/// current pass has marked the slab for retirement.
+const RETIRE_BIT: u32 = 0x8000_0000;
+
+/// One retirement pass (the tentpole mechanism). Drains every class's
+/// central stacks and remote queues into a private working set, buckets
+/// the blocks by slab via the address mask, and retires every slab whose
+/// *entire* block population turned up in the sweep — those blocks can
+/// have no live owner, no cache seat, and no in-flight remote chain,
+/// because all three would have kept at least one block out of the
+/// shared levels. Survivor blocks are pushed back to their stamped
+/// shards in per-shard chains. Retired slabs leave [`MAPPED_SLABS`]
+/// under the [`RETIRE_GAUGE`] lock (so a gauge collection never sees
+/// mapped shrink mid-fold), get their pages released with
+/// `madvise(MADV_DONTNEED)`, and enter the quarantine pool once the
+/// pass's completion is published.
+///
+/// Retirement stops once total mapped bytes drop to `target_mapped_bytes`
+/// (0 = retire everything idle). Blocks parked in *other* threads'
+/// caches are not excised directly — the pass bumps
+/// [`CACHE_FLUSH_EPOCH`], those threads flush at their next cold point,
+/// and the following pass sweeps what they released (convergence over
+/// passes, not blocking excision).
+pub fn sweep_and_retire(target_mapped_bytes: u64) -> SweepOutcome {
+    let _pass = RECLAIM_PASS.lock();
+    let pass_id = PASS_SEQ.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+    // Ask every thread (including this one, directly) to release its
+    // cached blocks: ours join this pass's sweep, theirs the next one's.
+    CACHE_FLUSH_EPOCH.fetch_add(1, Ordering::Relaxed);
+    flush_thread_cache();
+
+    let mapped_total: u64 =
+        MAPPED_SLABS.iter().map(|m| m.load(Ordering::Relaxed)).sum::<u64>() * SLAB_BYTES as u64;
+    let mut shed_budget = mapped_total.saturating_sub(target_mapped_bytes) as i64;
+    let mut out = SweepOutcome::default();
+    if shed_budget <= 0 {
+        return out;
+    }
+    let mut quarantine: Vec<*mut u8> = Vec::new();
+    for class in 0..NUM_CLASSES {
+        sweep_class(class, pass_id, &mut shed_budget, &mut out, &mut quarantine);
+    }
+    // Publish completion, then expose this pass's slabs for recarving:
+    // every header scrub and madvise above happened-before the push.
+    PASS_DONE.store(pass_id, Ordering::Release);
+    for base in quarantine {
+        retired_push(base);
+    }
+    out
+}
+
+/// The truncated pass id written into headers' `sweep_gen` (31 bits — a
+/// stale value can only collide after 2^31 passes visit the same slab
+/// without it being carved in between, and a collision merely skips one
+/// retirement opportunity).
+fn pass_stamp(pass_id: u64) -> u32 {
+    (pass_id as u32) & !RETIRE_BIT
+}
+
+fn sweep_class(
+    class: usize,
+    pass_id: u64,
+    shed_budget: &mut i64,
+    out: &mut SweepOutcome,
+    quarantine: &mut Vec<*mut u8>,
+) {
+    if *shed_budget <= 0 {
+        return;
+    }
+    let stamp = pass_stamp(pass_id);
+    let bytes = class_bytes(class);
+    let nblocks = ((SLAB_BYTES - HEADER_BYTES) / bytes) as u32;
+    let state = &CLASSES[class];
+
+    // Phase 1: drain every shard's central stack and remote queue into a
+    // private working set. Allocating the Vec is safe here — the alloc
+    // paths never take RECLAIM_PASS, and neither RETIRE_GAUGE nor
+    // RETIRED is held yet.
+    let mut blocks: Vec<*mut u8> = Vec::new();
+    let mut slabs: Vec<*mut u8> = Vec::new();
+    for shard in &state.shards {
+        let mut central = 0usize;
+        let mut b = shard.free.take_all();
+        while !b.is_null() {
+            blocks.push(b);
+            central += 1;
+            b = unsafe { *(b as *mut *mut u8) };
+        }
+        if central > 0 {
+            shard.free_len.fetch_sub(central, Ordering::Relaxed);
+        }
+        let mut remote = 0usize;
+        // Remote chains are walked block-by-block (the segment stamps
+        // only matter for O(batches) adoption; a sweep touches every
+        // block anyway to bucket it by slab).
+        let mut b = shard.remote.take_all();
+        while !b.is_null() {
+            blocks.push(b);
+            remote += 1;
+            b = unsafe { *(b as *mut *mut u8) };
+        }
+        if remote > 0 {
+            shard.remote_drained.fetch_add(remote as u64, Ordering::Relaxed);
+        }
+    }
+    out.swept_blocks += blocks.len() as u64;
+
+    // Phase 2: bucket by slab. First visit in this pass resets the
+    // slab's idle count; `free_seen > nblocks` means the working set
+    // held a duplicate (a double-free upstream) — such a slab is never
+    // retired, the safe direction.
+    for &b in &blocks {
+        let header = ((b as usize) & !SLAB_MASK) as *mut SlabHeader;
+        let h = unsafe { &*header };
+        if h.sweep_gen.load(Ordering::Relaxed) != stamp {
+            h.sweep_gen.store(stamp, Ordering::Relaxed);
+            h.free_seen.store(0, Ordering::Relaxed);
+            slabs.push(header as *mut u8);
+        }
+        h.free_seen.store(h.free_seen.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    // Phase 3: mark retirements while the shed budget lasts.
+    let mut retiring = 0u64;
+    for &base in &slabs {
+        if *shed_budget <= 0 {
+            break;
+        }
+        let h = unsafe { &*(base as *const SlabHeader) };
+        if h.free_seen.load(Ordering::Relaxed) == nblocks {
+            h.sweep_gen.store(stamp | RETIRE_BIT, Ordering::Relaxed);
+            retiring += 1;
+            *shed_budget -= SLAB_BYTES as i64;
+        }
+    }
+
+    // Phase 4: push survivors back to their stamped shards, one chain
+    // per shard. Blocks of retiring slabs simply stay behind.
+    let mut heads = [std::ptr::null_mut::<u8>(); CLASS_SHARDS];
+    let mut tails = [std::ptr::null_mut::<u8>(); CLASS_SHARDS];
+    let mut counts = [0usize; CLASS_SHARDS];
+    for &b in &blocks {
+        let header = ((b as usize) & !SLAB_MASK) as *const SlabHeader;
+        let h = unsafe { &*header };
+        if h.sweep_gen.load(Ordering::Relaxed) & RETIRE_BIT != 0 {
+            continue;
+        }
+        let s = h.shard.load(Ordering::Relaxed) as usize % CLASS_SHARDS;
+        unsafe { *(b as *mut *mut u8) = heads[s] };
+        if heads[s].is_null() {
+            tails[s] = b;
+        }
+        heads[s] = b;
+        counts[s] += 1;
+    }
+    for s in 0..CLASS_SHARDS {
+        if !heads[s].is_null() {
+            state.shards[s].free.push_chain(heads[s], tails[s]);
+            state.shards[s].free_len.fetch_add(counts[s], Ordering::Relaxed);
+        }
+    }
+    if retiring == 0 {
+        return;
+    }
+
+    // Phase 5: the retire phase proper. Mapped decrements are batched
+    // under RETIRE_GAUGE so a concurrent gauge fold sees mapped counts
+    // either before or after the whole batch, never mid-shrink.
+    {
+        let _g = RETIRE_GAUGE.lock();
+        MAPPED_SLABS[class].fetch_sub(retiring, Ordering::Relaxed);
+    }
+    RECLAIMED_SLABS[class].fetch_add(retiring, Ordering::Relaxed);
+    out.retired_slabs += retiring;
+    out.retired_bytes += retiring * SLAB_BYTES as u64;
+    for &base in &slabs {
+        let h = unsafe { &*(base as *const SlabHeader) };
+        if h.sweep_gen.load(Ordering::Relaxed) & RETIRE_BIT == 0 {
+            continue;
+        }
+        // Scrub the magic so any late header read of a retired slab
+        // trips the debug integrity asserts instead of routing.
+        unsafe { (*(base as *mut SlabHeader)).magic = 0 };
+        if advise_dont_need(base, SLAB_BYTES) {
+            ADVISED_SLABS.fetch_add(1, Ordering::Relaxed);
+            out.advised_slabs += 1;
+        }
+        quarantine.push(base);
+    }
+}
 
 /// Fault-injected carve fallbacks outstanding per class. These chunks
 /// never enter slab accounting; the gauge keeps the live/mapped
@@ -496,6 +859,14 @@ struct LocalClass {
     /// *after* a block is served, never before.
     allocs: AtomicU64,
     frees: AtomicU64,
+    /// High-water mark of this thread's net block balance
+    /// (`allocs - frees`), observed at the cold refill points — a refill
+    /// fires whenever the cache runs dry, so a rising burst is sampled at
+    /// least once per batch and the mark lags the true thread peak by at
+    /// most one refill batch. Owner-written; folded into
+    /// [`PEAK_LIVE_BYTES`] by gauge collections and the teardown fold
+    /// (the inter-snapshot peak fix).
+    peak_net: AtomicU64,
     /// Allocations until the next profiler tick; 0 means the next alloc
     /// takes the cold [`sample_tick`] (which resets it).
     sample_down: u32,
@@ -523,6 +894,10 @@ struct ThreadCache {
     /// threads ever touch their row.
     foreign: [[ForeignBucket; CLASS_SHARDS]; NUM_CLASSES],
     home: usize,
+    /// The [`CACHE_FLUSH_EPOCH`] this cache last synchronized with
+    /// (owner-only, checked at the cold refill/flush points). Zero-init
+    /// matches the epoch's initial value.
+    flush_epoch: u64,
     /// Registry link (guarded by [`REGISTRY`]) and a process-unique
     /// ordinal for thread attribution in the profiler.
     next: *mut ThreadCache,
@@ -627,6 +1002,10 @@ fn teardown_cache() {
             prev = cur;
             cur = unsafe { (*cur).next };
         }
+        // Record the process high-water before folding this cache away:
+        // without this, a burst thread that rose and fell entirely
+        // between gauge collections would take its peak to the grave.
+        observe_peak_locked(Some(cache_ref));
         let mut allocs_total = 0u64;
         for (class, lc) in cache_ref.classes.iter().enumerate() {
             let a = lc.allocs.load(Ordering::Relaxed);
@@ -655,6 +1034,36 @@ fn teardown_cache() {
         );
     }
     unsafe { System.dealloc(cache as *mut u8, Layout::new::<ThreadCache>()) };
+}
+
+/// Fold the per-thread high-water marks into [`PEAK_LIVE_BYTES`]: per
+/// class, the folded net of exited threads (their real remaining
+/// contribution) plus every registered cache's `peak_net` (plus `extra`,
+/// a cache mid-teardown that is already unlinked). The sum is a
+/// *conservative* watermark — per-thread peaks need not be simultaneous —
+/// so it is clamped to the class's currently-mapped bytes, which keeps
+/// `peak <= historical max mapped` while still dominating every true
+/// live value. Caller must hold [`REGISTRY`].
+fn observe_peak_locked(extra: Option<&ThreadCache>) {
+    for class in 0..NUM_CLASSES {
+        let folded_net = FOLDED_CLASS[class].allocs.load(Ordering::Acquire) as i64
+            - FOLDED_CLASS[class].frees.load(Ordering::Acquire) as i64;
+        let mut hw = folded_net.max(0) as u64;
+        let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
+        while !cur.is_null() {
+            let cache = unsafe { &*cur };
+            hw += cache.classes[class].peak_net.load(Ordering::Relaxed);
+            cur = cache.next;
+        }
+        if let Some(c) = extra {
+            hw += c.classes[class].peak_net.load(Ordering::Relaxed);
+        }
+        if hw > 0 {
+            let mapped = MAPPED_SLABS[class].load(Ordering::Relaxed) * SLAB_BYTES as u64;
+            let candidate = (hw * class_bytes(class) as u64).min(mapped);
+            PEAK_LIVE_BYTES[class].fetch_max(candidate, Ordering::AcqRel);
+        }
+    }
 }
 
 /// Owner-only counter bump: a relaxed load and a release store — one
@@ -825,9 +1234,37 @@ fn chain_measure(head: *mut u8) -> (usize, *mut u8) {
     (n, tail)
 }
 
+/// Epoch-gated excision hook, reached only from the already-cold
+/// refill/flush paths: when a reclaim pass bumped [`CACHE_FLUSH_EPOCH`]
+/// since this cache last looked, release everything the cache holds so
+/// the *next* pass can sweep it. Returns whether a flush ran.
+#[cold]
+fn sync_flush_epoch(cache: &mut ThreadCache) -> bool {
+    let epoch = CACHE_FLUSH_EPOCH.load(Ordering::Relaxed);
+    if cache.flush_epoch == epoch {
+        return false;
+    }
+    cache.flush_epoch = epoch;
+    flush_all(cache);
+    true
+}
+
+/// Observe this thread's net block balance for `class` and raise its
+/// high-water mark. Called at refill time: a refill means the cache ran
+/// dry, which every rising burst does at least once per batch.
+#[inline]
+fn observe_peak_net(lc: &LocalClass) {
+    let net = lc.allocs.load(Ordering::Relaxed).wrapping_sub(lc.frees.load(Ordering::Relaxed));
+    if (net as i64) > 0 && net > lc.peak_net.load(Ordering::Relaxed) {
+        lc.peak_net.store(net, Ordering::Release);
+    }
+}
+
 /// Thread-cache refill: remote drain → central pops → slab carve.
 #[cold]
 fn refill(cache: &mut ThreadCache, class: usize) -> *mut u8 {
+    sync_flush_epoch(cache);
+    observe_peak_net(&cache.classes[class]);
     owner_bump(&cache.refills);
     owner_add32(&cache.class_refills[class], 1);
     let cap = mag_cap(class) as usize;
@@ -1109,20 +1546,31 @@ fn carve_shared(class: usize, home: usize) -> *mut u8 {
     block_at(0)
 }
 
-/// Allocate and stamp one slab. `None` on OOM (propagates as a null from
-/// `alloc`, per the `GlobalAlloc` contract).
+/// Allocate and stamp one slab: a quarantined retired slab when one is
+/// available (its retiring pass has fully completed — pushes happen only
+/// after `PASS_DONE` is published), else fresh memory from [`System`].
+/// `None` on OOM (propagates as a null from `alloc`, per the
+/// `GlobalAlloc` contract).
 fn carve_slab(class: usize, home: usize) -> Option<*mut u8> {
-    let layout = Layout::from_size_align(SLAB_BYTES, SLAB_BYTES).expect("static slab layout");
-    let base = unsafe { System.alloc(layout) };
-    if base.is_null() {
-        return None;
-    }
+    let base = match retired_pop() {
+        Some(base) => base,
+        None => {
+            let layout =
+                Layout::from_size_align(SLAB_BYTES, SLAB_BYTES).expect("static slab layout");
+            let base = unsafe { System.alloc(layout) };
+            if base.is_null() {
+                return None;
+            }
+            base
+        }
+    };
     let header = base as *mut SlabHeader;
     unsafe {
         (*header).magic = SLAB_MAGIC;
         (*header).class = class as u16;
         (*header).shard = AtomicU16::new(home as u16);
-        (*header)._pad = 0;
+        (*header).sweep_gen = AtomicU32::new(0);
+        (*header).free_seen = AtomicU32::new(0);
     }
     // Mapped before any block can be counted: every alloc-count store is
     // sequenced after this (same thread) or chained through the
@@ -1157,7 +1605,8 @@ fn fallback_alloc(class: usize) -> *mut u8 {
         (*header).magic = FALLBACK_MAGIC;
         (*header).class = class as u16;
         (*header).shard = AtomicU16::new(0);
-        (*header)._pad = 0;
+        (*header).sweep_gen = AtomicU32::new(0);
+        (*header).free_seen = AtomicU32::new(0);
     }
     FALLBACK_ALLOCS[class].fetch_add(1, Ordering::Release);
     unsafe { base.add(HEADER_BYTES) }
@@ -1273,6 +1722,11 @@ fn flush_bucket(class: usize, shard_idx: usize, b: &mut ForeignBucket) {
 /// stamp until their next trip through `dealloc` re-buckets them.
 #[cold]
 fn flush_surplus(cache: &mut ThreadCache, class: usize) {
+    // A pending reclaim epoch empties the whole cache — nothing left to
+    // halve, and the early return keeps the walk below off a null head.
+    if sync_flush_epoch(cache) {
+        return;
+    }
     owner_add32(&cache.class_flushes[class], 1);
     let lc = &mut cache.classes[class];
     let count = lc.count.load(Ordering::Relaxed);
@@ -1414,10 +1868,17 @@ pub struct GlobalAllocStats {
     pub remote_drained: u64,
     /// Blocks currently sitting in remote queues.
     pub remote_pending: u64,
-    /// 64 KiB slabs carved from the system allocator.
+    /// 64 KiB slab carves (fresh maps plus quarantine recarves).
     pub slabs_carved: u64,
-    /// Bytes held in slabs (process-lifetime).
+    /// Bytes currently mapped in slabs (carves minus retirements — no
+    /// longer process-lifetime; see [`sweep_and_retire`]).
     pub slab_bytes: u64,
+    /// Fully-idle slabs retired by reclaim passes, and the bytes their
+    /// pages returned to the OS (cumulative).
+    pub reclaimed_slabs: u64,
+    pub reclaimed_bytes: u64,
+    /// Retired slabs pulled back out of quarantine by later carves.
+    pub recarved_slabs: u64,
     /// Requests that bypassed the classes (too big / over-aligned).
     pub passthrough_allocs: u64,
     pub passthrough_frees: u64,
@@ -1483,8 +1944,24 @@ pub fn stats() -> GlobalAllocStats {
             s.remote_pending += pushes.saturating_sub(drained);
         }
     }
-    s.slab_bytes = s.slabs_carved * SLAB_BYTES as u64;
+    s.slab_bytes =
+        MAPPED_SLABS.iter().map(|m| m.load(Ordering::Relaxed)).sum::<u64>() * SLAB_BYTES as u64;
+    let (reclaimed_slabs, reclaimed_bytes, recarved, _) = reclaim_totals();
+    s.reclaimed_slabs = reclaimed_slabs;
+    s.reclaimed_bytes = reclaimed_bytes;
+    s.recarved_slabs = recarved;
     s
+}
+
+/// A snapshot of the shard-occupancy ledger (live caches homed per
+/// shard). Test hook: lets a harness verify that pinned and respawned
+/// thread generations never leak a phantom occupant.
+pub fn shard_occupancy_snapshot() -> [u32; CLASS_SHARDS] {
+    let mut out = [0u32; CLASS_SHARDS];
+    for (slot, occ) in SHARD_OCCUPANCY.iter().zip(out.iter_mut()) {
+        *occ = slot.load(Ordering::Relaxed);
+    }
+    out
 }
 
 /// One class's cumulative controller signal: classed allocations, cold
@@ -1552,6 +2029,12 @@ pub(crate) struct RawGauges {
 /// holds for every snapshot, and both are exact at quiescence. The
 /// registry hold spans both counter passes, which also blocks teardown
 /// folds from moving counters between the passes.
+///
+/// The whole fold runs under [`RETIRE_GAUGE`]: mapped counts are only
+/// monotone *between* retire phases, so a collection must never
+/// interleave one — a slab retired after pass 2 read its (already
+/// freed) blocks' counters but before the mapped read would otherwise
+/// fake `live > mapped`.
 pub(crate) fn collect_raw_gauges() -> RawGauges {
     let mut g = RawGauges {
         allocs: [0; NUM_CLASSES],
@@ -1563,11 +2046,17 @@ pub(crate) fn collect_raw_gauges() -> RawGauges {
         peak_live_bytes: [0; NUM_CLASSES],
         fallback_blocks: [0; NUM_CLASSES],
     };
+    let mut folded_allocs = [0u64; NUM_CLASSES];
+    let mut folded_frees = [0u64; NUM_CLASSES];
+    let mut thread_hw = [0u64; NUM_CLASSES];
+    let _retire_hold = RETIRE_GAUGE.lock();
     {
         let _hold = REGISTRY.lock();
-        // Pass 1: allocations (plus the order-insensitive parked gauges).
+        // Pass 1: allocations (plus the order-insensitive parked gauges
+        // and the per-thread high-water marks).
         for (class, fold) in FOLDED_CLASS.iter().enumerate() {
-            g.allocs[class] = fold.allocs.load(Ordering::Acquire);
+            folded_allocs[class] = fold.allocs.load(Ordering::Acquire);
+            g.allocs[class] = folded_allocs[class];
         }
         let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
         while !cur.is_null() {
@@ -1576,12 +2065,14 @@ pub(crate) fn collect_raw_gauges() -> RawGauges {
                 g.allocs[class] += lc.allocs.load(Ordering::Acquire);
                 g.cache_parked[class] += lc.count.load(Ordering::Relaxed) as u64
                     + lc.chain_left.load(Ordering::Relaxed) as u64;
+                thread_hw[class] += lc.peak_net.load(Ordering::Relaxed);
             }
             cur = cache.next;
         }
         // Pass 2: frees, strictly after every alloc counter.
         for (class, fold) in FOLDED_CLASS.iter().enumerate() {
-            g.frees[class] = fold.frees.load(Ordering::Acquire);
+            folded_frees[class] = fold.frees.load(Ordering::Acquire);
+            g.frees[class] = folded_frees[class];
         }
         let mut cur = REGISTRY_HEAD.load(Ordering::Relaxed) as *const ThreadCache;
         while !cur.is_null() {
@@ -1603,11 +2094,19 @@ pub(crate) fn collect_raw_gauges() -> RawGauges {
             .load(Ordering::Acquire)
             .saturating_sub(FALLBACK_FREES[class].load(Ordering::Acquire));
     }
-    // Mapped last (see above), then fold the peak watermark.
+    // Mapped last (see above), then fold the peak watermark: the live
+    // estimate at this instant, and the per-thread high-water sum (folded
+    // net of exited threads + each live thread's refill-time peak),
+    // clamped to mapped so the non-simultaneous sum stays below the
+    // historical mapped ceiling.
     for class in 0..NUM_CLASSES {
         g.mapped_slabs[class] = MAPPED_SLABS[class].load(Ordering::Relaxed);
+        let mapped_bytes = g.mapped_slabs[class] * SLAB_BYTES as u64;
         let live_bytes = g.allocs[class].saturating_sub(g.frees[class]) * class_bytes(class) as u64;
-        PEAK_LIVE_BYTES[class].fetch_max(live_bytes, Ordering::AcqRel);
+        let folded_net = folded_allocs[class].saturating_sub(folded_frees[class]);
+        let hw_bytes =
+            ((folded_net + thread_hw[class]) * class_bytes(class) as u64).min(mapped_bytes);
+        PEAK_LIVE_BYTES[class].fetch_max(live_bytes.max(hw_bytes), Ordering::AcqRel);
         g.peak_live_bytes[class] = PEAK_LIVE_BYTES[class].load(Ordering::Relaxed);
     }
     g
@@ -1744,6 +2243,41 @@ mod tests {
     }
 
     #[test]
+    fn pinned_thread_generations_conserve_the_shard_ledger() {
+        // ISSUE 10 satellite: `pin_home_shard` overrides the slot
+        // `claim_home_shard` just claimed; if the pin (or a re-pin, or
+        // the teardown of a pinned cache) failed to decrement the slot
+        // it moved off, every respawned pinned generation would leak a
+        // phantom occupant and steer all future claims away from it.
+        const GENERATIONS: usize = 64;
+        let before: u32 = shard_occupancy_snapshot().iter().sum();
+        for generation in 0..GENERATIONS {
+            std::thread::spawn(move || {
+                assert!(pin_home_shard(generation % CLASS_SHARDS));
+                let l = Layout::from_size_align(64, 8).unwrap();
+                let p = raw_alloc(l);
+                assert!(!p.is_null());
+                unsafe { raw_dealloc(p, l) };
+                // Re-pin to another shard: the ledger must move, not add.
+                assert!(pin_home_shard((generation + 3) % CLASS_SHARDS));
+            })
+            .join()
+            .unwrap();
+        }
+        let after: u32 = shard_occupancy_snapshot().iter().sum();
+        // Sibling tests' threads drift the ledger by a handful; a leak
+        // drifts it by a phantom per generation (two per with the re-pin).
+        let drift = after.abs_diff(before);
+        assert!(
+            drift < GENERATIONS as u32 / 2,
+            "ledger drifted {drift} across {GENERATIONS} pinned generations"
+        );
+        for (i, occ) in shard_occupancy_snapshot().iter().enumerate() {
+            assert!(*occ < 10_000, "shard {i} ledger wrapped: {occ}");
+        }
+    }
+
+    #[test]
     fn passthrough_sizes_do_not_get_slab_headers() {
         let l = layout(MAX_CLASS_BYTES + 1, 8);
         let before = stats();
@@ -1787,6 +2321,40 @@ mod tests {
         assert!(after.class_allocs - before.class_allocs >= 1000);
         assert!(after.class_frees - before.class_frees >= 1000);
         assert!(after.cache_hits > before.cache_hits, "steady-state must hit the cache");
+    }
+
+    #[test]
+    fn retirement_round_trip_returns_and_recarves_slabs() {
+        // A dedicated thread bursts ~13 slabs of a quiet class, frees
+        // everything, and exits (flushing all blocks to shared levels).
+        let l = layout(2048, 8);
+        let before = stats();
+        std::thread::spawn(move || {
+            let mut held: Vec<usize> = (0..400).map(|_| raw_alloc(l) as usize).collect();
+            assert!(held.iter().all(|&p| p != 0));
+            for p in held.drain(..) {
+                unsafe { raw_dealloc(p as *mut u8, l) };
+            }
+        })
+        .join()
+        .unwrap();
+        let out = sweep_and_retire(0);
+        assert!(out.retired_slabs >= 1, "a fully-idle burst must retire slabs: {out:?}");
+        assert_eq!(out.retired_bytes, out.retired_slabs * SLAB_BYTES as u64);
+        assert!(out.swept_blocks >= 400, "the burst's blocks must be in the sweep");
+        let after = stats();
+        assert!(
+            after.reclaimed_slabs >= before.reclaimed_slabs + out.retired_slabs,
+            "retirements must reach the stats ledger"
+        );
+        // Recarve: the next allocation in the class must be able to pull
+        // a quarantined slab back and hand out a valid, writable block.
+        let p = raw_alloc(l);
+        assert!(!p.is_null());
+        unsafe {
+            std::ptr::write_bytes(p, 0xC3, 2048);
+            raw_dealloc(p, l);
+        }
     }
 
     #[test]

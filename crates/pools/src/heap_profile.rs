@@ -250,8 +250,12 @@ pub struct ClassGauges {
     pub mapped_bytes: u64,
     pub live_blocks: u64,
     pub live_bytes: u64,
-    /// Sampled high-water mark of `live_bytes` (exact at every collection
-    /// instant; allocations between collections can exceed it unseen).
+    /// High-water mark of `live_bytes`: `fetch_max`ed at every collection
+    /// instant *and* fed by owner-folded per-thread net-live peaks
+    /// observed at magazine-refill boundaries, so inter-snapshot bursts
+    /// are captured too (lag bounded by one refill batch; clamped to
+    /// mapped bytes, since non-simultaneous per-thread peaks must not
+    /// imply more memory than was ever mapped).
     pub peak_live_bytes: u64,
     /// Blocks parked in thread-cache magazines.
     pub parked_cache_bytes: u64,
@@ -462,6 +466,38 @@ mod tests {
         for p in blocks {
             unsafe { crate::global::raw_dealloc(p, l) };
         }
+    }
+
+    #[test]
+    fn peak_live_captures_inter_snapshot_bursts() {
+        // Regression (ISSUE 10 satellite): peaks used to be `fetch_max`ed
+        // only at collection instants, so a burst that lived and died
+        // entirely between two collections was invisible — and under-read
+        // peaks corrupt the reclamation ratio the RSS bench asserts.
+        // Burst on a fresh thread with no collection while it is live,
+        // free everything, exit: the owner-folded per-thread high-water
+        // mark must still surface through the teardown fold.
+        let l = Layout::from_size_align(512, 8).unwrap();
+        const BLOCKS: usize = 4096; // ~2 MiB live at the burst peak
+        std::thread::spawn(move || {
+            let held: Vec<*mut u8> = (0..BLOCKS).map(|_| crate::global::raw_alloc(l)).collect();
+            assert!(held.iter().all(|p| !p.is_null()));
+            for p in held {
+                unsafe { crate::global::raw_dealloc(p, l) };
+            }
+        })
+        .join()
+        .unwrap();
+        let g = gauges();
+        let c = g.classes.iter().find(|c| c.block_bytes == 512).expect("512-byte class");
+        // The high-water mark lags by at most a couple of refill batches
+        // (observed at cold refill points, not per alloc).
+        let floor = ((BLOCKS - 128) * 512) as u64;
+        assert!(
+            c.peak_live_bytes >= floor,
+            "peak {} must cover the {BLOCKS}-block inter-snapshot burst (floor {floor})",
+            c.peak_live_bytes
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod magazine;
 pub mod object_pool;
 mod obs;
 pub mod pool_box;
+pub mod reclaim;
 pub mod registry;
 pub mod shadow;
 pub mod shadow_buf;

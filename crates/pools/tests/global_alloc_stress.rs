@@ -125,6 +125,77 @@ fn cross_thread_frees_conserve_blocks_and_reconcile_the_remote_ledger() {
     // slab memory is process-lifetime by design).
 }
 
+/// Reclaim-under-churn (ISSUE 10): the cross-thread conservation run
+/// with an aggressive reclaimer sweeping the whole time. Sweeps drain
+/// remote chains and central stacks, retire idle slabs, and hand them
+/// back through the quarantine pool — and none of it may invent, lose,
+/// or double-hand-out a block, or unbalance the remote ledger (the
+/// sweep's drains are counted as `remote_drained` like an owner's).
+#[test]
+fn slab_retirement_conserves_the_cross_thread_ledger() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let _g = ledger_lock();
+    let before = global::stats();
+    let reclaimed_before = pools::reclaim::totals().reclaimed_slabs;
+    const PRODUCERS: usize = 3;
+    const PER: usize = 15_000;
+
+    let stop = AtomicBool::new(false);
+    let passes = AtomicU64::new(0);
+    let (freed, distinct) = std::thread::scope(|s| {
+        let reclaimer = s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                pools::reclaim::reclaim_all();
+                passes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        });
+        let result = producer_consumer_run(PRODUCERS, PER);
+        stop.store(true, Ordering::Relaxed);
+        reclaimer.join().expect("reclaimer panicked");
+        result
+    });
+    assert!(passes.load(Ordering::Relaxed) > 0, "the reclaimer never got a pass in");
+
+    let total = (PRODUCERS * PER) as u64;
+    assert_eq!(freed as u64, total);
+    assert_eq!(distinct as u64, total, "every handed-out block distinct despite recarves");
+
+    let after = global::stats();
+    let allocs = after.class_allocs - before.class_allocs;
+    let frees = after.class_frees - before.class_frees;
+    if global::installed() {
+        assert!(allocs >= total);
+        assert!(frees >= total);
+    } else {
+        assert_eq!(allocs, total, "retirement must not invent or lose allocs");
+        assert_eq!(frees, total, "retirement must not invent or lose frees");
+    }
+    assert_eq!(
+        after.remote_frees,
+        after.remote_drained + after.remote_pending,
+        "sweep drains must keep the remote queue ledger balanced"
+    );
+
+    // The churn is idle now. A final pass trims whatever the concurrent
+    // reclaimer's last lap left behind (it races the stop flag, so it
+    // may already have swept the quiesced heap clean); cumulatively the
+    // run must have retired at least one slab, and the retirement
+    // ledger must reconcile against the stats surface.
+    let trim = pools::reclaim::reclaim_all();
+    let reclaimed_after = pools::reclaim::totals().reclaimed_slabs;
+    assert!(
+        reclaimed_after > reclaimed_before,
+        "churn retired nothing ({reclaimed_before} -> {reclaimed_after}, final pass {trim:?})"
+    );
+    let stats = global::stats();
+    let totals = pools::reclaim::totals();
+    assert_eq!(stats.reclaimed_slabs, totals.reclaimed_slabs);
+    assert_eq!(stats.reclaimed_bytes, totals.reclaimed_bytes);
+    assert_eq!(stats.reclaimed_bytes, stats.reclaimed_slabs * 64 * 1024);
+}
+
 #[test]
 fn exited_threads_fold_their_counters_into_the_snapshot() {
     let _g = ledger_lock();
@@ -152,6 +223,61 @@ fn exited_threads_fold_their_counters_into_the_snapshot() {
 /// traffic while a uniform fault schedule is armed — epoch bumps and CAS
 /// retries must never leak into the untyped front-end's ledger, and the
 /// typed pool itself must stay balanced under the same schedule.
+/// Reclaimed-then-recarved slabs must never double-hand-out a block,
+/// even with carve faults armed (ISSUE 10). Each round bursts a slab's
+/// worth of short-lived blocks and retires them, so later rounds carve
+/// from quarantine-recycled memory; the consumer's live-set insert is
+/// the detector — a recarve that forgot to reset a freelist, or a
+/// retire that raced a fault-diverted carve, hands one address out
+/// twice while it is still live and trips the assert.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn recarved_slabs_never_double_hand_out_under_faults() {
+    use pools::fault::{self, FaultConfig};
+
+    let _g = ledger_lock();
+    fault::clear();
+    fault::reset_counts();
+    fault::install(FaultConfig::uniform(0x9F00_11AB, 0.05));
+
+    let recarved_before = pools::reclaim::totals().recarved_slabs;
+    for round in 0..6u64 {
+        // A burst big enough to carve fresh slabs, freed in full so the
+        // sweep can retire them; the next round's carves pull those
+        // pages back out of quarantine.
+        std::thread::spawn(move || {
+            fault::set_thread_ordinal(700 + round);
+            let mut blocks = Vec::with_capacity(2_048);
+            for _ in 0..2_048 {
+                let p = global::raw_alloc(BLOCK_LAYOUT);
+                assert!(!p.is_null());
+                blocks.push(p as usize);
+            }
+            for addr in blocks {
+                unsafe { global::raw_dealloc(addr as *mut u8, BLOCK_LAYOUT) };
+            }
+        })
+        .join()
+        .expect("burst thread panicked");
+        pools::reclaim::reclaim_all();
+        // Integrity probe on the recycled pages: cross-thread traffic
+        // with the double-hand-out / id-uniqueness detectors live.
+        let (freed, distinct) = producer_consumer_run(2, 2_000);
+        assert_eq!(freed, 4_000);
+        assert_eq!(distinct, 4_000);
+    }
+    fault::clear();
+
+    let recarved_after = pools::reclaim::totals().recarved_slabs;
+    assert!(
+        recarved_after > recarved_before,
+        "the rounds never recycled a retired slab ({recarved_before} -> {recarved_after}); \
+         the probe proved nothing"
+    );
+    let after = global::stats();
+    assert_eq!(after.remote_frees, after.remote_drained + after.remote_pending);
+}
+
 #[cfg(feature = "fault-inject")]
 #[test]
 fn epoch_bumps_under_fault_injection_do_not_disturb_conservation() {

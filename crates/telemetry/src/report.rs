@@ -192,8 +192,14 @@ pub struct HeapTimelinePoint {
 }
 
 /// The versioned `heap-profile-v1` section: per-class occupancy gauges,
-/// top sampled sites, and the occupancy-over-time timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// top sampled sites, the occupancy-over-time timeline, and cumulative
+/// slab-retirement totals.
+///
+/// Serde impls are manual for the same reason [`Report`]'s are: the
+/// `reclaimed_*` counters were added after the schema shipped, so they
+/// must parse as 0 when absent (reports from pre-reclaimer binaries),
+/// and the vendored derive has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeapProfileSection {
     /// Always [`HEAP_PROFILE_SCHEMA`] for sections this crate emits.
     pub schema: String,
@@ -203,6 +209,47 @@ pub struct HeapProfileSection {
     pub classes: Vec<HeapClassGauges>,
     pub sites: Vec<HeapSiteSample>,
     pub timeline: Vec<HeapTimelinePoint>,
+    /// Slabs retired to the OS over the process lifetime (0 on reports
+    /// from binaries without the reclaimer).
+    pub reclaimed_slabs: u64,
+    /// Bytes those retirements returned via `madvise(MADV_DONTNEED)`.
+    pub reclaimed_bytes: u64,
+}
+
+impl Serialize for HeapProfileSection {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("sample_period".to_string(), self.sample_period.to_value()),
+            ("classes".to_string(), self.classes.to_value()),
+            ("sites".to_string(), self.sites.to_value()),
+            ("timeline".to_string(), self.timeline.to_value()),
+            ("reclaimed_slabs".to_string(), self.reclaimed_slabs.to_value()),
+            ("reclaimed_bytes".to_string(), self.reclaimed_bytes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for HeapProfileSection {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // Reclaim counters postdate the schema: absent means "emitter
+        // predates the reclaimer", i.e. nothing was ever reclaimed.
+        let tolerant_u64 = |name: &str| -> Result<u64, serde::Error> {
+            match v.field(name) {
+                Ok(val) => u64::from_value(val),
+                Err(_) => Ok(0),
+            }
+        };
+        Ok(HeapProfileSection {
+            schema: String::from_value(v.field("schema")?)?,
+            sample_period: u64::from_value(v.field("sample_period")?)?,
+            classes: Vec::from_value(v.field("classes")?)?,
+            sites: Vec::from_value(v.field("sites")?)?,
+            timeline: Vec::from_value(v.field("timeline")?)?,
+            reclaimed_slabs: tolerant_u64("reclaimed_slabs")?,
+            reclaimed_bytes: tolerant_u64("reclaimed_bytes")?,
+        })
+    }
 }
 
 impl HeapProfileSection {
@@ -627,6 +674,13 @@ impl Report {
                     mapped as f64 / live as f64
                 );
             }
+            if hp.reclaimed_slabs > 0 {
+                let _ = writeln!(
+                    out,
+                    "reclaimed: {} slabs / {} bytes returned to the OS",
+                    hp.reclaimed_slabs, hp.reclaimed_bytes
+                );
+            }
             if !hp.sites.is_empty() {
                 let _ = writeln!(out, "top sampled sites (where is the heap):");
                 for s in hp.sites.iter().take(10) {
@@ -829,7 +883,23 @@ impl Report {
                         );
                     }
                 }
-                if !hp_lines.is_empty() {
+                let (ors, orb) =
+                    old_hp.as_ref().map_or((0, 0), |h| (h.reclaimed_slabs, h.reclaimed_bytes));
+                if (nh.reclaimed_slabs, nh.reclaimed_bytes) != (ors, orb) {
+                    let _ = writeln!(
+                        hp_lines,
+                        "  reclaimed {} slabs, {} bytes",
+                        d(nh.reclaimed_slabs, ors),
+                        d(nh.reclaimed_bytes, orb)
+                    );
+                }
+                // A section present on only the new side is a change in
+                // itself: announce it even if every gauge is zero, so a
+                // one-sided diff never reads as "no heap changes".
+                if old_hp.is_none() {
+                    let _ = writeln!(out, "heap profile: (new in new report)");
+                    out.push_str(&hp_lines);
+                } else if !hp_lines.is_empty() {
                     let _ = writeln!(out, "heap profile:");
                     out.push_str(&hp_lines);
                 }
@@ -1073,6 +1143,8 @@ mod tests {
                 HeapTimelinePoint { seq: 1, mapped_bytes: 65536, live_bytes: 9600 },
                 HeapTimelinePoint { seq: 2, mapped_bytes: 196608, live_bytes: 60800 },
             ],
+            reclaimed_slabs: 3,
+            reclaimed_bytes: 3 * 65536,
         }
     }
 
@@ -1094,6 +1166,23 @@ mod tests {
         assert!(!json.contains("heap_profile"), "None must be omitted, not null");
         let back = Report::from_json(&json).unwrap();
         assert_eq!(back.heap_profile, None);
+    }
+
+    #[test]
+    fn heap_profile_without_reclaim_counters_parses_as_zero() {
+        // Reports written before the reclaimer existed carry the same
+        // heap-profile-v1 schema but no reclaimed_* fields: strip them
+        // from the wire value and the section must parse with zeros.
+        let Value::Object(fields) = sample_heap_profile().to_value() else {
+            panic!("sections serialize as objects");
+        };
+        let old_wire = Value::Object(
+            fields.into_iter().filter(|(k, _)| !k.starts_with("reclaimed_")).collect(),
+        );
+        let hp = HeapProfileSection::from_value(&old_wire).unwrap();
+        assert_eq!(hp.reclaimed_slabs, 0);
+        assert_eq!(hp.reclaimed_bytes, 0);
+        assert_eq!(hp.classes, sample_heap_profile().classes);
     }
 
     #[test]
@@ -1155,6 +1244,65 @@ mod tests {
     fn diff_of_identical_reports_is_quiet() {
         let r = sample();
         assert!(r.diff(&r.clone()).contains("no counter changes"));
+    }
+
+    #[test]
+    fn diff_announces_one_sided_heap_profiles() {
+        // Section present on exactly one side: both directions must say
+        // so instead of silently skipping (or pretending quiet).
+        let bare = sample();
+        let profiled = {
+            let mut r = sample();
+            r.heap_profile = Some(sample_heap_profile());
+            r
+        };
+        let appeared = bare.diff(&profiled);
+        assert!(appeared.contains("heap profile: (new in new report)"), "{appeared}");
+        assert!(!appeared.contains("no counter changes"), "{appeared}");
+        let dropped = profiled.diff(&bare);
+        assert!(dropped.contains("heap profile: (dropped in new report)"), "{dropped}");
+
+        // Even a profile of all-zero gauges must announce its appearance.
+        let empty_profiled = {
+            let mut r = sample();
+            r.heap_profile = Some(HeapProfileSection {
+                schema: HEAP_PROFILE_SCHEMA.into(),
+                sample_period: 0,
+                classes: Vec::new(),
+                sites: Vec::new(),
+                timeline: Vec::new(),
+                reclaimed_slabs: 0,
+                reclaimed_bytes: 0,
+            });
+            r
+        };
+        let text = bare.diff(&empty_profiled);
+        assert!(text.contains("heap profile: (new in new report)"), "{text}");
+    }
+
+    #[test]
+    fn diff_and_render_track_reclaim_totals() {
+        let old = {
+            let mut r = sample();
+            r.heap_profile = Some(sample_heap_profile());
+            r
+        };
+        let new = {
+            let mut r = old.clone();
+            let hp = r.heap_profile.as_mut().unwrap();
+            hp.reclaimed_slabs += 2;
+            hp.reclaimed_bytes += 2 * 65536;
+            r
+        };
+        let text = old.diff(&new);
+        assert!(text.contains("reclaimed +2 slabs, +131072 bytes"), "{text}");
+        assert!(old.diff(&old.clone()).contains("no counter changes"));
+
+        let rendered = new.render();
+        assert!(
+            rendered.contains("reclaimed: 5 slabs / 327680 bytes returned to the OS"),
+            "{rendered}"
+        );
     }
 
     fn sample_pool_tune() -> PoolTuneSection {

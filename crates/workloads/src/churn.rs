@@ -1,0 +1,244 @@
+//! Long-haul burst/quiesce churn: the diurnal-traffic shape that makes
+//! slab retirement matter (ROADMAP item 2; DESIGN.md §13).
+//!
+//! A long-running service alternates busy phases (allocation bursts
+//! across many threads, cross-thread frees) with quiet phases where most
+//! of the burst dies but a small survivor residue stays live. Without
+//! retirement every slab the burst touched stays mapped forever, so RSS
+//! ratchets to the all-time peak; with it, each quiesce is an
+//! opportunity to return the idle slabs. Each phase stands in for an
+//! hour of simulated wall-clock — the workload compresses "hours of
+//! diurnal traffic" into seconds of churn with the same allocator-visible
+//! shape: burst, cross-thread free storm, long idle residue.
+//!
+//! The driver (the `rss_bench` bin) supplies the reclaim hook that runs
+//! in each quiet phase; this module only generates the traffic and
+//! records the mapped-bytes envelope around it, so the same scenario can
+//! also run hook-free as the "no reclaim" baseline.
+
+use pools::heap_profile;
+
+/// Shape of one churn run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnParams {
+    /// Burst/quiesce cycles (each models one simulated hour).
+    pub phases: usize,
+    /// Worker threads per burst.
+    pub threads: usize,
+    /// Blocks each worker allocates per burst.
+    pub allocs_per_thread: usize,
+    /// Out of 256: how many blocks per 256 survive the quiesce as
+    /// long-lived residue (kept at most one phase, so residue stays
+    /// bounded while still pinning slabs across the quiet period).
+    pub survivor_per_256: u32,
+    /// Seed for the deterministic size sequence.
+    pub seed: u64,
+}
+
+impl ChurnParams {
+    /// The long-haul shape: enough phases and volume that the mapped
+    /// envelope is dominated by steady-state churn, not warmup.
+    pub fn long_haul() -> Self {
+        ChurnParams {
+            phases: 24,
+            threads: 8,
+            allocs_per_thread: 4096,
+            survivor_per_256: 12,
+            seed: 0x9F00_11AB,
+        }
+    }
+
+    /// A seconds-scale smoke shape for CI.
+    pub fn smoke() -> Self {
+        ChurnParams {
+            phases: 6,
+            threads: 4,
+            allocs_per_thread: 2048,
+            survivor_per_256: 12,
+            seed: 0x9F00_11AB,
+        }
+    }
+}
+
+/// The mapped-bytes envelope around one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRecord {
+    pub phase: usize,
+    /// Bytes the burst allocated (live estimate at burst peak).
+    pub burst_bytes: u64,
+    /// Mapped slab bytes right after the burst (the phase's peak).
+    pub mapped_after_burst: u64,
+    /// Mapped slab bytes after the quiesce + reclaim hook (the trough).
+    pub mapped_after_quiesce: u64,
+}
+
+/// What a whole churn run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    pub records: Vec<PhaseRecord>,
+    /// Fold of every block's first byte: proves the traffic was real
+    /// (and deterministic — same params, same checksum).
+    pub checksum: u64,
+    /// Max `mapped_after_burst` across phases.
+    pub peak_mapped_bytes: u64,
+    /// Min `mapped_after_quiesce` across phases *after the first*
+    /// (phase 0's trough still includes warmup carving).
+    pub trough_mapped_bytes: u64,
+}
+
+impl ChurnOutcome {
+    /// Peak-to-trough mapped-bytes ratio — the reclamation win the
+    /// tentpole asserts (≥ 2× with the reclaimer, ≈ 1× without).
+    pub fn reclamation_ratio(&self) -> f64 {
+        if self.trough_mapped_bytes == 0 {
+            0.0
+        } else {
+            self.peak_mapped_bytes as f64 / self.trough_mapped_bytes as f64
+        }
+    }
+}
+
+/// Current process resident-set size from `/proc/self/statm`, if the
+/// platform exposes it. Observational only: the asserted envelope uses
+/// the allocator's own mapped-bytes gauge, which `madvise` affects
+/// deterministically while kernel RSS accounting is lazy.
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Block sizes the bursts cycle through — all inside the front-end's
+/// size-class range, skewed small like real services.
+const SIZES: [usize; 6] = [32, 64, 96, 256, 1024, 4096];
+
+fn mapped_now() -> u64 {
+    heap_profile::gauges().total_mapped_bytes()
+}
+
+/// Run the burst/quiesce churn, calling `reclaim_hook(phase)` during
+/// each quiet period (pass a no-op for the baseline). Returns the
+/// mapped-bytes envelope.
+pub fn run_churn(params: &ChurnParams, mut reclaim_hook: impl FnMut(usize)) -> ChurnOutcome {
+    let mut records = Vec::with_capacity(params.phases);
+    let mut checksum = 0u64;
+    // Survivors pin a small residue of each burst across the next quiet
+    // phase — the long-lived objects that keep retirement honest (slabs
+    // they sit on must NOT be reclaimed).
+    let mut residue: Vec<Vec<Box<[u8]>>> = Vec::new();
+
+    for phase in 0..params.phases {
+        // Burst: every worker allocates its blocks (deterministic size
+        // sequence), touches them, and hands them back whole — the main
+        // thread then frees most of them, so every worker's blocks die
+        // on a different thread than built them (remote-free traffic).
+        let mut burst_bytes = 0u64;
+        let mut kept: Vec<Vec<Box<[u8]>>> = Vec::with_capacity(params.threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..params.threads)
+                .map(|t| {
+                    let params = *params;
+                    s.spawn(move || {
+                        let mut rng =
+                            params.seed.wrapping_add((phase as u64) << 32).wrapping_add(t as u64);
+                        let mut blocks = Vec::with_capacity(params.allocs_per_thread);
+                        let mut sum = 0u64;
+                        for i in 0..params.allocs_per_thread {
+                            let size = SIZES[(splitmix(&mut rng) % SIZES.len() as u64) as usize];
+                            let mut b = vec![0u8; size].into_boxed_slice();
+                            b[0] = (i as u8).wrapping_add(t as u8);
+                            sum = sum.wrapping_add(b[0] as u64).wrapping_add(size as u64);
+                            blocks.push(b);
+                        }
+                        (blocks, sum)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (blocks, sum) = h.join().expect("churn worker");
+                burst_bytes += blocks.iter().map(|b| b.len() as u64).sum::<u64>();
+                checksum = checksum.wrapping_add(sum);
+                kept.push(blocks);
+            }
+        });
+        let mapped_after_burst = mapped_now();
+
+        // Quiesce: last phase's residue dies first, then all but a
+        // contiguous survivor run of each worker's blocks (consecutive
+        // allocations share slabs, so survivors pin few slabs).
+        residue.clear();
+        for mut blocks in kept {
+            let survive = blocks.len() * params.survivor_per_256 as usize / 256;
+            blocks.truncate(survive);
+            residue.push(blocks);
+        }
+        reclaim_hook(phase);
+        let mapped_after_quiesce = mapped_now();
+
+        records.push(PhaseRecord { phase, burst_bytes, mapped_after_burst, mapped_after_quiesce });
+    }
+
+    let peak_mapped_bytes = records.iter().map(|r| r.mapped_after_burst).max().unwrap_or(0);
+    let trough_mapped_bytes = records
+        .iter()
+        .skip(1)
+        .map(|r| r.mapped_after_quiesce)
+        .min()
+        .or_else(|| records.first().map(|r| r.mapped_after_quiesce))
+        .unwrap_or(0);
+    ChurnOutcome { records, checksum, peak_mapped_bytes, trough_mapped_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_is_deterministic_and_records_every_phase() {
+        let params = ChurnParams {
+            phases: 3,
+            threads: 2,
+            allocs_per_thread: 512,
+            survivor_per_256: 12,
+            seed: 7,
+        };
+        let a = run_churn(&params, |_| {});
+        let b = run_churn(&params, |_| {});
+        assert_eq!(a.checksum, b.checksum, "same params must produce the same traffic");
+        assert_eq!(a.records.len(), 3);
+        assert!(a.records.iter().all(|r| r.burst_bytes > 0));
+        assert!(a.peak_mapped_bytes >= a.trough_mapped_bytes);
+    }
+
+    #[test]
+    fn reclaim_hook_runs_once_per_phase_in_order() {
+        let params = ChurnParams {
+            phases: 4,
+            threads: 1,
+            allocs_per_thread: 64,
+            survivor_per_256: 0,
+            seed: 1,
+        };
+        let mut seen = Vec::new();
+        run_churn(&params, |phase| seen.push(phase));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rss_probe_reads_something_plausible_on_linux() {
+        if let Some(rss) = rss_bytes() {
+            // A running test binary is at least a megabyte resident.
+            assert!(rss > 1 << 20, "implausible RSS {rss}");
+        } else if cfg!(target_os = "linux") {
+            panic!("statm must parse on Linux");
+        }
+    }
+}
